@@ -1,0 +1,115 @@
+// Ablation: how much monitoring traffic does each customization mechanism
+// remove? (The design-choice study DESIGN.md calls out: parameters vs the
+// differential filter vs a dynamic E-code filter.)
+//
+// An 8-node cluster idles except for a load spike on one node mid-run; we
+// count the events and bytes node 0 publishes under each configuration,
+// plus whether the spike was still reported (usefulness check).
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::bench {
+namespace {
+
+struct AblationResult {
+  double events_per_s;
+  double wire_kbps;
+  bool spike_visible;  // did node 7 hear about node 0's load spike?
+};
+
+AblationResult run_config(const std::string& control) {
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = 8;
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(3.0));
+
+  if (!control.empty()) {
+    auto parsed = core::parse_control_commands(control);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      (void)cluster.dmon(i)->apply_tuning(parsed.value());
+    }
+  }
+  engine.run_until(SimTime{} + seconds(10.0));
+
+  const std::uint64_t bytes_before = cluster.nic(0).stats().bytes_sent;
+  std::uint64_t events = 0;
+  const double window_sec = 60.0;
+
+  // Load spike on node 0 from t=30 for 20 s.
+  std::vector<std::unique_ptr<workload::LinpackTask>> spike;
+  engine.schedule_after(seconds(20.0), [&] {
+    for (int i = 0; i < 3; ++i) {
+      spike.push_back(std::make_unique<workload::LinpackTask>(cluster.host(0)));
+    }
+  });
+  engine.schedule_after(seconds(40.0), [&] { spike.clear(); });
+
+  const SimTime end = engine.now() + seconds(window_sec);
+  double max_seen_loadavg = 0.0;
+  while (engine.now() < end) {
+    engine.run_for(seconds(1.0));
+    events += cluster.dmon(0)->last_poll().events_submitted;
+    const core::RemoteMetric* loadavg =
+        cluster.dmon(7)->remote_metric(0, "loadavg");
+    if (loadavg != nullptr) {
+      max_seen_loadavg = std::max(max_seen_loadavg, loadavg->value);
+    }
+  }
+
+  const std::uint64_t bytes = cluster.nic(0).stats().bytes_sent - bytes_before;
+  const bool spike_visible = max_seen_loadavg > 1.5;
+  return AblationResult{static_cast<double>(events) / window_sec,
+                        static_cast<double>(bytes) * 8.0 / window_sec / 1e3,
+                        spike_visible};
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main() {
+  using namespace dproc::bench;
+
+  struct Config {
+    const char* name;
+    const char* control;
+  };
+  const Config configs[] = {
+      {"baseline_1s", ""},
+      {"period_4s", "period 4"},
+      {"threshold_loadavg", "threshold loadavg above 1\n"
+                            "threshold cpu_util above 0.5\n"},
+      {"differential_15pct", "differential 15%"},
+      {"ecode_filter", "filter {\n"
+                       "  if (input[LOADAVG].value > 1) {\n"
+                       "    output[0] = input[LOADAVG];\n"
+                       "  }\n"
+                       "  if (input[LOADAVG].value >\n"
+                       "      input[LOADAVG].last_value_sent * 1.1 ||\n"
+                       "      input[LOADAVG].value <\n"
+                       "      input[LOADAVG].last_value_sent * 0.9) {\n"
+                       "    output[1] = input[LOADAVG];\n"
+                       "  }\n"
+                       "}\n"},
+  };
+
+  Table table({"config", "events_per_s", "wire_kbps", "spike_visible"});
+  int index = 0;
+  std::printf("configs: 0=baseline_1s 1=period_4s 2=threshold_loadavg "
+              "3=differential_15pct 4=ecode_filter\n");
+  for (const Config& config : configs) {
+    const AblationResult result = run_config(config.control);
+    table.add_row({static_cast<double>(index++), result.events_per_s,
+                   result.wire_kbps, result.spike_visible ? 1.0 : 0.0});
+  }
+  table.print("ablation_filter_traffic_reduction");
+  std::printf(
+      "\nEach mechanism trades traffic for information: periods cut volume\n"
+      "uniformly, thresholds and the differential filter cut it adaptively,\n"
+      "and the E-code filter expresses an application-specific rule while\n"
+      "still reporting the load spike.\n");
+  return 0;
+}

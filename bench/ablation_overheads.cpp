@@ -1,0 +1,52 @@
+// Sensitivity of the Figure 4 result to the overhead calibration.
+//
+// DESIGN.md documents one free parameter without a measured anchor in the
+// paper: collateral_cycles_per_event (cache pollution and deferred kernel
+// work around each monitoring event). This ablation sweeps it and reports
+// the linpack Mflops at 8 nodes, showing (a) the measured submit cost —
+// which the paper anchors — is unaffected, and (b) how the knob maps onto
+// the Figure 4 end point, so readers can judge the calibration.
+#include "bench_common.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::bench {
+namespace {
+
+struct Point {
+  double mflops;
+  double submit_us;
+};
+
+Point run_cell(double collateral_cycles) {
+  sim::Engine engine;
+  core::ClusterConfig config = paper_cluster(8, MonitorConfig::kPeriod1s);
+  config.dmon.overheads.collateral_cycles_per_event = collateral_cycles;
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(5.0));
+  workload::LinpackTask linpack{cluster.host(0)};
+  linpack.checkpoint();
+  engine.run_until(SimTime{} + seconds(35.0));
+  return Point{linpack.mflops_since_checkpoint(),
+               cluster.dmon(0)->submit_cost_us().mean()};
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main() {
+  using namespace dproc::bench;
+  Table table({"collateral_cycles_per_event", "linpack_mflops_8_nodes",
+               "measured_submit_us"});
+  for (double cycles : {0.0, 10e3, 20e3, 40e3, 80e3, 160e3}) {
+    const Point point = run_cell(cycles);
+    table.add_row({cycles, point.mflops, point.submit_us});
+  }
+  table.print("ablation_collateral_overhead_sensitivity");
+  std::printf(
+      "\nThe default (40k cycles/event) lands Figure 4's 8-node endpoint\n"
+      "near the paper's ~17.0-17.1 Mflops; the rdtsc-style measured submit\n"
+      "cost is independent of the knob, as in the real system where cache\n"
+      "refill costs land outside the timed region.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 5: network perturbation analysis.
+//
+// Paper: Iperf (UDP) measures available bandwidth between two cluster nodes
+// while dproc runs on 0..8 nodes. Bandwidth drops by less than 0.5% with a
+// 1 s update period and stays essentially constant for 2 s and the
+// differential filter. Our reproduction shows the same ordering; the
+// absolute drop is smaller because only the real monitoring bytes compete
+// for the measured links (see EXPERIMENTS.md).
+#include "bench_common.hpp"
+#include "dproc/workload/iperf.hpp"
+
+namespace dproc::bench {
+namespace {
+
+double run_cell(std::size_t dproc_nodes, MonitorConfig config) {
+  sim::Engine engine;
+  core::ClusterConfig cluster_config = paper_cluster(8, config);
+  cluster_config.dproc_nodes.emplace();
+  for (std::size_t i = 0; i < dproc_nodes; ++i) {
+    cluster_config.dproc_nodes->push_back(i);
+  }
+  core::Cluster cluster{engine, cluster_config};
+  if (dproc_nodes > 0) {
+    cluster.start_dproc();
+    apply_monitor_config(cluster, config);
+  }
+  engine.run_until(SimTime{} + seconds(3.0));
+
+  // Iperf saturates the node0 -> node1 path; goodput measured at node1.
+  workload::IperfConfig iperf;
+  iperf.rate_bps = 100e6;  // offered above line rate, like iperf -b 100M
+  workload::IperfReceiver receiver{cluster.nic(1), iperf.port};
+  workload::IperfSender sender{cluster.nic(0), 1, iperf};
+  sender.start();
+  engine.run_until(SimTime{} + seconds(8.0));  // let the queue reach steady state
+  receiver.checkpoint();
+  engine.run_until(SimTime{} + seconds(28.0));
+  return receiver.goodput_bps_since_checkpoint() / 1e6;
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main() {
+  using namespace dproc::bench;
+  Table table({"nodes", "update_period_1s", "update_period_2s",
+               "differential_filter"});
+  for (std::size_t n = 0; n <= 8; ++n) {
+    table.add_row({static_cast<double>(n),
+                   run_cell(n, MonitorConfig::kPeriod1s),
+                   run_cell(n, MonitorConfig::kPeriod2s),
+                   run_cell(n, MonitorConfig::kDifferential)});
+  }
+  table.print("fig5_iperf_goodput_mbps_vs_dproc_nodes");
+  std::printf(
+      "\npaper: ~96 Mbps available; <=0.5%% drop at 1 s period, flat for 2 s\n"
+      "       and the differential filter (Figure 5).\n");
+  return 0;
+}

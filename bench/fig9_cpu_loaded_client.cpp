@@ -1,0 +1,121 @@
+// Figure 9: SmartPointer performance with a CPU-loaded client.
+//
+// Paper: the client is loaded with an increasing number of linpack threads
+// (one more every 200 s). 9(a): total latency (propagation + processing)
+// over time — grows without bound with no filter, less with a static
+// filter, stays flat and low with dynamic filters driven by dproc.
+// 9(b): processed events/second vs thread count — the dynamic filter keeps
+// the client at the server's send rate while the others decay.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dproc/smartpointer/client.hpp"
+#include "dproc/smartpointer/server.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::bench {
+namespace {
+
+using smartpointer::FilterMode;
+
+constexpr double kStepSeconds = 200.0;
+constexpr int kMaxThreads = 9;
+constexpr double kTotalSeconds = kStepSeconds * (kMaxThreads + 1);  // 2000 s
+
+struct RunResult {
+  // Mean lag (s) per 25 s bucket over the whole run.
+  std::vector<double> lag_by_bucket;
+  // Processed events/s measured over the second half of each load step.
+  std::vector<double> rate_by_threads;
+};
+
+RunResult run_mode(FilterMode mode) {
+  sim::Engine engine;
+  core::ClusterConfig config = paper_cluster(8, MonitorConfig::kPeriod1s);
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(3.0));
+
+  smartpointer::ServerConfig server_config;
+  server_config.frame_rate_hz = 5.0;
+  server_config.atom_count = 30'000;  // 750 KB full frames, ~0.12 s to render
+  smartpointer::Server server{cluster.host(0), cluster.nic(0),
+                              cluster.dmon(0), server_config};
+  server.start();
+
+  smartpointer::ClientConfig client_config;
+  client_config.mode = mode;
+  client_config.static_rep = smartpointer::Representation::kPositionOnly;
+  client_config.dmon = cluster.dmon(1);
+  smartpointer::Client client{cluster.host(1), cluster.nic(1), 0,
+                              server_config.port, client_config};
+  client.connect();
+  engine.run_until(SimTime{} + seconds(5.0));
+
+  const SimTime start = engine.now();
+  std::vector<std::unique_ptr<workload::LinpackTask>> threads;
+  RunResult result;
+
+  for (int step = 0; step <= kMaxThreads; ++step) {
+    // First half of the step: let the system settle; second half: measure.
+    engine.run_until(start + seconds(step * kStepSeconds + kStepSeconds / 2));
+    client.checkpoint();
+    engine.run_until(start + seconds((step + 1) * kStepSeconds));
+    result.rate_by_threads.push_back(client.event_rate_since_checkpoint());
+    if (step < kMaxThreads) {
+      threads.push_back(
+          std::make_unique<workload::LinpackTask>(cluster.host(1)));
+    }
+  }
+
+  // Bucket the lag series (25 s buckets across the run).
+  const std::size_t buckets = static_cast<std::size_t>(kTotalSeconds / 25.0);
+  std::vector<StreamingStats> stats(buckets);
+  for (const auto& point : client.lag_series()) {
+    const double t = (point.completed_at - start).sec();
+    if (t < 0) continue;
+    const auto bucket = static_cast<std::size_t>(t / 25.0);
+    if (bucket < buckets) stats[bucket].add(point.lag.sec());
+  }
+  double last = 0.0;
+  for (auto& s : stats) {
+    // An empty bucket means no frame completed: latency is still climbing,
+    // so carry the last value forward rather than reporting zero.
+    last = s.count() > 0 ? s.mean() : last;
+    result.lag_by_bucket.push_back(last);
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main() {
+  using namespace dproc::bench;
+  const RunResult none = run_mode(FilterMode::kNone);
+  const RunResult fixed = run_mode(FilterMode::kStatic);
+  const RunResult dynamic = run_mode(FilterMode::kDynamic);
+
+  Table lag({"time_s", "no_filter_lag_s", "static_filter_lag_s",
+             "dynamic_filter_lag_s"});
+  for (std::size_t i = 0; i < none.lag_by_bucket.size(); ++i) {
+    lag.add_row({25.0 * static_cast<double>(i + 1), none.lag_by_bucket[i],
+                 fixed.lag_by_bucket[i], dynamic.lag_by_bucket[i]});
+  }
+  lag.print("fig9a_latency_vs_time_cpu_loaded");
+
+  Table rate({"linpack_threads", "no_filter_events_per_s",
+              "static_filter_events_per_s", "dynamic_filter_events_per_s"});
+  for (std::size_t k = 0; k < none.rate_by_threads.size(); ++k) {
+    rate.add_row({static_cast<double>(k), none.rate_by_threads[k],
+                  fixed.rate_by_threads[k], dynamic.rate_by_threads[k]});
+  }
+  rate.print("fig9b_event_rate_vs_linpack_threads");
+
+  std::printf(
+      "\npaper: 9(a) no-filter latency grows to tens of seconds as linpack\n"
+      "threads start; static filter grows later/slower; dynamic filter\n"
+      "stays flat and low. 9(b) dynamic filter holds ~5 events/s across\n"
+      "all thread counts; the others decay.\n");
+  return 0;
+}

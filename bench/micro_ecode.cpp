@@ -1,0 +1,143 @@
+// E-code microbenchmarks (wall-clock, google-benchmark).
+//
+// Quantifies the paper's §3 claim that parameters are "cheaper" than
+// dynamic filters: compilation is the dominant one-time cost, execution a
+// small per-publication cost, and parameter evaluation is cheaper than
+// either.
+#include <benchmark/benchmark.h>
+
+#include "dproc/core/tuning.hpp"
+#include "dproc/ecode/ecode.hpp"
+
+namespace {
+
+using dproc::ecode::CompileEnv;
+using dproc::ecode::Filter;
+using dproc::ecode::Sample;
+
+const char* kFigure3Filter = R"({
+  int i = 0;
+  if (input[LOADAVG].value > 2) {
+    output[i] = input[LOADAVG];
+    i = i + 1;
+  }
+  if (input[DISKUSAGE].value > 10000 && input[FREEMEM].value < 50e6) {
+    output[i] = input[DISKUSAGE];
+    i = i + 1;
+    output[i] = input[FREEMEM];
+    i = i + 1;
+  }
+  if (input[CACHE_MISS].value > input[CACHE_MISS].last_value_sent) {
+    output[i] = input[CACHE_MISS];
+    i = i + 1;
+  }
+})";
+
+CompileEnv paper_env() {
+  CompileEnv env;
+  env.constants = {{"LOADAVG", 0}, {"DISKUSAGE", 1}, {"FREEMEM", 2},
+                   {"CACHE_MISS", 3}};
+  return env;
+}
+
+std::vector<Sample> paper_input() {
+  return {{0, 2.5, 0.4, 0}, {1, 20'000, 220, 0}, {2, 41e6, 310e6, 0},
+          {3, 8'812'004, 8'611'220, 0}};
+}
+
+void BM_CompileFigure3Filter(benchmark::State& state) {
+  const CompileEnv env = paper_env();
+  for (auto _ : state) {
+    auto filter = Filter::compile(kFigure3Filter, env);
+    benchmark::DoNotOptimize(filter);
+  }
+}
+BENCHMARK(BM_CompileFigure3Filter);
+
+void BM_ExecuteFigure3Filter(benchmark::State& state) {
+  auto filter = Filter::compile(kFigure3Filter, paper_env()).value();
+  const auto input = paper_input();
+  for (auto _ : state) {
+    auto result = filter.run(input);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteFigure3Filter);
+
+void BM_VmInstructionThroughput(benchmark::State& state) {
+  // A tight counted loop; reports instructions/second of the interpreter.
+  auto filter =
+      Filter::compile("int s = 0; for (int i = 0; i < 10000; ++i) s += i;")
+          .value();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto result = filter.run({});
+    instructions += result.value().instructions_executed;
+  }
+  state.counters["insns_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmInstructionThroughput);
+
+void BM_CompileScalesWithSource(benchmark::State& state) {
+  // Source size grows linearly with the statement count.
+  std::string source = "int acc = 0;\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    source += "acc = acc + " + std::to_string(i) + ";\n";
+  }
+  const CompileEnv env;
+  for (auto _ : state) {
+    auto filter = Filter::compile(source, env);
+    benchmark::DoNotOptimize(filter);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * source.size()));
+}
+BENCHMARK(BM_CompileScalesWithSource)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ParameterDecision(benchmark::State& state) {
+  // The parameter path the paper calls "cheaper": thresholds + periods,
+  // no compiled code involved.
+  std::map<std::string, dproc::core::MetricId> ids{
+      {"loadavg", 0}, {"diskusage", 1}, {"freemem", 2}, {"cache_miss", 3}};
+  dproc::core::PublisherTuning tuning{dproc::seconds(1.0), ids};
+  dproc::core::TuningConfig config;
+  config.thresholds.push_back(
+      {"loadavg", dproc::core::ThresholdKind::kAbove, 2.0, 0});
+  config.differential_pct = 15.0;
+  (void)tuning.apply(config);
+
+  std::vector<dproc::core::MetricSample> samples{
+      {0, 2.5, {}}, {1, 20'000, {}}, {2, 41e6, {}}, {3, 8'812'004, {}}};
+  dproc::SimTime now;
+  for (auto _ : state) {
+    now = now + dproc::seconds(1.0);
+    auto decision = tuning.decide(samples, now);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_ParameterDecision);
+
+void BM_FilterDecision(benchmark::State& state) {
+  // The same policy expressed as an E-code filter, through PublisherTuning.
+  std::map<std::string, dproc::core::MetricId> ids{
+      {"loadavg", 0}, {"diskusage", 1}, {"freemem", 2}, {"cache_miss", 3}};
+  dproc::core::PublisherTuning tuning{dproc::seconds(1.0), ids};
+  dproc::core::TuningConfig config;
+  config.filter_source = kFigure3Filter;
+  (void)tuning.apply(config);
+
+  std::vector<dproc::core::MetricSample> samples{
+      {0, 2.5, {}}, {1, 20'000, {}}, {2, 41e6, {}}, {3, 8'812'004, {}}};
+  dproc::SimTime now;
+  for (auto _ : state) {
+    now = now + dproc::seconds(1.0);
+    auto decision = tuning.decide(samples, now);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_FilterDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Pseudo-filesystem microbenchmarks (wall-clock, google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "dproc/procfs/procfs.hpp"
+
+namespace {
+
+using dproc::procfs::ProcFs;
+
+void populate(ProcFs& fs, int nodes) {
+  for (int n = 0; n < nodes; ++n) {
+    const std::string base = "/proc/cluster/node" + std::to_string(n);
+    for (const char* metric :
+         {"cpu/loadavg", "cpu/utilization", "mem/freemem", "disk/sectors",
+          "net/in_bps", "net/out_bps", "pmc/cache_misses"}) {
+      (void)fs.register_file(base + "/" + metric, [] { return "42\n"; });
+    }
+    (void)fs.register_file(
+        base + "/control", [] { return ""; },
+        [](const std::string&) { return dproc::Status::ok(); });
+  }
+}
+
+void BM_ProcfsRead(benchmark::State& state) {
+  ProcFs fs;
+  populate(fs, static_cast<int>(state.range(0)));
+  const std::string path = "/proc/cluster/node0/cpu/loadavg";
+  for (auto _ : state) {
+    auto content = fs.read(path);
+    benchmark::DoNotOptimize(content);
+  }
+}
+BENCHMARK(BM_ProcfsRead)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ProcfsControlWrite(benchmark::State& state) {
+  ProcFs fs;
+  populate(fs, 8);
+  for (auto _ : state) {
+    auto status = fs.write("/proc/cluster/node0/control", "period 2\n");
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_ProcfsControlWrite);
+
+void BM_ProcfsRegisterRemove(benchmark::State& state) {
+  ProcFs fs;
+  populate(fs, 8);
+  for (auto _ : state) {
+    (void)fs.register_file("/proc/tmp/metric", [] { return ""; });
+    (void)fs.remove("/proc/tmp");
+  }
+}
+BENCHMARK(BM_ProcfsRegisterRemove);
+
+void BM_ProcfsList(benchmark::State& state) {
+  ProcFs fs;
+  populate(fs, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto entries = fs.list("/proc/cluster");
+    benchmark::DoNotOptimize(entries);
+  }
+}
+BENCHMARK(BM_ProcfsList)->Arg(8)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

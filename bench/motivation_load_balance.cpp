@@ -1,0 +1,70 @@
+// The paper's §1 motivation, quantified: "reallocation of workers from one
+// parallel task component to another to achieve better load balance".
+//
+// A master farms a 60-unit batch to 3 workers while one worker suffers
+// 0..4 background linpack threads. Blind round-robin keeps feeding the
+// crushed worker its fair share; dproc-driven placement reads the cluster's
+// loadavg feeds and steers around it. Reported: batch makespan for both
+// policies and the speedup.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dproc/apps/workqueue.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::bench {
+namespace {
+
+double run_cell(dproc::apps::SchedulePolicy policy, int hogs) {
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = 4;  // master + 3 workers
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  apps::WorkQueueConfig wq;
+  wq.policy = policy;
+  wq.max_outstanding_per_worker = 100;  // no implicit backpressure
+  std::vector<std::unique_ptr<apps::Worker>> workers;
+  for (std::size_t i = 1; i < 4; ++i) {
+    workers.push_back(
+        std::make_unique<apps::Worker>(cluster.host(i), cluster.nic(i), wq));
+  }
+  std::vector<std::unique_ptr<workload::LinpackTask>> load;
+  for (int i = 0; i < hogs; ++i) {
+    load.push_back(std::make_unique<workload::LinpackTask>(cluster.host(1)));
+  }
+  engine.run_until(SimTime{} + seconds(10.0));  // monitoring settles
+
+  apps::Master master{cluster.host(0), cluster.nic(0), cluster.dmon(0),
+                      {1, 2, 3}, wq};
+  engine.run_until(engine.now() + seconds(1.0));  // connections establish
+  const SimTime start = engine.now();
+  master.submit(60);
+  engine.run_until(engine.now() + seconds(300.0));
+  if (master.completed() < 60) return -1.0;  // did not finish (shouldn't happen)
+  return (master.last_completion_at() - start).sec();
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main() {
+  using namespace dproc::bench;
+  Table table({"hogs_on_worker1", "round_robin_makespan_s",
+               "dproc_makespan_s", "speedup"});
+  for (int hogs = 0; hogs <= 4; ++hogs) {
+    const double blind = run_cell(dproc::apps::SchedulePolicy::kRoundRobin, hogs);
+    const double informed = run_cell(dproc::apps::SchedulePolicy::kDprocLoad, hogs);
+    table.add_row({static_cast<double>(hogs), blind, informed,
+                   informed > 0 ? blind / informed : 0.0});
+  }
+  table.print("motivation_load_balance_makespan");
+  std::printf(
+      "\npaper §1: run-time monitoring lets applications rebalance work\n"
+      "under dynamic conditions. With no background load the policies tie;\n"
+      "as one worker degrades, dproc-driven placement wins by the ratio of\n"
+      "wasted to useful capacity.\n");
+  return 0;
+}

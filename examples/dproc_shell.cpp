@@ -1,0 +1,177 @@
+// Interactive shell over a live simulated cluster.
+//
+// Drives the same pseudo-filesystem interface a real dproc user would
+// touch from a terminal: ls/cat to browse /proc/cluster, echo-style writes
+// to control files, plus commands to generate load and advance virtual
+// time. Run it and poke around:
+//
+//   $ ./dproc_shell
+//   dproc> ls /proc/cluster
+//   dproc> cat /proc/cluster/etna/cpu/loadavg
+//   dproc> load etna 2
+//   dproc> run 10
+//   dproc> write /proc/cluster/etna/control threshold loadavg above 1
+//   dproc> top
+//
+// A script can be piped on stdin (one command per line); see README.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "dproc/core/aggregate.hpp"
+#include "dproc/core/cluster.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace {
+
+using namespace dproc;
+
+struct Shell {
+  sim::Engine engine;
+  std::unique_ptr<core::Cluster> cluster;
+  std::unique_ptr<core::ClusterAggregator> aggregator;
+  std::vector<std::unique_ptr<workload::LinpackTask>> load;
+  std::size_t current_node = 0;
+
+  Shell() {
+    core::ClusterConfig config;
+    config.node_count = 4;
+    config.node_names = {"alan", "maui", "etna", "kea"};
+    cluster = std::make_unique<core::Cluster>(engine, config);
+    aggregator = std::make_unique<core::ClusterAggregator>(
+        *cluster->dmon(0), cluster->procfs(0));
+    cluster->start_dproc();
+    engine.run_until(SimTime{} + seconds(3.0));
+  }
+
+  procfs::ProcFs& fs() { return cluster->procfs(current_node); }
+
+  int node_by_name(const std::string& name) {
+    for (std::size_t i = 0; i < cluster->size(); ++i) {
+      if (cluster->fabric().node_name(static_cast<net::NodeId>(i)) == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void help() {
+    std::printf(
+        "commands:\n"
+        "  ls <path>            list a pseudo-directory\n"
+        "  cat <path>           read a pseudo-file\n"
+        "  write <path> <text>  write a control file (rest of line is text)\n"
+        "  tree                 dump the whole pseudo-filesystem\n"
+        "  node <name>          switch which node's /proc you browse\n"
+        "  load <name> <n>      run n linpack threads on a node\n"
+        "  unload               stop all linpack threads\n"
+        "  run <seconds>        advance virtual time\n"
+        "  top                  cluster summary (min/mean/max loadavg etc.)\n"
+        "  quit\n");
+  }
+
+  void top() {
+    std::printf("%-12s %10s %10s %10s %8s\n", "metric", "min", "mean", "max",
+                "nodes");
+    for (const char* key : {"loadavg", "cpu_util", "freemem", "net_in"}) {
+      const core::AggregateView view = aggregator->aggregate(key);
+      std::printf("%-12s %10.3g %10.3g %10.3g %8zu\n", key, view.min,
+                  view.mean, view.max, view.nodes);
+    }
+  }
+
+  bool dispatch(const std::string& line) {
+    std::istringstream words{line};
+    std::string cmd;
+    if (!(words >> cmd) || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      help();
+    } else if (cmd == "ls") {
+      std::string path;
+      words >> path;
+      auto entries = fs().list(path.empty() ? "/proc" : path);
+      if (!entries.is_ok()) {
+        std::printf("ls: %s\n", entries.status().to_string().c_str());
+      } else {
+        for (const auto& entry : entries.value()) {
+          std::printf("%s\n", entry.c_str());
+        }
+      }
+    } else if (cmd == "cat") {
+      std::string path;
+      words >> path;
+      auto content = fs().read(path);
+      if (!content.is_ok()) {
+        std::printf("cat: %s\n", content.status().to_string().c_str());
+      } else {
+        std::printf("%s", content.value().c_str());
+      }
+    } else if (cmd == "write") {
+      std::string path, rest;
+      words >> path;
+      std::getline(words, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      const Status status = fs().write(path, rest);
+      std::printf("%s\n", status.to_string().c_str());
+    } else if (cmd == "tree") {
+      std::printf("%s", fs().tree().c_str());
+    } else if (cmd == "node") {
+      std::string name;
+      words >> name;
+      const int node = node_by_name(name);
+      if (node < 0) {
+        std::printf("unknown node '%s'\n", name.c_str());
+      } else {
+        current_node = static_cast<std::size_t>(node);
+      }
+    } else if (cmd == "load") {
+      std::string name;
+      int count = 1;
+      words >> name >> count;
+      const int node = node_by_name(name);
+      if (node < 0) {
+        std::printf("unknown node '%s'\n", name.c_str());
+      } else {
+        for (int i = 0; i < count; ++i) {
+          load.push_back(std::make_unique<workload::LinpackTask>(
+              cluster->host(static_cast<std::size_t>(node))));
+        }
+        std::printf("started %d linpack thread(s) on %s\n", count,
+                    name.c_str());
+      }
+    } else if (cmd == "unload") {
+      load.clear();
+      std::printf("all load stopped\n");
+    } else if (cmd == "run") {
+      double sec = 1.0;
+      words >> sec;
+      engine.run_until(engine.now() + seconds(sec));
+      std::printf("t=%.1fs\n", engine.now().sec());
+    } else if (cmd == "top") {
+      top();
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("dproc shell — 4-node simulated cluster (alan maui etna kea)\n"
+              "type 'help' for commands; browsing %s\n",
+              "alan's /proc");
+  std::string line;
+  while (true) {
+    std::printf("dproc> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.dispatch(line)) break;
+  }
+  return 0;
+}

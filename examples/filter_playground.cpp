@@ -1,0 +1,140 @@
+// E-code filter playground: compile and run monitoring filters against a
+// recorded snapshot, printing diagnostics, disassembly, and results.
+//
+//   $ ./filter_playground                 # runs the built-in demo filters
+//   $ echo '{ output[0] = input[LOADAVG]; }' | ./filter_playground -
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/ecode/lexer.hpp"
+#include "dproc/ecode/parser.hpp"
+#include "dproc/ecode/printer.hpp"
+
+namespace {
+
+using dproc::ecode::CompileEnv;
+using dproc::ecode::Filter;
+using dproc::ecode::Sample;
+
+// A snapshot of a busy node, in cluster-convention metric order.
+struct NamedSample {
+  const char* name;
+  Sample sample;
+};
+
+const NamedSample kSnapshot[] = {
+    {"LOADAVG", {0, 2.71, 0.4, 1'000'000'000}},
+    {"FREEMEM", {1, 41e6, 310e6, 1'000'000'000}},
+    {"DISKUSAGE", {2, 15'000, 220, 1'000'000'000}},
+    {"CACHE_MISS", {3, 8'812'004, 8'611'220, 1'000'000'000}},
+    {"NET_IN", {4, 31.2e6, 30.9e6, 1'000'000'000}},
+};
+
+void run_filter(const std::string& source) {
+  CompileEnv env;
+  std::vector<Sample> input;
+  for (const NamedSample& entry : kSnapshot) {
+    env.constants[entry.name] = entry.sample.id;
+    input.push_back(entry.sample);
+  }
+
+  std::printf("---- filter ----\n%s\n", source.c_str());
+  auto filter = Filter::compile(source, env);
+  if (!filter.is_ok()) {
+    std::printf("compile error:\n%s\n\n", filter.status().message().c_str());
+    return;
+  }
+  // Canonical source, as the AST printer renders it.
+  {
+    auto tokens = dproc::ecode::Lexer{source}.tokenize();
+    if (tokens.is_ok()) {
+      auto ast = dproc::ecode::Parser{std::move(tokens).value()}.parse_program();
+      if (ast.is_ok()) {
+        std::printf("---- canonical ----\n%s",
+                    dproc::ecode::to_source(ast.value()).c_str());
+      }
+    }
+  }
+  std::printf("---- bytecode (after constant folding) ----\n%s",
+              filter.value().bytecode().disassemble().c_str());
+
+  auto result = filter.value().run(input);
+  if (!result.is_ok()) {
+    std::printf("runtime error: %s\n\n", result.status().message().c_str());
+    return;
+  }
+  std::printf("---- result (%llu instructions) ----\n",
+              static_cast<unsigned long long>(
+                  result.value().instructions_executed));
+  if (result.value().outputs.empty()) {
+    std::printf("  (no samples published)\n");
+  }
+  for (const auto& [slot, sample] : result.value().outputs) {
+    const char* name = "?";
+    for (const NamedSample& entry : kSnapshot) {
+      if (entry.sample.id == sample.id) name = entry.name;
+    }
+    std::printf("  output[%lld] = %s value=%g\n",
+                static_cast<long long>(slot), name, sample.value);
+  }
+  if (result.value().return_value) {
+    std::printf("  return value: %g\n", *result.value().return_value);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string{argv[1]} == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    run_filter(buffer.str());
+    return 0;
+  }
+
+  std::printf("input snapshot (a busy node):\n");
+  for (const NamedSample& entry : kSnapshot) {
+    std::printf("  %-11s value=%-12g last_value_sent=%g\n", entry.name,
+                entry.sample.value, entry.sample.last_value_sent);
+  }
+  std::printf("\n");
+
+  // 1. The paper's Figure 3 filter, verbatim structure.
+  run_filter(R"({
+  int i = 0;
+  if (input[LOADAVG].value > 2) {
+    output[i] = input[LOADAVG];
+    i = i + 1;
+  }
+  if (input[DISKUSAGE].value > 10000 && input[FREEMEM].value < 50e6) {
+    output[i] = input[DISKUSAGE];
+    i = i + 1;
+    output[i] = input[FREEMEM];
+    i = i + 1;
+  }
+  if (input[CACHE_MISS].value > input[CACHE_MISS].last_value_sent) {
+    output[i] = input[CACHE_MISS];
+    i = i + 1;
+  }
+})");
+
+  // 2. Data transformation: publish a derived value (load per 100 MB free).
+  run_filter(R"({
+  sample derived = input[LOADAVG];
+  derived.value = input[LOADAVG].value / (input[FREEMEM].value / 100e6);
+  output[0] = derived;
+})");
+
+  // 3. A broken filter, to show the diagnostics a remote writer gets back.
+  run_filter("{ output[0] = input[TEMPERATURE]; }");
+
+  // 4. A runaway filter, stopped by the instruction budget.
+  run_filter("{ int i = 0; while (1) { i = i + 1; } }");
+
+  return 0;
+}

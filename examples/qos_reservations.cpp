@@ -1,0 +1,90 @@
+// Q-Fabric-style QoS management on top of dproc (the paper's §5 outlook):
+// a latency-sensitive analysis task reserves 60% of a node's CPU; when
+// batch jobs pile on, the QoS manager's feedback controller defends the
+// reservation by adjusting scheduler weights, and the application learns —
+// through a violation callback — when the node is genuinely oversubscribed
+// so it can adapt instead of thrashing.
+//
+//   $ ./qos_reservations
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/qos/manager.hpp"
+#include "dproc/workload/linpack.hpp"
+
+int main() {
+  using namespace dproc;
+
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = 2;
+  config.node_names = {"compute", "observer"};
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+
+  host::Host& node = cluster.host(0);
+  qos::Manager manager{node};
+
+  // The analysis pipeline: a long-running compute task with a reservation.
+  const host::TaskId analysis = node.cpu().add_compute_task("analysis");
+  qos::ReservationConfig reservation;
+  reservation.cpu_share = 0.6;
+  int violations = 0;
+  reservation.on_violation = [&](double achieved) {
+    ++violations;
+    if (violations == 1) {
+      std::printf("  [t=%.0fs] violation callback: achieving %.2f of 0.60 — "
+                  "application could shed work here\n",
+                  engine.now().sec(), achieved);
+    }
+  };
+  auto status = manager.reserve(analysis, reservation);
+  std::printf("reserve 60%% for 'analysis' -> %s\n", status.to_string().c_str());
+
+  auto report = [&](const char* phase) {
+    const qos::ReservationStatus* s = manager.status(analysis);
+    std::printf("%-28s achieved=%.2f weight=%.2f violations=%llu\n", phase,
+                s ? s->achieved_share : 0.0, s ? s->weight : 0.0,
+                s ? static_cast<unsigned long long>(s->violations) : 0);
+  };
+
+  engine.run_until(SimTime{} + seconds(20.0));
+  report("alone:");
+
+  std::printf("\nthree batch jobs arrive (fair share would be 25%% each):\n");
+  std::vector<std::unique_ptr<workload::LinpackTask>> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(std::make_unique<workload::LinpackTask>(node, "batch"));
+  }
+  engine.run_until(engine.now() + seconds(30.0));
+  report("with 3 batch jobs:");
+
+  std::printf("\nsix more batch jobs — 60%% is still feasible, barely:\n");
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(std::make_unique<workload::LinpackTask>(node, "batch"));
+  }
+  engine.run_until(engine.now() + seconds(30.0));
+  report("with 9 batch jobs:");
+
+  std::printf("\nkernel pressure (40%% of every second) makes 60%% infeasible:\n");
+  auto pressure = engine.schedule_periodic(seconds(1.0), [&] {
+    node.cpu().consume_kernel(milliseconds(400.0));
+  });
+  engine.run_until(engine.now() + seconds(30.0));
+  report("with kernel pressure:");
+  pressure.cancel();
+
+  std::printf("\nrelease the reservation: back to best effort\n");
+  manager.release(analysis);
+  engine.run_until(engine.now() + seconds(10.0));
+  std::printf("\nfinal manager state:\n%s", manager.describe().c_str());
+  std::printf(
+      "\nThe reservation held at 0.60 while it was feasible (batch jobs\n"
+      "squeezed to the remainder); under kernel pressure the violation\n"
+      "callback fired %d times — the dproc-style signal the paper's\n"
+      "Q-Fabric integration uses to trigger application adaptation.\n",
+      violations);
+  return 0;
+}

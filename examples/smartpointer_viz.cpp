@@ -1,0 +1,86 @@
+// The §4.2 scientific-collaboration scenario: a SmartPointer server feeds a
+// molecular-dynamics stream to heterogeneous clients while dproc's
+// monitoring drives per-client stream customization.
+//
+// Three clients subscribe: a workstation (plenty of everything), a loaded
+// desktop (CPU contention), and a storage node that archives frames to
+// disk. Watch the server pick a different derivation for each.
+//
+//   $ ./smartpointer_viz
+#include <cstdio>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/smartpointer/client.hpp"
+#include "dproc/smartpointer/server.hpp"
+#include "dproc/workload/linpack.hpp"
+
+int main() {
+  using namespace dproc;
+  using smartpointer::FilterMode;
+  using smartpointer::Representation;
+
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = 4;
+  config.node_names = {"server", "workstation", "desktop", "archive"};
+  core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  smartpointer::ServerConfig server_config;
+  server_config.frame_rate_hz = 5.0;
+  server_config.atom_count = 30'000;  // ~750 KB per full frame
+  smartpointer::Server server{cluster.host(0), cluster.nic(0),
+                              cluster.dmon(0), server_config};
+  server.start();
+
+  smartpointer::ClientConfig dynamic;
+  dynamic.mode = FilterMode::kDynamic;
+
+  smartpointer::Client workstation{cluster.host(1), cluster.nic(1), 0,
+                                   server_config.port, dynamic};
+  workstation.connect();
+
+  smartpointer::Client desktop{cluster.host(2), cluster.nic(2), 0,
+                               server_config.port, dynamic};
+  desktop.connect();
+
+  smartpointer::ClientConfig archive_config = dynamic;
+  archive_config.storage_client = true;
+  smartpointer::Client archive{cluster.host(3), cluster.nic(3), 0,
+                               server_config.port, archive_config};
+  archive.connect();
+
+  // The desktop user compiles something large on the side.
+  workload::LinpackTask hog1{cluster.host(2)}, hog2{cluster.host(2)},
+      hog3{cluster.host(2)}, hog4{cluster.host(2)}, hog5{cluster.host(2)};
+
+  engine.run_until(SimTime{} + seconds(60.0));
+
+  auto report = [&](const char* name, net::NodeId node,
+                    smartpointer::Client& client) {
+    const smartpointer::Server::ClientState* state = server.client(node);
+    std::printf(
+        "  %-12s rep=%-13s fraction=%.2f  processed=%llu/%llu  "
+        "mean lag=%.0f ms  backlog=%zu\n",
+        name, state ? to_string(state->last_rep) : "?",
+        state ? state->last_fraction : 0.0,
+        static_cast<unsigned long long>(client.frames_processed()),
+        static_cast<unsigned long long>(client.frames_received()),
+        client.lags().mean() * 1e3, client.backlog());
+  };
+
+  std::printf("after 60 s of streaming at 5 frames/s (~30 Mbps full feed):\n\n");
+  report("workstation", 1, workstation);
+  report("desktop", 2, desktop);
+  report("archive", 3, archive);
+
+  std::printf(
+      "\nThe workstation receives (near-)full frames. The desktop's five\n"
+      "compute jobs show up in its dproc loadavg, so the server ships it a\n"
+      "cheaper derivation and keeps its lag flat instead of letting frames\n"
+      "queue. The archive node's disk writes are part of the hybrid cost\n"
+      "estimate. No client ever told the server its requirements - the\n"
+      "monitoring data did.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Master/worker load balancing driven by dproc feeds.
+//
+// The paper's introduction motivates run-time monitoring with exactly this
+// application pattern: "reallocation of workers from one parallel task
+// component to another to achieve better load balance" and "dynamic
+// spawning of subtasks to make use of newly-available resources". This
+// library implements the pattern: a master farms fixed-cost work units to
+// worker nodes over the network; its scheduling policy is pluggable —
+// round-robin (monitoring-blind) or dproc-driven (place each unit on the
+// node whose monitored load and queue promise the earliest completion).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dproc/core/dmon.hpp"
+#include "dproc/host/host.hpp"
+#include "dproc/net/tcp.hpp"
+
+namespace dproc::apps {
+
+enum class SchedulePolicy : std::uint8_t {
+  kRoundRobin,  // monitoring-blind baseline
+  kDprocLoad,   // place on the node with the least monitored load
+};
+
+struct WorkQueueConfig {
+  net::Port port = 9100;
+  /// CPU seconds one work unit costs on an unloaded reference node.
+  double unit_cpu_seconds = 0.5;
+  /// Payload shipped per unit (input data) and per result.
+  std::uint64_t unit_request_bytes = 64 * 1024;
+  std::uint64_t unit_result_bytes = 16 * 1024;
+  SchedulePolicy policy = SchedulePolicy::kDprocLoad;
+  /// Max units a worker may have queued or running from this master.
+  std::size_t max_outstanding_per_worker = 4;
+};
+
+/// Executes received work units on the local CPU and returns results.
+class Worker {
+ public:
+  Worker(host::Host& host, net::Nic& nic, WorkQueueConfig config = {});
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  [[nodiscard]] std::uint64_t units_completed() const { return completed_; }
+
+ private:
+  void on_request(net::TcpConnection* conn, const net::MessagePtr& message);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  WorkQueueConfig config_;
+  host::TaskId task_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::vector<net::TcpConnection::Ptr> connections_;
+  std::uint64_t completed_ = 0;
+};
+
+/// Farms work units to workers and records completion statistics.
+class Master {
+ public:
+  Master(host::Host& host, net::Nic& nic, core::DMon* dmon,
+         std::vector<net::NodeId> workers, WorkQueueConfig config = {});
+  ~Master();
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  /// Enqueues `count` work units; they are dispatched as worker slots free.
+  void submit(std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t pending() const { return queued_; }
+  /// Mean turnaround of completed units (dispatch -> result), seconds.
+  [[nodiscard]] double mean_turnaround_sec() const;
+  /// When the most recent unit completed (for makespan measurements).
+  [[nodiscard]] SimTime last_completion_at() const { return last_completion_; }
+  /// Units completed by each worker (for balance inspection).
+  [[nodiscard]] std::map<net::NodeId, std::uint64_t> per_worker_completed() const;
+
+ private:
+  struct WorkerState {
+    net::NodeId node = 0;
+    net::TcpConnection::Ptr conn;
+    std::size_t outstanding = 0;
+    std::uint64_t completed = 0;
+  };
+
+  void pump();
+  /// Picks the next worker per the policy; nullptr when all are saturated.
+  WorkerState* pick_worker();
+  void on_result(net::NodeId worker, const net::MessagePtr& message);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  core::DMon* dmon_;
+  WorkQueueConfig config_;
+  std::vector<WorkerState> workers_;
+  std::size_t round_robin_next_ = 0;
+
+  std::uint64_t next_unit_id_ = 1;
+  std::uint64_t queued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint64_t, SimTime> dispatch_times_;
+  double turnaround_sum_sec_ = 0.0;
+  SimTime last_completion_;
+};
+
+}  // namespace dproc::apps

@@ -1,0 +1,41 @@
+// Cluster-wide aggregate views.
+//
+// Central-collector tools (Supermon, Ganglia) answer "what does the whole
+// cluster look like" queries at their master node; dproc's peer-to-peer
+// design means every node already holds the data to answer them locally.
+// The aggregator renders min/mean/max/count across all peers (plus this
+// node's own latest sample) under /proc/cluster/summary/<metric>.
+#pragma once
+
+#include <string>
+
+#include "dproc/core/dmon.hpp"
+
+namespace dproc::core {
+
+struct AggregateView {
+  std::size_t nodes = 0;  // nodes contributing a fresh value
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+class ClusterAggregator {
+ public:
+  /// Registers /proc/cluster/summary/<key> for every metric in the d-mon's
+  /// table. `staleness` bounds how old a peer value may be to count.
+  ClusterAggregator(DMon& dmon, procfs::ProcFs& procfs,
+                    SimDuration staleness = seconds(5.0));
+  ClusterAggregator(const ClusterAggregator&) = delete;
+  ClusterAggregator& operator=(const ClusterAggregator&) = delete;
+
+  /// Computes the aggregate for one metric right now.
+  [[nodiscard]] AggregateView aggregate(MetricId id) const;
+  [[nodiscard]] AggregateView aggregate(const std::string& key) const;
+
+ private:
+  DMon& dmon_;
+  SimDuration staleness_;
+};
+
+}  // namespace dproc::core

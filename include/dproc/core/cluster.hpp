@@ -1,0 +1,93 @@
+// Cluster builder: assembles the full simulated testbed.
+//
+// Reproduces the paper's experimental platform by default: N nodes (the
+// paper uses 8 Pentium Pro 200 MHz machines, 512 MB RAM, 512 KB cache) on
+// switched 100 Mbps Fast Ethernet; the channel registry runs on node 0; an
+// optional dual-switch topology puts a shared trunk between two node groups
+// for the Figure 10/11 perturbation experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dproc/core/dmon.hpp"
+#include "dproc/host/host.hpp"
+#include "dproc/kecho/node.hpp"
+#include "dproc/kecho/registry.hpp"
+#include "dproc/net/fabric.hpp"
+#include "dproc/net/nic.hpp"
+#include "dproc/procfs/procfs.hpp"
+#include "dproc/sim/engine.hpp"
+
+namespace dproc::core {
+
+struct ClusterConfig {
+  std::size_t node_count = 8;
+  host::HostConfig host_template{};  // name field is overridden per node
+  net::LinkConfig link{};
+  DmonConfig dmon{};
+  std::uint64_t seed = 0x5eed;
+  /// Node names; generated ("node0", ...) when empty. The paper's 3-node
+  /// example uses {"alan", "maui", "etna"}.
+  std::vector<std::string> node_names;
+  /// Dual-switch topology: nodes [0, trunk_split) sit on switch A, the rest
+  /// on switch B, with one full-duplex trunk between them. nullopt = single
+  /// non-blocking switch (star).
+  std::optional<std::size_t> trunk_split;
+  net::LinkConfig trunk{};
+  /// Which nodes run a d-mon: nullopt = all, empty list = none. The
+  /// Figure 4/5 benches vary this count.
+  std::optional<std::vector<std::size_t>> dproc_nodes;
+  /// Replaces the standard module set when non-null (e.g. Figure 7's 5 KB
+  /// synthetic events). Called once per dproc node.
+  std::function<void(DMon&, host::Host&, net::Nic&)> module_factory;
+};
+
+/// One fully wired cluster node.
+struct ClusterNode {
+  std::unique_ptr<host::Host> host;
+  std::unique_ptr<net::Nic> nic;
+  std::unique_ptr<procfs::ProcFs> procfs;
+  std::unique_ptr<kecho::Node> kecho;
+  std::unique_ptr<DMon> dmon;  // null when this node does not run dproc
+};
+
+class Cluster {
+ public:
+  explicit Cluster(sim::Engine& engine, ClusterConfig config = {});
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts every d-mon and returns once they are scheduled; run the engine
+  /// for a couple of simulated seconds to let channels establish.
+  void start_dproc();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] ClusterNode& node(std::size_t i) { return nodes_.at(i); }
+  [[nodiscard]] host::Host& host(std::size_t i) { return *nodes_.at(i).host; }
+  [[nodiscard]] net::Nic& nic(std::size_t i) { return *nodes_.at(i).nic; }
+  [[nodiscard]] DMon* dmon(std::size_t i) { return nodes_.at(i).dmon.get(); }
+  [[nodiscard]] procfs::ProcFs& procfs(std::size_t i) {
+    return *nodes_.at(i).procfs;
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// Registers the standard module set (CPU, MEM, DISK, NET, PMC) on one
+  /// node's d-mon; the builder calls this for every dproc node.
+  static void register_standard_modules(DMon& dmon, host::Host& host,
+                                        net::Nic& nic,
+                                        double link_capacity_bps);
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig config_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<kecho::RegistryServer> registry_;
+  std::vector<ClusterNode> nodes_;
+};
+
+}  // namespace dproc::core

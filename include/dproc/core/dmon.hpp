@@ -1,0 +1,188 @@
+// d-mon: the distributed monitor coordinator (one per kernel).
+//
+// Responsibilities, mirroring §2 of the paper:
+//  * joins the cluster's monitoring and control KECho channels;
+//  * maintains a registry of monitoring modules and polls them each period
+//    through their callbacks;
+//  * applies the publisher tuning (parameters, differential filter, E-code
+//    filters) and submits the surviving samples, grouped per module into
+//    50–100 byte events;
+//  * drains incoming events at each poll: monitoring events update the
+//    /proc/cluster/<node>/... pseudo-files, control events retune this
+//    publisher (including dynamic filter compilation);
+//  * exposes everything through procfs, including a `control` file per
+//    remote node used to deploy parameters and filters there.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dproc/core/monitors.hpp"
+#include "dproc/core/tuning.hpp"
+#include "dproc/kecho/node.hpp"
+#include "dproc/procfs/procfs.hpp"
+#include "dproc/util/stats.hpp"
+
+namespace dproc::core {
+
+/// Calibration knobs for kernel-path costs that are not already covered by
+/// the KECho cost model. Values are cycles on the reference 200 MHz CPU;
+/// EXPERIMENTS.md discusses the calibration against the paper's figures.
+struct OverheadModel {
+  double collect_cycles_per_module = 2500;
+  double procfs_update_cycles_per_event = 2500;
+  double control_apply_cycles = 20000;
+  double filter_compile_cycles_per_byte = 400;  // dynamic code generation
+  double filter_exec_cycles_per_insn = 8;
+  /// Indirect perturbation per event (cache pollution, softirq work,
+  /// deferred bookkeeping). Charged to the kernel class but *outside* the
+  /// rdtsc-measured submit/receive windows, like the real costs it models.
+  double collateral_cycles_per_event = 40000;
+};
+
+struct DmonConfig {
+  SimDuration poll_period = seconds(1.0);
+  std::string monitor_channel = "dproc.monitor";
+  std::string control_channel = "dproc.control";
+  OverheadModel overheads{};
+};
+
+/// Per-poll measurements (what the paper's rdtsc instrumentation reports).
+struct PollRecord {
+  SimDuration submit_cost{0};
+  SimDuration receive_cost{0};
+  std::size_t events_submitted = 0;
+  std::size_t events_received = 0;
+  std::uint64_t filter_instructions = 0;
+};
+
+class DMon {
+ public:
+  DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
+       procfs::ProcFs& procfs, DmonConfig config = {});
+  ~DMon();
+  DMon(const DMon&) = delete;
+  DMon& operator=(const DMon&) = delete;
+
+  /// Registers a monitoring module (before or after start()); assigns
+  /// cluster-convention metric ids and creates the local pseudo-files.
+  void register_module(std::unique_ptr<MonitoringModule> module);
+
+  /// Declares a peer node: creates /proc/cluster/<name>/... including the
+  /// control file through which applications retune that node.
+  void add_peer(net::NodeId node, const std::string& name);
+
+  /// Joins the channels and starts the periodic polling loop.
+  void start();
+  void stop();
+
+  /// One polling iteration (normally driven by the internal timer; exposed
+  /// for tests and microbenchmarks).
+  PollRecord poll();
+
+  // --- observation ------------------------------------------------------
+
+  [[nodiscard]] const PollRecord& last_poll() const { return last_poll_; }
+  [[nodiscard]] const StreamingStats& submit_cost_us() const {
+    return submit_cost_us_;
+  }
+  [[nodiscard]] const StreamingStats& receive_cost_us() const {
+    return receive_cost_us_;
+  }
+  [[nodiscard]] PublisherTuning& tuning() { return *tuning_; }
+  [[nodiscard]] const std::vector<MetricDesc>& metric_table() const {
+    return metric_table_;
+  }
+  [[nodiscard]] std::optional<MetricId> metric_id(const std::string& key) const;
+
+  /// The node's current simulated time (for staleness checks).
+  [[nodiscard]] SimTime host_now() const { return host_.engine().now(); }
+
+  /// This node's latest locally collected value for a metric.
+  [[nodiscard]] const MetricSample* local_metric(MetricId id) const {
+    if (id >= last_collected_.size()) return nullptr;
+    return &last_collected_[id];
+  }
+
+  /// Visits every declared peer: fn(node, name).
+  template <typename Fn>
+  void for_each_peer(Fn&& fn) const {
+    for (const auto& [node, peer] : peers_) fn(node, peer.name);
+  }
+
+  /// Observer invoked after each poll's collection phase with the full
+  /// local sample vector (history recorders, QoS managers, ...).
+  using SampleObserver =
+      std::function<void(const std::vector<MetricSample>&, SimTime)>;
+  void add_sample_observer(SampleObserver observer) {
+    sample_observers_.push_back(std::move(observer));
+  }
+
+  /// Latest value received from a peer, if any.
+  [[nodiscard]] const RemoteMetric* remote_metric(net::NodeId node,
+                                                  MetricId id) const;
+  /// Convenience: remote metric by key.
+  [[nodiscard]] const RemoteMetric* remote_metric(net::NodeId node,
+                                                  const std::string& key) const;
+
+  /// Applies a tuning request locally, as if it had arrived on the control
+  /// channel (used by tests and by the node's own applications).
+  Status apply_tuning(const TuningConfig& config);
+
+  /// Sends a tuning request to a peer over the control channel.
+  Status send_tuning(net::NodeId target, const TuningConfig& config);
+
+  [[nodiscard]] const std::string& last_control_error() const {
+    return last_control_error_;
+  }
+
+ private:
+  struct ModuleEntry {
+    std::unique_ptr<MonitoringModule> module;
+    MetricId first_id = 0;
+    std::size_t metric_count = 0;
+  };
+  struct Peer {
+    std::string name;
+    std::vector<RemoteMetric> metrics;  // indexed by metric id
+  };
+
+  void on_monitor_event(const kecho::Event& event);
+  void on_control_event(const kecho::Event& event);
+  void register_local_files(const ModuleEntry& entry);
+  void rebuild_tuning();
+  void charge(double cycles);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  kecho::Node& kecho_;
+  procfs::ProcFs& procfs_;
+  DmonConfig config_;
+
+  std::vector<ModuleEntry> modules_;
+  std::vector<MetricDesc> metric_table_;
+  std::map<std::string, MetricId> metric_ids_;
+  std::vector<MetricSample> last_collected_;  // local values, id order
+
+  std::unique_ptr<PublisherTuning> tuning_;
+  std::map<net::NodeId, Peer> peers_;
+
+  kecho::Channel* monitor_channel_ = nullptr;
+  kecho::Channel* control_channel_ = nullptr;
+  sim::EventHandle poll_timer_;
+  bool started_ = false;
+
+  // Costs accumulated by event handlers during the current kecho.poll().
+  SimDuration handler_cost_{0};
+
+  std::vector<SampleObserver> sample_observers_;
+  PollRecord last_poll_;
+  StreamingStats submit_cost_us_;
+  StreamingStats receive_cost_us_;
+  std::string last_control_error_;
+};
+
+}  // namespace dproc::core

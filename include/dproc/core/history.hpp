@@ -1,0 +1,55 @@
+// Monitoring history: a MAGNeT-style circular record buffer.
+//
+// The paper contrasts dproc with MAGNeT, whose instrumented kernel logs
+// events into an in-kernel circular buffer that tools drain later. That
+// capability is genuinely useful alongside live channels — post-mortem
+// analysis, replaying a perturbation — so dproc gets it as an optional
+// observer: the recorder snapshots every locally collected sample, exposes
+// recent history under /proc/history/<metric>, and can export/import a
+// compact binary trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dproc/core/dmon.hpp"
+#include "dproc/util/ring_buffer.hpp"
+
+namespace dproc::core {
+
+struct HistoryPoint {
+  SimTime at;
+  double value = 0.0;
+};
+
+class HistoryRecorder {
+ public:
+  /// Attaches to a d-mon; `depth` samples are retained per metric.
+  /// Registers /proc/history/<metric-key> files on the node's procfs.
+  HistoryRecorder(DMon& dmon, procfs::ProcFs& procfs, std::size_t depth = 512);
+  HistoryRecorder(const HistoryRecorder&) = delete;
+  HistoryRecorder& operator=(const HistoryRecorder&) = delete;
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// History of one metric, oldest first (empty if the id is unknown).
+  [[nodiscard]] std::vector<HistoryPoint> history(MetricId id) const;
+
+  /// Serializes all retained history into a compact binary trace.
+  [[nodiscard]] std::vector<std::uint8_t> export_trace() const;
+
+  /// Parses a trace produced by export_trace(). Returns per-metric series
+  /// keyed by metric id.
+  static Result<std::vector<std::pair<MetricId, std::vector<HistoryPoint>>>>
+  import_trace(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  void on_samples(const std::vector<MetricSample>& samples);
+
+  DMon& dmon_;
+  std::size_t depth_;
+  std::vector<RingBuffer<HistoryPoint>> rings_;  // indexed by metric id
+};
+
+}  // namespace dproc::core

@@ -1,0 +1,45 @@
+// Metric identity and sample records shared across dproc.
+//
+// Metric ids are a cluster-wide convention: every node registers the same
+// standard modules in the same order, so id k means the same quantity on
+// every node (the tests assert this invariant). Filter programs reference
+// metrics through uppercase constants (LOADAVG, FREEMEM, ...) bound to
+// these ids at compile time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dproc/util/time.hpp"
+
+namespace dproc::core {
+
+using MetricId = std::uint32_t;
+
+struct MetricDesc {
+  MetricId id = 0;
+  /// Flat key, also the filter constant in uppercase: "loadavg" → LOADAVG.
+  std::string key;
+  /// procfs path relative to the node directory, e.g. "cpu/loadavg".
+  std::string path;
+};
+
+struct MetricSample {
+  MetricId id = 0;
+  double value = 0.0;
+  SimTime sampled_at;
+};
+
+/// A remote metric value as stored under /proc/cluster/<node>/...
+struct RemoteMetric {
+  double value = 0.0;
+  SimTime sampled_at;   // when the publisher measured it
+  SimTime received_at;  // when it arrived here
+  bool valid = false;
+};
+
+/// Uppercases a metric key into its filter-constant spelling.
+[[nodiscard]] std::string to_filter_constant(const std::string& key);
+
+}  // namespace dproc::core

@@ -1,0 +1,148 @@
+// Publisher-side stream tuning: parameters and dynamic filters.
+//
+// The paper distinguishes two customization mechanisms and argues parameters
+// are the cheap path and E-code filters the powerful one (§3):
+//
+//  * parameters — update periods (optionally conditional on another metric:
+//    "update CPU info every 2 s IF utilization is above 80%") and thresholds
+//    (above/below/range/percent-change bounds);
+//  * dynamic filters — E-code programs shipped over the control channel,
+//    compiled at the publishing host, and run before every publication.
+//
+// Tuning is publisher-global, matching the paper's model of filters that
+// "manipulate the information being sent out by a dproc node".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dproc/core/metrics.hpp"
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/util/status.hpp"
+#include "dproc/util/time.hpp"
+
+namespace dproc::core {
+
+enum class ThresholdKind : std::uint8_t { kAbove, kBelow, kRange, kChangePct };
+
+struct Threshold {
+  std::string metric;
+  ThresholdKind kind{};
+  double a = 0.0;
+  double b = 0.0;  // kRange upper bound
+};
+
+struct MetricPeriod {
+  std::string metric;
+  SimDuration period{};
+  // Optional condition on another metric's current value.
+  bool conditional = false;
+  std::string cond_metric;
+  ThresholdKind cond_kind{};  // kAbove or kBelow
+  double cond_value = 0.0;
+};
+
+/// A tuning request as parsed from a control-file write / decoded from a
+/// control-channel event. Metric references travel as names and are
+/// resolved at the publisher.
+struct TuningConfig {
+  bool clear = false;  // reset to defaults before applying the rest
+  std::optional<SimDuration> default_period;
+  std::vector<MetricPeriod> metric_periods;
+  std::vector<Threshold> thresholds;
+  std::optional<double> differential_pct;  // the paper's differential filter
+  std::optional<std::string> filter_source;  // E-code; empty string removes
+  /// Module-internal sampling periods ("window cpu 5"): the paper's
+  /// application-specified CPU_MON run-queue averaging window (§2.1).
+  std::vector<std::pair<std::string, SimDuration>> module_periods;
+};
+
+/// Parses the control-file command language:
+///   period <seconds>
+///   period <metric> <seconds> [if <metric> above|below <value>]
+///   threshold <metric> above <v> | below <v> | range <lo> <hi> | change <pct>%
+///   differential <pct>%
+///   window <module> <seconds>      (module-internal sampling period)
+///   filter <rest of the write is E-code source>
+///   clear
+Result<TuningConfig> parse_control_commands(const std::string& text);
+
+/// Wire codec for control-channel tuning events.
+std::vector<std::uint8_t> encode_tuning(const TuningConfig& config);
+Result<TuningConfig> decode_tuning(const std::vector<std::uint8_t>& bytes);
+
+/// What a publication decision costs and contains.
+struct Decision {
+  std::vector<MetricSample> to_send;
+  std::uint64_t filter_instructions = 0;
+  bool filter_error = false;  // runtime error: data passed through unfiltered
+};
+
+/// Runtime tuning state at one publisher.
+class PublisherTuning {
+ public:
+  /// `metric_ids` maps metric key → id; `descs` is the full metric table in
+  /// id order. Both must outlive this object’s apply() calls.
+  PublisherTuning(SimDuration default_period,
+                  std::map<std::string, MetricId> metric_ids);
+
+  /// Applies a config; compiles the filter if one is present. On error the
+  /// previous state is kept and the error is returned (the paper's d-mon
+  /// reports compile failures instead of installing broken filters).
+  Status apply(const TuningConfig& config);
+
+  /// Decides which samples to publish now. `samples` holds every metric in
+  /// id order. Updates last-sent bookkeeping for the chosen metrics.
+  Decision decide(const std::vector<MetricSample>& samples, SimTime now);
+
+  [[nodiscard]] bool has_filter() const { return filter_.has_value(); }
+  [[nodiscard]] const std::string& filter_source() const {
+    static const std::string kEmpty;
+    return filter_ ? filter_->source() : kEmpty;
+  }
+  [[nodiscard]] std::optional<double> differential_pct() const {
+    return differential_pct_;
+  }
+  [[nodiscard]] SimDuration default_period() const { return default_period_; }
+
+  /// Renders the active configuration (for the local status pseudo-file).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct ResolvedPeriod {
+    SimDuration period;
+    bool conditional = false;
+    MetricId cond_metric = 0;
+    ThresholdKind cond_kind{};
+    double cond_value = 0.0;
+  };
+  struct ResolvedThreshold {
+    ThresholdKind kind{};
+    double a = 0.0, b = 0.0;
+  };
+  struct SentState {
+    bool sent = false;
+    double last_value = 0.0;
+    SimTime last_time;
+  };
+
+  Result<MetricId> resolve(const std::string& name) const;
+  [[nodiscard]] bool passes_parameters(const MetricSample& sample,
+                                       const std::vector<MetricSample>& all,
+                                       SimTime now) const;
+
+  SimDuration base_period_;     // construction-time default
+  SimDuration default_period_;  // possibly overridden by control
+  std::map<std::string, MetricId> metric_ids_;
+
+  std::map<MetricId, ResolvedPeriod> periods_;
+  std::map<MetricId, std::vector<ResolvedThreshold>> thresholds_;
+  std::optional<double> differential_pct_;
+  std::optional<ecode::Filter> filter_;
+
+  std::vector<SentState> sent_;  // indexed by metric id
+};
+
+}  // namespace dproc::core

@@ -1,0 +1,136 @@
+// E-code abstract syntax tree.
+//
+// One tagged node type per syntactic class keeps the parser, semantic
+// analyzer, and bytecode compiler compact; semantic analysis annotates the
+// nodes in place (types, local slots, resolved symbols).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dproc/ecode/source.hpp"
+
+namespace dproc::ecode {
+
+enum class Type : std::uint8_t { kUnknown, kInt, kDouble, kSample, kVoid };
+
+[[nodiscard]] constexpr const char* to_string(Type type) {
+  switch (type) {
+    case Type::kUnknown: return "<unknown>";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kSample: return "sample";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogicalAnd, kLogicalOr,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kBitNot };
+
+/// Which storage an identifier resolved to during semantic analysis.
+enum class Resolution : std::uint8_t {
+  kUnresolved,
+  kLocal,       // declared variable; `slot` is the frame index
+  kConstant,    // environment constant (LOADAVG, ...); `const_value` holds it
+  kInputArray,  // the builtin `input`
+  kOutputArray, // the builtin `output`
+};
+
+/// Fields of the builtin `sample` struct.
+enum class SampleField : std::uint8_t { kValue, kLastValueSent, kId, kTimestamp };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kIntLit,
+    kFloatLit,
+    kIdent,
+    kUnary,
+    kBinary,
+    kAssign,    // a = b, or compound via `bin_op` when `compound` is true
+    kTernary,   // a ? b : c
+    kIndex,     // a[b]
+    kField,     // a.field
+    kIncDec,    // ++a, a++, --a, a--
+    kCall,      // builtin(args...)
+  };
+
+  Kind kind;
+  SourceLoc loc;
+
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string name;  // identifier or field spelling
+
+  UnaryOp unary_op{};
+  BinaryOp bin_op{};
+  bool compound = false;   // kAssign: compound assignment using bin_op
+  bool prefix = false;     // kIncDec
+  bool increment = false;  // kIncDec: ++ vs --
+
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;  // kCall arguments
+
+  // --- semantic annotations ---
+  Type type = Type::kUnknown;
+  Resolution resolution = Resolution::kUnresolved;
+  int local_slot = -1;
+  std::int64_t const_value = 0;
+  SampleField field{};
+  int builtin = -1;  // kCall: resolved builtin function index
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kExpr,
+    kVarDecl,
+    kBlock,
+    kIf,
+    kFor,
+    kWhile,
+    kReturn,
+    kBreak,
+    kContinue,
+  };
+
+  Kind kind;
+  SourceLoc loc;
+
+  ExprPtr expr;        // kExpr, kReturn (optional), kVarDecl initializer
+  Type decl_type{};    // kVarDecl
+  std::string name;    // kVarDecl
+  std::vector<StmtPtr> body;  // kBlock
+
+  // kIf: expr=cond, then_branch, else_branch (optional)
+  StmtPtr then_branch, else_branch;
+  // kFor: init (optional stmt), expr=cond (optional), step (optional expr), loop_body
+  StmtPtr init;
+  ExprPtr step;
+  StmtPtr loop_body;  // kFor, kWhile
+
+  // --- semantic annotations ---
+  int local_slot = -1;  // kVarDecl
+};
+
+/// A parsed filter: the brace-enclosed statement list of the paper's filter
+/// syntax (Figure 3), or a bare statement list.
+struct Program {
+  std::vector<StmtPtr> statements;
+  std::size_t local_slot_count = 0;  // filled by semantic analysis
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,42 @@
+// AST → bytecode compiler.
+#pragma once
+
+#include "dproc/ecode/ast.hpp"
+#include "dproc/ecode/bytecode.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::ecode {
+
+class Compiler {
+ public:
+  /// Compiles a semantically analyzed program. The program must have passed
+  /// Sema::analyze; compilation itself cannot fail on well-typed input.
+  Bytecode compile(const Program& program);
+
+ private:
+  void compile_stmt(const Stmt& stmt);
+  void compile_expr(const Expr& expr);
+  void compile_assign(const Expr& expr);
+  void compile_inc_dec(const Expr& expr);
+  void compile_logical(const Expr& expr);
+
+  /// Emits a conversion when the value type differs from the target type.
+  void emit_conversion(Type from, Type to);
+
+  std::size_t emit(Op op, std::int32_t arg = 0, std::int32_t arg2 = 0);
+  std::size_t emit_push_int(std::int64_t value);
+  std::size_t emit_push_float(double value);
+  /// Emits a jump with a placeholder target; patch later.
+  std::size_t emit_jump(Op op);
+  void patch_jump(std::size_t at);
+  void patch_jump_to(std::size_t at, std::size_t target);
+
+  Bytecode code_;
+  std::vector<std::size_t> break_patches_;
+  std::vector<std::size_t> continue_patches_;
+  std::vector<std::size_t> break_frame_;     // break_patches_ size per loop
+  std::vector<std::size_t> continue_frame_;  // continue_patches_ size per loop
+  std::vector<std::size_t> continue_targets_;
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,36 @@
+// E-code lexer: source string → token stream.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dproc/ecode/token.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::ecode {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Tokenizes the whole input; the last token is always kEof. Returns an
+  /// error Status carrying formatted diagnostics on invalid characters or
+  /// malformed numbers.
+  Result<std::vector<Token>> tokenize();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_whitespace_and_comments();
+  Token lex_number();
+  Token lex_identifier();
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,59 @@
+// E-code recursive-descent parser with C operator precedence.
+#pragma once
+
+#include <vector>
+
+#include "dproc/ecode/ast.hpp"
+#include "dproc/ecode/token.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::ecode {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parses a filter body: either `{ stmts }` (the paper's Figure 3 shape)
+  /// or a bare statement list. Errors carry line:column diagnostics.
+  Result<Program> parse_program();
+
+ private:
+  // statements
+  StmtPtr parse_statement();
+  StmtPtr parse_block();
+  StmtPtr parse_if();
+  StmtPtr parse_for();
+  StmtPtr parse_while();
+  StmtPtr parse_return();
+  StmtPtr parse_var_decl(Type type);
+
+  // expressions (precedence climbing)
+  ExprPtr parse_expression();        // assignment level
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  // helpers
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind);
+  bool expect(TokenKind kind, const char* context);
+  void error(SourceLoc loc, std::string message);
+  void synchronize();
+
+  [[nodiscard]] static bool is_type_keyword(TokenKind kind);
+  [[nodiscard]] static Type keyword_type(TokenKind kind);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+  // Expression recursion guard: pathological nesting must produce a
+  // diagnostic, not a stack overflow in the publishing kernel.
+  int expr_depth_ = 0;
+  static constexpr int kMaxExprDepth = 200;
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,21 @@
+// E-code AST pretty-printer.
+//
+// Renders a parsed program back to canonical source. Used by tooling (the
+// filter playground, the control-file `describe` path) and by the test
+// suite's round-trip property: parse → print → parse must produce the same
+// bytecode.
+#pragma once
+
+#include <string>
+
+#include "dproc/ecode/ast.hpp"
+
+namespace dproc::ecode {
+
+/// Renders canonical source for a parsed (not necessarily analyzed) program.
+[[nodiscard]] std::string to_source(const Program& program);
+
+/// Renders a single expression (exposed for diagnostics and tests).
+[[nodiscard]] std::string to_source(const Expr& expr);
+
+}  // namespace dproc::ecode

@@ -1,0 +1,83 @@
+// E-code semantic analysis: name resolution, type checking, slot layout.
+//
+// Identifiers resolve against three namespaces, in order: declared locals,
+// the builtin arrays `input`/`output`, and the embedding environment's
+// integer constants (the monitoring-source indices like LOADAVG that d-mon
+// binds when it installs a filter). `input` is read-only; `output` and its
+// fields are assignable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dproc/ecode/ast.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::ecode {
+
+/// Compile-time bindings supplied by the embedder.
+struct CompileEnv {
+  std::map<std::string, std::int64_t> constants;
+};
+
+/// Builtin math functions callable from filters.
+struct BuiltinFn {
+  const char* name;
+  int arity;
+};
+
+/// Index into this table is the id stored in Expr::builtin.
+[[nodiscard]] const std::vector<BuiltinFn>& builtin_functions();
+[[nodiscard]] int find_builtin(const std::string& name);
+
+class Sema {
+ public:
+  explicit Sema(const CompileEnv& env) : env_(env) {}
+
+  /// Annotates the program in place; returns diagnostics on type or name
+  /// errors. On success, program.local_slot_count is set.
+  Status analyze(Program& program);
+
+ private:
+  void check_stmt(Stmt& stmt);
+  /// Returns the expression's type; annotates the node.
+  Type check_expr(Expr& expr);
+  Type check_assign(Expr& expr);
+  /// Validates that `expr` is assignable; returns its type.
+  Type check_lvalue(Expr& expr);
+  Type check_index(Expr& expr);
+  Type check_call(Expr& expr);
+  Type check_field(Expr& expr);
+  void resolve_ident(Expr& expr);
+
+  [[nodiscard]] static bool is_numeric(Type type) {
+    return type == Type::kInt || type == Type::kDouble;
+  }
+  [[nodiscard]] static Type unify_numeric(Type a, Type b) {
+    return (a == Type::kDouble || b == Type::kDouble) ? Type::kDouble : Type::kInt;
+  }
+
+  void error(SourceLoc loc, std::string message) {
+    diagnostics_.push_back({loc, std::move(message)});
+  }
+
+  void push_scope();
+  void pop_scope();
+  int declare(const std::string& name, Type type, SourceLoc loc);
+
+  struct Local {
+    std::string name;
+    Type type;
+    int slot;
+  };
+
+  const CompileEnv& env_;
+  std::vector<std::vector<Local>> scopes_;
+  int next_slot_ = 0;
+  int loop_depth_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,44 @@
+// Source locations and diagnostics for the E-code front end.
+//
+// Filters arrive over the control channel as strings written by remote
+// applications; compile errors must travel back as readable text, so every
+// stage carries line/column positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dproc::ecode {
+
+struct SourceLoc {
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return loc.to_string() + ": " + message;
+  }
+};
+
+/// Joins diagnostics into the error string returned through the control
+/// file, one per line.
+[[nodiscard]] inline std::string format_diagnostics(
+    const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    if (!out.empty()) out += '\n';
+    out += d.to_string();
+  }
+  return out;
+}
+
+}  // namespace dproc::ecode

@@ -1,0 +1,84 @@
+// Token definitions for the E-code lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dproc/ecode/source.hpp"
+
+namespace dproc::ecode {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIntLiteral,
+  kFloatLiteral,
+  kIdentifier,
+
+  // keywords
+  kKwInt,
+  kKwLong,
+  kKwDouble,
+  kKwSample,
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwWhile,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kDot,
+  kQuestion,
+  kColon,
+
+  // operators
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPercentAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kShl,
+  kShr,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceLoc loc;
+  std::string text;        // identifier spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+}  // namespace dproc::ecode

@@ -1,0 +1,56 @@
+// E-code virtual machine.
+//
+// A fueled stack machine: every instruction consumes one unit of fuel, so a
+// filter containing an endless loop cannot wedge the publishing kernel — a
+// guarantee the paper's native-code generator would have needed too. Runtime
+// errors (division by zero, out-of-range input index, fuel exhaustion)
+// surface as Status and cause d-mon to fall back to unfiltered publication.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dproc/ecode/bytecode.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::ecode {
+
+/// The monitoring sample record filters operate on. Field names mirror the
+/// paper's filter example (Figure 3): `value` is the current measurement,
+/// `last_value_sent` the value most recently published to subscribers.
+struct Sample {
+  std::int64_t id = 0;
+  double value = 0.0;
+  double last_value_sent = 0.0;
+  std::int64_t timestamp_ns = 0;
+
+  friend bool operator==(const Sample&, const Sample&) = default;
+};
+
+struct VmLimits {
+  std::uint64_t max_instructions = 1'000'000;
+  std::int64_t max_output_index = 255;
+};
+
+struct FilterResult {
+  /// Written output slots in ascending index order.
+  std::vector<std::pair<std::int64_t, Sample>> outputs;
+  std::optional<double> return_value;
+  std::uint64_t instructions_executed = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(VmLimits limits = {}) : limits_(limits) {}
+
+  /// Executes `code` against the input samples.
+  Result<FilterResult> run(const Bytecode& code, std::span<const Sample> input);
+
+ private:
+  VmLimits limits_;
+};
+
+}  // namespace dproc::ecode

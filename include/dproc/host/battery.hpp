@@ -1,0 +1,61 @@
+// Battery model: power as a first-class resource.
+//
+// The paper's future-work section targets wireless and mobile devices where
+// "power has to be considered a first-class resource", and its extension
+// story names battery monitoring as the canonical dynamically deployed
+// module. This model drains charge from three sources — a baseline floor,
+// CPU busy time, and NIC traffic — which covers the effects the dproc
+// policies would act on (offloading work raises network drain, local
+// rendering raises CPU drain).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dproc/host/cpu.hpp"
+#include "dproc/net/nic.hpp"
+#include "dproc/sim/engine.hpp"
+
+namespace dproc::host {
+
+struct BatteryConfig {
+  double capacity_joules = 20'000.0;   // small 2003-era device pack
+  double idle_watts = 1.2;             // display + chipset floor
+  double cpu_active_watts = 6.0;       // additional draw at 100% CPU
+  double nanojoules_per_byte = 900.0;  // radio cost per byte sent/received
+};
+
+class Battery {
+ public:
+  Battery(sim::Engine& engine, Cpu& cpu, net::Nic& nic,
+          BatteryConfig config = {});
+  Battery(const Battery&) = delete;
+  Battery& operator=(const Battery&) = delete;
+
+  /// Remaining charge in [0, 1]. Integrates drain lazily on read.
+  [[nodiscard]] double level();
+
+  [[nodiscard]] double remaining_joules();
+  [[nodiscard]] bool depleted() { return remaining_joules() <= 0.0; }
+
+  /// Instantaneous draw estimate in watts (for the monitoring module).
+  [[nodiscard]] double watts();
+
+  [[nodiscard]] const BatteryConfig& config() const { return config_; }
+
+ private:
+  void advance();
+
+  sim::Engine& engine_;
+  Cpu& cpu_;
+  net::Nic& nic_;
+  BatteryConfig config_;
+
+  double consumed_joules_ = 0.0;
+  SimTime last_update_;
+  SimDuration last_cpu_busy_{0};
+  std::uint64_t last_nic_bytes_ = 0;
+  double last_watts_ = 0.0;
+};
+
+}  // namespace dproc::host

@@ -1,0 +1,79 @@
+// Physical memory model. MEM_MON reads free_pages(), the analogue of the
+// nr_free_pages() kernel function the paper's module calls.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace dproc::host {
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  explicit Memory(std::uint64_t total_bytes) : total_(total_bytes) {}
+
+  /// Reserves bytes; throws std::bad_alloc-style failure as a Status-free
+  /// boolean since callers are simulated workloads.
+  [[nodiscard]] bool allocate(std::uint64_t bytes) {
+    if (used_ + bytes > total_) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::uint64_t bytes) {
+    if (bytes > used_) throw std::logic_error{"Memory::release underflow"};
+    used_ -= bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_; }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_; }
+  [[nodiscard]] std::uint64_t free_bytes() const { return total_ - used_; }
+  [[nodiscard]] std::uint64_t free_pages() const { return free_bytes() / kPageSize; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t used_ = 0;
+};
+
+/// RAII memory reservation for workload lifetimes.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(Memory& memory, std::uint64_t bytes)
+      : memory_(&memory), bytes_(memory.allocate(bytes) ? bytes : 0) {}
+  ~MemoryReservation() { reset(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : memory_(other.memory_), bytes_(other.bytes_) {
+    other.memory_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      reset();
+      memory_ = other.memory_;
+      bytes_ = other.bytes_;
+      other.memory_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  [[nodiscard]] bool ok() const { return memory_ == nullptr || bytes_ > 0; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  void reset() {
+    if (memory_ != nullptr && bytes_ > 0) memory_->release(bytes_);
+    memory_ = nullptr;
+    bytes_ = 0;
+  }
+
+ private:
+  Memory* memory_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dproc::host

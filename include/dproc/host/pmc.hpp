@@ -1,0 +1,45 @@
+// Performance monitoring counters.
+//
+// Models the per-processor hardware event counters the paper's PMC module
+// exposes cluster-wide. Workloads bump named counters; the PMC monitoring
+// module reads and publishes them. Counter names are open-ended so that,
+// like the paper's extension story, new chip events can be added without
+// touching this class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dproc::host {
+
+class Pmc {
+ public:
+  // Conventional counter names used by the built-in workloads.
+  static constexpr const char* kCacheMisses = "cache_misses";
+  static constexpr const char* kInstructions = "instructions";
+  static constexpr const char* kFlops = "flops";
+
+  void increment(const std::string& counter, std::uint64_t delta) {
+    counters_[counter] += delta;
+  }
+
+  /// Reads a counter; unknown counters read 0, matching uninitialized PMCs.
+  [[nodiscard]] std::uint64_t read(const std::string& counter) const {
+    auto it = counters_.find(counter);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::vector<std::string> counter_names() const {
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto& [name, value] : counters_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace dproc::host

@@ -1,0 +1,143 @@
+// KECho per-host endpoint: kernel-level event channels.
+//
+// One Node per simulated host multiplexes all of that host's channels over
+// a single reliable kernel-to-kernel connection per peer (the paper's
+// "strictly kernel-kernel messaging"). Received events are queued and
+// delivered on poll(), matching d-mon's once-per-second socket polling, so
+// the receive overhead of Figure 8 is observable as the poll's CPU cost.
+//
+// Every channel operation charges the host CPU's kernel class through the
+// KechoCosts model; those cycles are exactly the perturbation Figures 4-8
+// measure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dproc/host/host.hpp"
+#include "dproc/kecho/registry.hpp"
+#include "dproc/net/tcp.hpp"
+
+namespace dproc::kecho {
+
+/// Cycle costs of kernel-level channel operations on the reference CPU
+/// (Pentium Pro 200 MHz). Calibrated so the microbenchmarks land in the
+/// paper's reported ranges; see EXPERIMENTS.md.
+struct KechoCosts {
+  double submit_base_cycles = 9000;     // per event, per remote subscriber
+  double submit_per_byte_cycles = 3.0;  // marshalling + copy
+  double receive_base_cycles = 10000;   // per event drained at poll()
+  double receive_per_byte_cycles = 2.2;
+  double poll_base_cycles = 1500;       // fixed cost of one poll iteration
+};
+
+/// Channel transport selection: reliable kernel-to-kernel TCP (the
+/// paper's default) or lossy datagrams — monitoring data is periodically
+/// refreshed anyway, so dropping an update under congestion can beat
+/// retransmitting stale values.
+enum class ChannelTransport : std::uint8_t { kReliable, kDatagram };
+
+struct Event {
+  ChannelId channel = 0;
+  net::NodeId source = 0;
+  net::MessagePtr payload;
+  SimTime submitted_at;
+};
+
+class Node;
+
+/// Handle to one joined channel on one host.
+class Channel {
+ public:
+  using Handler = std::function<void(const Event&)>;
+
+  /// Registers the receive handler; events are delivered at poll() time.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Publishes to every remote member known at submission time. Returns the
+  /// kernel CPU cost charged for the submission.
+  SimDuration submit(const net::MessagePtr& payload);
+
+  [[nodiscard]] ChannelId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] std::size_t remote_member_count() const;
+  [[nodiscard]] std::uint64_t events_submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t events_received() const { return received_; }
+  [[nodiscard]] std::size_t pending_events() const { return rx_queue_.size(); }
+
+ private:
+  friend class Node;
+  Channel(Node& node, std::string name) : node_(node), name_(std::move(name)) {}
+
+  Node& node_;
+  std::string name_;
+  ChannelId id_ = 0;
+  ChannelTransport transport_ = ChannelTransport::kReliable;
+  bool ready_ = false;
+  std::vector<Member> members_;  // remote members
+  Handler handler_;
+  std::deque<Event> rx_queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t received_ = 0;
+  std::vector<std::function<void(Channel&)>> on_ready_;
+};
+
+struct PollStats {
+  std::size_t events_delivered = 0;
+  SimDuration cpu_cost{0};
+};
+
+class Node {
+ public:
+  static constexpr net::Port kChannelPort = 7788;
+  static constexpr net::Port kDatagramEventPort = 7789;
+
+  Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
+       net::Port registry_port = RegistryServer::kDefaultPort,
+       KechoCosts costs = {});
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Joins (or creates) a channel by name. The returned handle is usable
+  /// immediately; submissions before the registry answers reach no one,
+  /// exactly like publishing on a channel nobody subscribed to yet. The
+  /// transport applies to this node's submissions on the channel.
+  Channel& join(const std::string& name,
+                std::function<void(Channel&)> on_ready = {},
+                ChannelTransport transport = ChannelTransport::kReliable);
+
+  /// Drains every channel's receive queue, charging receive costs and
+  /// invoking handlers. d-mon calls this once per polling period.
+  PollStats poll();
+
+  [[nodiscard]] host::Host& host() { return host_; }
+  [[nodiscard]] net::Nic& nic() { return nic_; }
+  [[nodiscard]] const KechoCosts& costs() const { return costs_; }
+
+ private:
+  friend class Channel;
+
+  void on_registry_datagram(const net::MessagePtr& message);
+  void on_peer_message(const net::MessagePtr& message);
+  /// Lazily opens (or reuses) the transport to a peer kernel.
+  net::TcpConnection::Ptr& transport_to(net::NodeId peer);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  net::NodeId registry_node_;
+  net::Port registry_port_;
+  KechoCosts costs_;
+
+  std::map<std::string, std::unique_ptr<Channel>> channels_by_name_;
+  std::map<ChannelId, Channel*> channels_by_id_;
+  std::map<net::NodeId, net::TcpConnection::Ptr> transports_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::vector<net::TcpConnection::Ptr> accepted_;
+};
+
+}  // namespace dproc::kecho

@@ -1,0 +1,63 @@
+// KECho channel registry: the user-level channel directory server.
+//
+// The first d-mon to contact the registry creates a channel; later joiners
+// retrieve its id and current membership, and existing members receive a
+// notification about the newcomer. The registry speaks a small datagram
+// protocol so it behaves like the paper's out-of-kernel directory process.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dproc/net/nic.hpp"
+
+namespace dproc::kecho {
+
+using ChannelId = std::uint32_t;
+
+struct Member {
+  net::NodeId node;
+  net::Port port;
+
+  friend auto operator<=>(const Member&, const Member&) = default;
+};
+
+/// Wire ops of the registry protocol.
+enum class RegistryOp : std::uint8_t {
+  kJoinRequest = 1,   // name, member -> response + notifications
+  kJoinResponse = 2,  // channel id, member list
+  kMemberNotify = 3,  // channel id, new member
+};
+
+class RegistryServer {
+ public:
+  static constexpr net::Port kDefaultPort = 7000;
+
+  RegistryServer(net::Nic& nic, net::Port port = kDefaultPort);
+  RegistryServer(const RegistryServer&) = delete;
+  RegistryServer& operator=(const RegistryServer&) = delete;
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  [[nodiscard]] net::Port port() const { return port_; }
+
+ private:
+  void handle_request(net::NodeId from, const net::MessagePtr& message);
+
+  struct ChannelRecord {
+    ChannelId id;
+    std::string name;
+    std::vector<Member> members;
+  };
+
+  net::Nic& nic_;
+  net::Port port_;
+  std::map<std::string, ChannelRecord> channels_;
+  ChannelId next_id_ = 1;
+};
+
+/// Encodes a join request (used by kecho::Node; exposed for tests).
+net::MessagePtr encode_join_request(const std::string& name, Member member);
+
+}  // namespace dproc::kecho

@@ -1,0 +1,128 @@
+// Link and fabric: the switched-Ethernet model.
+//
+// The fabric is a graph of unidirectional links; each (src, dst) node pair
+// has a route (a sequence of links). A link is a store-and-forward FIFO:
+// a packet serializes at link bandwidth behind everything already queued,
+// then propagates. Tail drop applies when the queue backlog exceeds the
+// buffer — this is where UDP floods lose packets and where TCP observes
+// congestion. Cross traffic contends exactly where routes share links,
+// which is how the Figure 10 topology perturbs the server-client path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dproc/net/packet.hpp"
+#include "dproc/sim/engine.hpp"
+#include "dproc/util/time.hpp"
+
+namespace dproc::net {
+
+using LinkId = std::uint32_t;
+
+struct LinkConfig {
+  double bandwidth_bps = 100e6;        // Fast Ethernet
+  SimDuration propagation = microseconds(25.0);
+  std::uint64_t buffer_bytes = 256 * 1024;  // switch port buffer
+};
+
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;      // wire bytes serialized
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_dropped = 0;
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, LinkConfig config)
+      : engine_(engine), config_(config) {}
+
+  /// Attempts to enqueue; returns false (tail drop) when the buffer is
+  /// full. `on_exit` fires when the packet has fully traversed the link.
+  bool transmit(const Packet& packet, std::function<void(const Packet&)> on_exit);
+
+  /// Bytes currently waiting or in flight on the serializer.
+  [[nodiscard]] std::uint64_t backlog_bytes() const;
+
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+ private:
+  sim::Engine& engine_;
+  LinkConfig config_;
+  LinkStats stats_;
+  SimTime busy_until_;  // when the serializer frees up
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine& engine) : engine_(engine) {}
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers an attachment point (one host NIC) and returns its address.
+  NodeId add_node(std::string name);
+
+  LinkId add_link(LinkConfig config);
+
+  /// Routes src→dst through `links`, in traversal order. Both directions
+  /// must be set explicitly (links are unidirectional).
+  void set_route(NodeId src, NodeId dst, std::vector<LinkId> links);
+
+  /// Canonical cluster topology: every node gets an uplink and downlink to
+  /// one non-blocking switch; route a→b = [uplink(a), downlink(b)].
+  /// Returns per-node (uplink, downlink) pairs for stat inspection.
+  std::vector<std::pair<LinkId, LinkId>> build_star(
+      const std::vector<NodeId>& nodes, const LinkConfig& config);
+
+  /// Injects a packet; it traverses the route's links in order. If any hop
+  /// drops it, `on_drop` (optional) fires and traversal ends. Delivery
+  /// invokes the handler registered by the destination NIC.
+  void send(Packet packet, std::function<void(const Packet&)> on_drop = {});
+
+  /// The destination-side delivery hook; installed by Nic.
+  using DeliveryHandler = std::function<void(const Packet&)>;
+  void set_delivery_handler(NodeId node, DeliveryHandler handler);
+
+  [[nodiscard]] Link& link(LinkId id) { return *links_.at(id); }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const {
+    return node_names_.at(id);
+  }
+
+  /// Total wire bytes delivered to `node` so far (for bandwidth probes).
+  [[nodiscard]] std::uint64_t bytes_delivered_to(NodeId node) const;
+
+  /// Fault injection: a down node neither sends nor receives — packets to
+  /// or from it vanish (as with a powered-off machine). Delivery handlers
+  /// stay registered so the node can come back.
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool node_down(NodeId node) const;
+
+  /// tcpdump-style tracing: when set, invoked for every packet the fabric
+  /// accepts (kind, addressing, wire size, injection time) and again on
+  /// delivery or drop. Costless when unset.
+  enum class TraceEvent : std::uint8_t { kSend, kDeliver, kDrop };
+  using TraceHook = std::function<void(TraceEvent, const Packet&, SimTime)>;
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+ private:
+  void forward(Packet packet, const std::vector<LinkId>& route,
+               std::size_t hop, std::function<void(const Packet&)> on_drop);
+
+  sim::Engine& engine_;
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> routes_;
+  std::vector<DeliveryHandler> delivery_;
+  std::vector<std::uint64_t> delivered_bytes_;
+  std::vector<bool> node_down_;
+  TraceHook trace_;
+};
+
+}  // namespace dproc::net

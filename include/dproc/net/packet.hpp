@@ -1,0 +1,66 @@
+// Packet and message types shared across the network stack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dproc::net {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+
+/// Application payload. `header` holds real encoded bytes (monitoring
+/// events, control messages); `body_bytes` adds simulated bulk (stream
+/// frames) that occupies wire and buffer space without allocating it.
+struct Message {
+  std::vector<std::uint8_t> header;
+  std::uint64_t body_bytes = 0;
+
+  [[nodiscard]] std::uint64_t size() const { return header.size() + body_bytes; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+inline MessagePtr make_message(std::vector<std::uint8_t> header,
+                               std::uint64_t body_bytes = 0) {
+  auto m = std::make_shared<Message>();
+  m->header = std::move(header);
+  m->body_bytes = body_bytes;
+  return m;
+}
+
+enum class PacketKind : std::uint8_t {
+  kDatagram,   // UDP-like: one packet == one datagram (possibly a fragment)
+  kTcpData,    // TCP segment
+  kTcpAck,     // TCP cumulative acknowledgment
+  kTcpSyn,     // connection setup
+  kTcpSynAck,
+};
+
+/// One unit of link transmission. Wire size includes per-packet framing
+/// overhead (Ethernet + IP + transport headers).
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Port src_port = 0;
+  Port dst_port = 0;
+  PacketKind kind = PacketKind::kDatagram;
+
+  std::uint64_t flow_id = 0;   // connection / datagram-stream identity
+  std::uint64_t seq = 0;       // TCP: first payload byte; UDP: datagram index
+  std::uint64_t ack = 0;       // TCP ACK: next expected byte
+  std::uint32_t payload_bytes = 0;
+  std::int64_t sent_at_ns = 0;  // origination time, for end-to-end delay
+
+  /// Present on the packet carrying the *last* byte of a message so the
+  /// receiver can deliver the reassembled payload without buffering bulk.
+  MessagePtr message;
+
+  /// Total on-the-wire size used for serialization-delay accounting.
+  [[nodiscard]] std::uint64_t wire_bytes() const { return payload_bytes + kHeaderBytes; }
+
+  static constexpr std::uint32_t kHeaderBytes = 58;  // eth+ip+tcp/udp framing
+};
+
+}  // namespace dproc::net

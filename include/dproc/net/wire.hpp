@@ -1,0 +1,103 @@
+// Binary serialization for on-the-wire payloads.
+//
+// Monitoring events really are encoded to bytes (the paper reports 50–100
+// byte events; we measure our encodings), while bulk stream bodies are
+// carried as declared lengths so a 3 MB visualization frame does not
+// materialize 3 MB of heap per event. Little-endian, length-prefixed
+// strings, no alignment padding.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dproc/util/status.hpp"
+
+namespace dproc::net {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { raw_le(v); }
+  void u32(std::uint32_t v) { raw_le(v); }
+  void u64(std::uint64_t v) { raw_le(v); }
+  void i64(std::int64_t v) { raw_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    raw_le(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void raw_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(raw_le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(raw_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw_le(4)); }
+  std::uint64_t u64() { return raw_le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(raw_le(8)); }
+  double f64() {
+    const std::uint64_t bits = raw_le(8);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  std::uint64_t raw_le(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace dproc::net

@@ -1,0 +1,71 @@
+// In-memory /proc pseudo-filesystem.
+//
+// Files are handler pairs: reads render current state on demand (like a real
+// procfs read_proc), writes parse user input and may fail with an error the
+// caller sees (the errno + dmesg experience). dproc mounts its cluster tree
+// under /proc/cluster/<node>/..., with one `control` file per node entry for
+// parameters and filter deployment.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dproc/util/status.hpp"
+
+namespace dproc::procfs {
+
+class ProcFs {
+ public:
+  using ReadHandler = std::function<std::string()>;
+  using WriteHandler = std::function<Status(const std::string&)>;
+
+  ProcFs();
+  ProcFs(const ProcFs&) = delete;
+  ProcFs& operator=(const ProcFs&) = delete;
+
+  /// Registers a pseudo-file; intermediate directories are created. A null
+  /// `write` makes the file read-only (writes return PERMISSION_DENIED).
+  Status register_file(const std::string& path, ReadHandler read,
+                       WriteHandler write = {});
+
+  /// Creates a directory (and parents). Idempotent.
+  Status mkdir(const std::string& path);
+
+  /// Removes a file or directory subtree.
+  Status remove(const std::string& path);
+
+  [[nodiscard]] Result<std::string> read(const std::string& path) const;
+  Status write(const std::string& path, const std::string& data);
+
+  /// Lists directory entries in name order; directories get a '/' suffix.
+  [[nodiscard]] Result<std::vector<std::string>> list(
+      const std::string& path) const;
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] bool is_directory(const std::string& path) const;
+
+  /// Renders the whole tree as an indented listing (Figure 1 style).
+  [[nodiscard]] std::string tree() const;
+
+ private:
+  struct Node {
+    bool directory = true;
+    ReadHandler read;
+    WriteHandler write;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  static Result<std::vector<std::string>> split_path(const std::string& path);
+  [[nodiscard]] const Node* find(const std::string& path) const;
+  Node* ensure_directories(const std::vector<std::string>& components,
+                           std::size_t count, Status& status);
+  static void render(const Node& node, const std::string& name, int depth,
+                     std::string& out);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace dproc::procfs

@@ -1,0 +1,94 @@
+// Q-Fabric-style QoS management driven by dproc monitoring.
+//
+// The paper closes by situating dproc inside the Q-Fabric project: "the
+// monitoring results delivered by dproc can be used by QoS management
+// mechanisms to optimally allocate resources to applications and to
+// integrate application adaptation with resource management." This module
+// is that consumer: applications register CPU-share reservations for their
+// tasks; a feedback controller measures achieved shares each epoch and
+// adjusts scheduler weights to converge on the targets; when the admitted
+// reservations cannot all be met the manager notifies the application so it
+// can adapt (the SmartPointer-style response) instead of silently thrashing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "dproc/host/host.hpp"
+#include "dproc/sim/engine.hpp"
+#include "dproc/util/status.hpp"
+
+namespace dproc::qos {
+
+struct ReservationConfig {
+  /// Fraction of the CPU this task should receive while runnable, (0, 1].
+  double cpu_share = 0.1;
+  /// Called when the controller detects the reservation cannot be met
+  /// (admission was optimistic or kernel load grew). The application can
+  /// shed work; the manager keeps trying either way.
+  std::function<void(double achieved_share)> on_violation;
+};
+
+struct ReservationStatus {
+  double target_share = 0.0;
+  double achieved_share = 0.0;  // over the last epoch
+  double weight = 1.0;
+  std::uint64_t violations = 0;
+};
+
+struct QosManagerConfig {
+  SimDuration epoch = seconds(1.0);
+  /// Proportional gain of the weight controller.
+  double gain = 4.0;
+  double min_weight = 0.05;
+  double max_weight = 64.0;
+  /// A reservation is violated when achieved < tolerance * target.
+  double violation_tolerance = 0.85;
+  /// Admission ceiling: sum of shares accepted (leave room for best-effort).
+  double admission_limit = 0.9;
+};
+
+class Manager {
+ public:
+  Manager(host::Host& host, QosManagerConfig config = {});
+  ~Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Admits a reservation for an existing CPU task. Fails (leaving the task
+  /// best-effort) when the admission limit would be exceeded.
+  Status reserve(host::TaskId task, ReservationConfig config);
+
+  /// Drops a reservation; the task returns to weight 1 (best effort).
+  void release(host::TaskId task);
+
+  [[nodiscard]] const ReservationStatus* status(host::TaskId task) const;
+  [[nodiscard]] double admitted_share() const { return admitted_share_; }
+  [[nodiscard]] std::size_t reservation_count() const {
+    return reservations_.size();
+  }
+
+  /// Renders the table for a /proc/qos pseudo-file.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct Reservation {
+    ReservationConfig config;
+    ReservationStatus status;
+    SimDuration last_cpu_time{0};
+    bool seeded = false;
+  };
+
+  void epoch_tick();
+
+  host::Host& host_;
+  QosManagerConfig config_;
+  std::map<host::TaskId, Reservation> reservations_;
+  double admitted_share_ = 0.0;
+  SimTime last_epoch_at_;
+  sim::EventHandle epoch_timer_;
+};
+
+}  // namespace dproc::qos

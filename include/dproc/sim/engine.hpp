@@ -1,0 +1,96 @@
+// Discrete-event simulation engine.
+//
+// The entire cluster — kernels, network fabric, workloads — runs as callbacks
+// on one virtual clock. Events fire in non-decreasing time order; ties are
+// broken by scheduling order (FIFO), which makes runs fully deterministic:
+// the same seed and the same program produce the same trace, a property the
+// test suite asserts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "dproc/util/time.hpp"
+
+namespace dproc::sim {
+
+/// Cancellation handle for a scheduled event. Copyable; cancelling any copy
+/// cancels the event. A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Idempotent; safe after the event fired.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  [[nodiscard]] bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`; `when` must be >= now().
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` after `delay` (clamped to >= 0) from now.
+  EventHandle schedule_after(SimDuration delay, Callback fn);
+
+  /// Schedules `fn` every `period`, first firing after one period. The
+  /// callback keeps rescheduling itself until the handle is cancelled.
+  EventHandle schedule_periodic(SimDuration period, Callback fn);
+
+  /// Runs events until the queue is empty or `deadline` is reached; the
+  /// clock is advanced to `deadline` on return (even if idle earlier).
+  void run_until(SimTime deadline);
+
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// Runs until the event queue drains completely.
+  void run();
+
+  /// Processes a single event if one is pending; returns false when empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Scheduled {
+    SimTime when;
+    std::uint64_t seq;
+    // Shared with EventHandle; the queue entry stays but is skipped if set.
+    std::shared_ptr<bool> cancelled;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire(Scheduled&& ev);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+}  // namespace dproc::sim

@@ -1,0 +1,97 @@
+// SmartPointer client: receives, processes, and accounts stream frames.
+//
+// Processing runs as a user task on the host CPU model, so linpack load on
+// the same node slows it down exactly as in the paper's CPU-loaded-client
+// experiment; storage clients additionally write each frame to disk. The
+// client records per-frame total lag (server generation → processing
+// complete), which is the "propagation + processing time" metric of
+// Figures 9-11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dproc/core/dmon.hpp"
+#include "dproc/host/host.hpp"
+#include "dproc/net/tcp.hpp"
+#include "dproc/smartpointer/stream.hpp"
+#include "dproc/util/stats.hpp"
+
+namespace dproc::smartpointer {
+
+struct ClientConfig {
+  FilterMode mode = FilterMode::kNone;
+  Representation static_rep = Representation::kPositionOnly;
+  StreamCostModel costs{};
+  bool storage_client = false;
+  /// Scales processing cost (Figure 10's client "does very little
+  /// processing" => 0.01).
+  double processing_scale = 1.0;
+  /// When set, the client publishes an application-level metric
+  /// ("stream_lag", smoothed seconds of frame lag) through this node's
+  /// d-mon — the paper's §1 integration of application-level information
+  /// with system-level monitoring. The server's dynamic policy consumes it.
+  core::DMon* dmon = nullptr;
+};
+
+class Client {
+ public:
+  using FrameCallback =
+      std::function<void(const FramePayload&, SimTime completed_at)>;
+
+  Client(host::Host& host, net::Nic& nic, net::NodeId server,
+         net::Port server_port, ClientConfig config = {});
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void connect();
+
+  struct LagPoint {
+    SimTime completed_at;
+    SimDuration lag;       // generation -> processing complete
+    Representation rep;
+  };
+
+  [[nodiscard]] std::uint64_t frames_received() const { return received_; }
+  [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
+  [[nodiscard]] const std::vector<LagPoint>& lag_series() const {
+    return lag_series_;
+  }
+  [[nodiscard]] SampleSet& lags() { return lags_; }
+
+  /// Frames processed per second since the previous checkpoint() call.
+  [[nodiscard]] double event_rate_since_checkpoint() const;
+  void checkpoint();
+
+  /// Frames queued behind the processing task right now.
+  [[nodiscard]] std::size_t backlog() const;
+
+  /// Invoked after each frame finishes processing (sync groups, UIs).
+  void set_frame_callback(FrameCallback callback) {
+    on_frame_processed_ = std::move(callback);
+  }
+
+ private:
+  void on_frame(const net::MessagePtr& message);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  net::NodeId server_;
+  net::Port server_port_;
+  ClientConfig config_;
+
+  net::TcpConnection::Ptr conn_;
+  host::TaskId processing_task_ = 0;
+  FrameCallback on_frame_processed_;
+  Ewma lag_ewma_{0.4};  // published as the "stream_lag" app metric
+
+  std::uint64_t received_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t checkpoint_processed_ = 0;
+  SimTime checkpoint_time_;
+  SampleSet lags_;
+  std::vector<LagPoint> lag_series_;
+};
+
+}  // namespace dproc::smartpointer

@@ -1,0 +1,104 @@
+// SmartPointer server: the scientific-visualization stream source.
+//
+// Publishes molecular-dynamics frames to subscribed clients at a constant
+// rate. Per client, a tunable data filter picks the frame derivation:
+//
+//  * FilterMode::kNone    — the original application, full feed;
+//  * FilterMode::kStatic  — the client's a-priori choice, never revisited;
+//  * FilterMode::kDynamic — chosen per frame from the client's dproc feeds
+//    (loadavg, NIC throughput, RTT, retransmissions, disk activity) read
+//    from this node's /proc/cluster view via d-mon.
+//
+// The dynamic policy keeps a per-client available-bandwidth estimate with
+// congestion-control dynamics: multiplicative decrease on RTT inflation or
+// new retransmissions, additive recovery otherwise. Depending on
+// PolicyInputs it considers CPU only, network only, or everything —
+// reproducing the Figure 11 comparison.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dproc/core/dmon.hpp"
+#include "dproc/net/tcp.hpp"
+#include "dproc/smartpointer/stream.hpp"
+#include "dproc/workload/md_source.hpp"
+
+namespace dproc::smartpointer {
+
+struct ServerConfig {
+  net::Port port = 9000;
+  double frame_rate_hz = 5.0;
+  std::uint32_t atom_count = 50'000;
+  StreamCostModel costs{};
+  PolicyInputs policy = PolicyInputs::kHybrid;
+  /// Floor for decimation so a stream never disappears entirely.
+  double min_fraction = 0.05;
+  /// Assumed path capacity for the bandwidth estimator.
+  double link_capacity_bps = 100e6;
+  /// Disk streaming bandwidth assumed for storage clients.
+  double disk_bandwidth_bps = 160e6;  // 20 MB/s
+};
+
+class Server {
+ public:
+  Server(host::Host& host, net::Nic& nic, core::DMon* dmon,
+         ServerConfig config = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  void stop();
+
+  struct ClientState {
+    net::NodeId node = 0;
+    Subscribe subscription;
+    net::TcpConnection::Ptr conn;
+    // Dynamic-policy state.
+    double bandwidth_estimate_bps = 0.0;
+    double baseline_rtt_us = 0.0;
+    double last_send_rate_bps = 0.0;
+    int gap_strikes = 0;            // consecutive congestion signals
+    SimTime last_rate_increase_at;  // grace window anchor (EWMA lag)
+    // Send rate at the last congestion collapse: recovery is fast below
+    // half of it and cautious above (the ssthresh idea).
+    double collapse_rate_bps = 0.0;  // 0 = never collapsed
+    // Last decision, for observability.
+    Representation last_rep = Representation::kFull;
+    double last_fraction = 1.0;
+    std::uint64_t frames_sent = 0;
+  };
+
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] const ClientState* client(net::NodeId node) const;
+  [[nodiscard]] std::uint64_t frames_generated() const { return frames_; }
+
+ private:
+  void on_accept(net::TcpConnection::Ptr conn);
+  void tick();
+  void send_frame(ClientState& client, const workload::MdFrame& frame);
+
+  /// Reads a client's dproc metric; `fallback` when no data has arrived.
+  [[nodiscard]] double metric(net::NodeId node, const std::string& key,
+                              double fallback) const;
+
+  void update_bandwidth_estimate(ClientState& client);
+  /// Chooses (representation, fraction) for this client per the policy.
+  [[nodiscard]] std::pair<Representation, double> choose(ClientState& client);
+
+  host::Host& host_;
+  net::Nic& nic_;
+  core::DMon* dmon_;
+  ServerConfig config_;
+  workload::MdFrameSource source_;
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::vector<net::TcpConnection::Ptr> pending_;  // connected, not subscribed
+  std::map<net::NodeId, ClientState> clients_;
+  sim::EventHandle frame_timer_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace dproc::smartpointer

@@ -1,0 +1,86 @@
+// SmartPointer stream types: representations, cost model, wire codec.
+//
+// The server can deliver each molecular-dynamics frame in one of several
+// derivations (paper §4.2: "a straight data feed, down-sampled data (for
+// example, removing velocity data), or a stream of images representing the
+// full visualization"). The derivations trade client CPU against network
+// bytes in opposite directions, which is exactly the tension Figure 11
+// demonstrates: adapting on one resource can overload another.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dproc/net/packet.hpp"
+#include "dproc/util/status.hpp"
+#include "dproc/util/time.hpp"
+#include "dproc/workload/md_source.hpp"
+
+namespace dproc::smartpointer {
+
+enum class Representation : std::uint8_t {
+  kFull,          // positions + velocities; client renders everything
+  kPositionOnly,  // velocities stripped: fewer bytes, less client work
+  kCompressed,    // heavily packed: fewest bytes, most client CPU to unpack
+  kPreRendered,   // server-rendered image: most bytes, least client CPU
+};
+
+[[nodiscard]] const char* to_string(Representation rep);
+
+/// How the server customizes a client's stream.
+enum class FilterMode : std::uint8_t {
+  kNone,    // original SmartPointer: full feed, no customization
+  kStatic,  // client-chosen fixed derivation, never revisited
+  kDynamic, // derivation chosen per frame from dproc monitoring data
+};
+
+/// Which dproc feeds the dynamic policy consults (the Figure 11 ablation).
+enum class PolicyInputs : std::uint8_t { kCpuOnly, kNetOnly, kHybrid };
+
+/// Client-side processing and size model, shared by server (for estimates)
+/// and client (for actual costs). Rates are for the reference 200 MHz node.
+struct StreamCostModel {
+  /// Rendering a full-feed byte (decode + geometry + raster).
+  double cpu_sec_per_mb_full = 0.16;
+  /// Position-only data renders with the same per-byte cost but carries
+  /// roughly half the bytes.
+  double cpu_sec_per_mb_position = 0.16;
+  /// Compressed data must be unpacked and reconstructed first.
+  double cpu_sec_per_mb_compressed = 0.55;
+  /// A pre-rendered image only needs blitting.
+  double cpu_sec_per_mb_image = 0.004;
+
+  /// Size factors relative to the full per-atom layout.
+  double compressed_size_factor = 0.40;
+
+  [[nodiscard]] std::uint64_t frame_bytes(Representation rep,
+                                          std::uint32_t atoms,
+                                          double fraction) const;
+  [[nodiscard]] double client_cpu_seconds(Representation rep,
+                                          std::uint64_t bytes) const;
+};
+
+/// One stream frame on the wire.
+struct FramePayload {
+  std::uint64_t frame_number = 0;
+  SimTime generated_at;
+  Representation rep = Representation::kFull;
+  double fraction = 1.0;  // atom decimation applied by the filter
+  std::uint64_t data_bytes = 0;
+};
+
+net::MessagePtr encode_frame(const FramePayload& frame);
+Result<FramePayload> decode_frame(const net::MessagePtr& message);
+
+/// Subscription request sent by a client after connecting.
+struct Subscribe {
+  std::uint32_t client_node = 0;
+  FilterMode mode = FilterMode::kNone;
+  Representation static_rep = Representation::kPositionOnly;
+  bool storage_client = false;  // writes received frames to disk
+};
+
+net::MessagePtr encode_subscribe(const Subscribe& sub);
+Result<Subscribe> decode_subscribe(const net::MessagePtr& message);
+
+}  // namespace dproc::smartpointer

@@ -1,0 +1,76 @@
+// Leveled logging with a simulated-time-aware prefix.
+//
+// The simulator is single-threaded by design (a discrete-event loop), so the
+// logger favors simplicity over lock-free cleverness; a mutex still guards
+// the sink because examples may log from helper threads.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "dproc/util/time.hpp"
+
+namespace dproc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replaces the output sink (default: stderr). Tests install capture sinks.
+  void set_sink(Sink sink);
+
+  /// Clock hook so log lines carry simulated time when a sim is running.
+  void set_time_source(std::function<SimTime()> source);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  std::function<SimTime()> time_source_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dproc
+
+#define DPROC_LOG(level)                                      \
+  if (!::dproc::Logger::instance().enabled(level)) {          \
+  } else                                                      \
+    ::dproc::detail::LogLine { level }
+
+#define DPROC_TRACE() DPROC_LOG(::dproc::LogLevel::kTrace)
+#define DPROC_DEBUG() DPROC_LOG(::dproc::LogLevel::kDebug)
+#define DPROC_INFO() DPROC_LOG(::dproc::LogLevel::kInfo)
+#define DPROC_WARN() DPROC_LOG(::dproc::LogLevel::kWarn)
+#define DPROC_ERROR() DPROC_LOG(::dproc::LogLevel::kError)

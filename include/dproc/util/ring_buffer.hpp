@@ -1,0 +1,58 @@
+// Fixed-capacity ring buffer.
+//
+// Used for bounded monitoring-sample history (MAGNeT-style circular record
+// buffers) and for per-connection RTT sample windows in NET_MON.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace dproc {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : items_(capacity) {
+    if (capacity == 0) throw std::invalid_argument{"RingBuffer capacity must be > 0"};
+  }
+
+  /// Appends an item, overwriting the oldest when full.
+  void push(T item) {
+    items_[(head_ + size_) % items_.size()] = std::move(item);
+    if (size_ == items_.size()) {
+      head_ = (head_ + 1) % items_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Element i counted from the oldest retained item (0 == oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range{"RingBuffer::at"};
+    return items_[(head_ + i) % items_.size()];
+  }
+
+  [[nodiscard]] const T& front() const { return at(0); }
+  [[nodiscard]] const T& back() const { return at(size_ - 1); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == items_.size(); }
+
+  void clear() { head_ = 0; size_ = 0; }
+
+  /// Visits items oldest-to-newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn(at(i));
+  }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dproc

@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (event sizes, jitter, packet
+// loss) draws from an explicitly seeded generator so two runs with the same
+// seed produce bitwise-identical traces. xoshiro256** is used instead of
+// std::mt19937 because its state is small, seeding is well-defined across
+// standard library implementations, and splitting substreams is cheap.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+namespace dproc {
+
+/// splitmix64: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Modulo bias is < 2^-40 for the spans used here (< 2^24); acceptable
+    // for a simulator and keeps the generator branch-free and constexpr.
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// True with probability p.
+  constexpr bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Derives an independent substream; used to give each simulated host its
+  /// own generator while staying reproducible from one master seed.
+  constexpr Rng split() {
+    return Rng{(*this)() ^ 0x9e3779b97f4a7c15ULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dproc

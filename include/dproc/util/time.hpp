@@ -1,0 +1,94 @@
+// Simulated-time representation shared by every dproc module.
+//
+// The simulator runs on a virtual clock with nanosecond resolution. A strong
+// type (rather than a bare int64) keeps wall-clock durations, simulated
+// durations, and byte counts from being mixed up at call sites.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace dproc {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A span of simulated time, in nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration zero() { return SimDuration{0}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration& operator+=(SimDuration d) { ns_ += d.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration d) { ns_ -= d.ns_; return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr SimDuration nanoseconds(std::int64_t v) { return SimDuration{v}; }
+constexpr SimDuration microseconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e3)};
+}
+constexpr SimDuration milliseconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e6)};
+}
+constexpr SimDuration seconds(double v) {
+  return SimDuration{static_cast<std::int64_t>(v * 1e9)};
+}
+
+constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime{t.ns() + d.ns()}; }
+constexpr SimTime operator-(SimTime t, SimDuration d) { return SimTime{t.ns() - d.ns()}; }
+constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration{a.ns() - b.ns()}; }
+constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+  return SimDuration{a.ns() + b.ns()};
+}
+constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+  return SimDuration{a.ns() - b.ns()};
+}
+constexpr SimDuration operator*(SimDuration d, double k) {
+  return SimDuration{static_cast<std::int64_t>(static_cast<double>(d.ns()) * k)};
+}
+constexpr SimDuration operator*(double k, SimDuration d) { return d * k; }
+constexpr SimDuration operator/(SimDuration d, double k) {
+  return SimDuration{static_cast<std::int64_t>(static_cast<double>(d.ns()) / k)};
+}
+constexpr double operator/(SimDuration a, SimDuration b) {
+  return static_cast<double>(a.ns()) / static_cast<double>(b.ns());
+}
+
+/// Renders "12.345ms" style strings for logs and bench tables.
+std::string to_string(SimDuration d);
+std::string to_string(SimTime t);
+
+}  // namespace dproc

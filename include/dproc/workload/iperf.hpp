@@ -1,0 +1,69 @@
+// Synthetic Iperf: a constant-rate UDP datagram flood plus a receiver that
+// measures goodput. Used two ways, matching the paper: as the bandwidth
+// probe for Figure 5 (how much of the 100 Mbps survives dproc's monitoring
+// traffic) and as the perturbation source for Figures 10 and 11.
+#pragma once
+
+#include <cstdint>
+
+#include "dproc/net/nic.hpp"
+#include "dproc/sim/engine.hpp"
+#include "dproc/util/time.hpp"
+
+namespace dproc::workload {
+
+struct IperfConfig {
+  double rate_bps = 90e6;
+  std::uint32_t datagram_bytes = 1470;  // iperf's classic UDP default
+  net::Port port = 5001;
+};
+
+/// Paced UDP sender.
+class IperfSender {
+ public:
+  IperfSender(net::Nic& nic, net::NodeId dst, IperfConfig config);
+  ~IperfSender();
+  IperfSender(const IperfSender&) = delete;
+  IperfSender& operator=(const IperfSender&) = delete;
+
+  void start();
+  void stop();
+  /// Retunes the offered rate; takes effect from the next datagram.
+  void set_rate(double rate_bps);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+
+ private:
+  void schedule_next();
+
+  net::Nic& nic_;
+  net::NodeId dst_;
+  IperfConfig config_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  sim::EventHandle next_send_;
+};
+
+/// Goodput-measuring UDP receiver.
+class IperfReceiver {
+ public:
+  IperfReceiver(net::Nic& nic, net::Port port = 5001);
+  IperfReceiver(const IperfReceiver&) = delete;
+  IperfReceiver& operator=(const IperfReceiver&) = delete;
+
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return datagrams_; }
+
+  /// Goodput in bits/s since the previous checkpoint() call.
+  [[nodiscard]] double goodput_bps_since_checkpoint() const;
+  void checkpoint();
+
+ private:
+  net::Nic& nic_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t datagrams_ = 0;
+  std::uint64_t checkpoint_bytes_ = 0;
+  SimTime checkpoint_time_;
+};
+
+}  // namespace dproc::workload

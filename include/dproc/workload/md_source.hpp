@@ -1,0 +1,52 @@
+// Molecular-dynamics frame source for the SmartPointer application.
+//
+// Generates frame descriptors like the paper's server: N atoms with
+// position, velocity, and species per timestep. Frames are wire Messages
+// with a small real header (stream id, frame number, atom count, timestamp)
+// and a declared bulk body; derived representations (down-sampled, image)
+// are computed from the same descriptor by the SmartPointer filters.
+#pragma once
+
+#include <cstdint>
+
+#include "dproc/net/packet.hpp"
+#include "dproc/util/time.hpp"
+
+namespace dproc::workload {
+
+struct MdFrame {
+  std::uint64_t frame_number = 0;
+  std::uint32_t atom_count = 0;
+  SimTime generated_at;
+};
+
+/// Per-atom payload sizes of the stream derivations (bytes).
+struct MdLayout {
+  // position (3 x f32) + velocity (3 x f32) + species tag.
+  static constexpr std::uint32_t kFullBytesPerAtom = 25;
+  // velocity removed: the paper's canonical down-sampling example.
+  static constexpr std::uint32_t kPositionOnlyBytesPerAtom = 13;
+  // rendered image: fixed size regardless of atom count (1024x1024 RGB).
+  static constexpr std::uint64_t kImageBytes = 1024ULL * 1024ULL * 3ULL;
+};
+
+class MdFrameSource {
+ public:
+  explicit MdFrameSource(std::uint32_t atom_count) : atom_count_(atom_count) {}
+
+  /// Produces the next frame descriptor stamped with the current time.
+  MdFrame next_frame(SimTime now) {
+    return MdFrame{next_frame_number_++, atom_count_, now};
+  }
+
+  [[nodiscard]] std::uint32_t atom_count() const { return atom_count_; }
+  [[nodiscard]] std::uint64_t full_frame_bytes() const {
+    return static_cast<std::uint64_t>(atom_count_) * MdLayout::kFullBytesPerAtom;
+  }
+
+ private:
+  std::uint32_t atom_count_;
+  std::uint64_t next_frame_number_ = 0;
+};
+
+}  // namespace dproc::workload

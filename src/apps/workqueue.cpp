@@ -1,0 +1,195 @@
+#include "dproc/apps/workqueue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dproc/net/wire.hpp"
+#include "dproc/util/logging.hpp"
+
+namespace dproc::apps {
+
+namespace {
+
+constexpr std::uint8_t kOpRequest = 1;
+constexpr std::uint8_t kOpResult = 2;
+
+net::MessagePtr encode_unit(std::uint8_t op, std::uint64_t unit_id,
+                            std::uint64_t body_bytes) {
+  net::ByteWriter w;
+  w.u8(op);
+  w.u64(unit_id);
+  return net::make_message(w.take(), body_bytes);
+}
+
+bool decode_unit(const net::MessagePtr& message, std::uint8_t expected_op,
+                 std::uint64_t& unit_id) {
+  net::ByteReader r{message->header};
+  if (r.u8() != expected_op) return false;
+  unit_id = r.u64();
+  return r.ok();
+}
+
+}  // namespace
+
+// --- Worker ------------------------------------------------------------
+
+Worker::Worker(host::Host& host, net::Nic& nic, WorkQueueConfig config)
+    : host_(host), nic_(nic), config_(config) {
+  task_ = host_.cpu().add_server_task("workqueue-worker");
+  listener_ = std::make_unique<net::TcpListener>(
+      nic_, config_.port, net::TcpConfig{},
+      [this](net::TcpConnection::Ptr conn) {
+        net::TcpConnection* raw = conn.get();
+        conn->set_message_handler([this, raw](const net::MessagePtr& m) {
+          on_request(raw, m);
+        });
+        connections_.push_back(std::move(conn));
+      });
+}
+
+Worker::~Worker() { host_.cpu().remove_task(task_); }
+
+void Worker::on_request(net::TcpConnection* conn,
+                        const net::MessagePtr& message) {
+  std::uint64_t unit_id = 0;
+  if (!decode_unit(message, kOpRequest, unit_id)) {
+    DPROC_WARN() << "worker " << nic_.node() << ": malformed work unit";
+    return;
+  }
+  host_.cpu().submit_work(task_, config_.unit_cpu_seconds,
+                          [this, conn, unit_id] {
+                            ++completed_;
+                            conn->send(encode_unit(kOpResult, unit_id,
+                                                   config_.unit_result_bytes));
+                          });
+}
+
+// --- Master ------------------------------------------------------------
+
+Master::Master(host::Host& host, net::Nic& nic, core::DMon* dmon,
+               std::vector<net::NodeId> workers, WorkQueueConfig config)
+    : host_(host), nic_(nic), dmon_(dmon), config_(config) {
+  workers_.reserve(workers.size());
+  for (net::NodeId node : workers) {
+    WorkerState state;
+    state.node = node;
+    state.conn = net::TcpConnection::connect(nic_, node, config_.port,
+                                             net::TcpConfig{},
+                                             [this] { pump(); });
+    state.conn->set_message_handler(
+        [this, node](const net::MessagePtr& m) { on_result(node, m); });
+    workers_.push_back(std::move(state));
+  }
+}
+
+Master::~Master() = default;
+
+void Master::submit(std::uint64_t count) {
+  queued_ += count;
+  pump();
+}
+
+Master::WorkerState* Master::pick_worker() {
+  switch (config_.policy) {
+    case SchedulePolicy::kRoundRobin: {
+      // First non-saturated worker in rotation order.
+      for (std::size_t probe = 0; probe < workers_.size(); ++probe) {
+        WorkerState& candidate =
+            workers_[(round_robin_next_ + probe) % workers_.size()];
+        if (candidate.conn->established() &&
+            candidate.outstanding < config_.max_outstanding_per_worker) {
+          round_robin_next_ =
+              (round_robin_next_ + probe + 1) % workers_.size();
+          return &candidate;
+        }
+      }
+      return nullptr;
+    }
+    case SchedulePolicy::kDprocLoad: {
+      // Estimated completion time: the monitored run-queue length tells us
+      // how many competitors share the worker's CPU; our own outstanding
+      // units queue behind each other as well.
+      WorkerState* best = nullptr;
+      double best_eta = std::numeric_limits<double>::infinity();
+      double best_load = std::numeric_limits<double>::infinity();
+      for (WorkerState& candidate : workers_) {
+        if (!candidate.conn->established() ||
+            candidate.outstanding >= config_.max_outstanding_per_worker) {
+          continue;
+        }
+        double loadavg = 0.0;
+        if (dmon_ != nullptr) {
+          const core::RemoteMetric* metric =
+              dmon_->remote_metric(candidate.node, "loadavg");
+          if (metric != nullptr) loadavg = metric->value;
+        }
+        // Competitors beyond our own queued units slow each unit down.
+        const double own = static_cast<double>(candidate.outstanding);
+        const double competitors = std::max(0.0, loadavg - std::min(own, 1.0));
+        const double eta =
+            (own + 1.0) * config_.unit_cpu_seconds * (1.0 + competitors);
+        // Ties (common when an idle worker's queue matches a loaded one's
+        // service time) go to the lighter node.
+        if (eta < best_eta || (eta == best_eta && loadavg < best_load)) {
+          best_eta = eta;
+          best_load = loadavg;
+          best = &candidate;
+        }
+      }
+      return best;
+    }
+  }
+  return nullptr;
+}
+
+void Master::pump() {
+  while (queued_ > 0) {
+    WorkerState* worker = pick_worker();
+    if (worker == nullptr) return;
+    const std::uint64_t unit_id = next_unit_id_++;
+    dispatch_times_[unit_id] = host_.engine().now();
+    worker->conn->send(
+        encode_unit(kOpRequest, unit_id, config_.unit_request_bytes));
+    ++worker->outstanding;
+    --queued_;
+  }
+}
+
+void Master::on_result(net::NodeId worker_node, const net::MessagePtr& message) {
+  std::uint64_t unit_id = 0;
+  if (!decode_unit(message, kOpResult, unit_id)) {
+    DPROC_WARN() << "master: malformed result";
+    return;
+  }
+  for (WorkerState& worker : workers_) {
+    if (worker.node == worker_node && worker.outstanding > 0) {
+      --worker.outstanding;
+      ++worker.completed;
+      break;
+    }
+  }
+  ++completed_;
+  last_completion_ = host_.engine().now();
+  auto dispatched = dispatch_times_.find(unit_id);
+  if (dispatched != dispatch_times_.end()) {
+    turnaround_sum_sec_ +=
+        (host_.engine().now() - dispatched->second).sec();
+    dispatch_times_.erase(dispatched);
+  }
+  pump();
+}
+
+double Master::mean_turnaround_sec() const {
+  return completed_ == 0 ? 0.0
+                         : turnaround_sum_sec_ / static_cast<double>(completed_);
+}
+
+std::map<net::NodeId, std::uint64_t> Master::per_worker_completed() const {
+  std::map<net::NodeId, std::uint64_t> result;
+  for (const WorkerState& worker : workers_) {
+    result[worker.node] = worker.completed;
+  }
+  return result;
+}
+
+}  // namespace dproc::apps

@@ -1,0 +1,123 @@
+#include "dproc/core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace dproc::core {
+
+Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (config_.node_count == 0) {
+    throw std::invalid_argument{"cluster needs at least one node"};
+  }
+  fabric_ = std::make_unique<net::Fabric>(engine_);
+  Rng master{config_.seed};
+
+  std::vector<net::NodeId> node_ids;
+  node_ids.reserve(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    std::string name = i < config_.node_names.size()
+                           ? config_.node_names[i]
+                           : "node" + std::to_string(i);
+    node_ids.push_back(fabric_->add_node(name));
+  }
+
+  // Topology.
+  if (!config_.trunk_split) {
+    fabric_->build_star(node_ids, config_.link);
+  } else {
+    const std::size_t split = *config_.trunk_split;
+    if (split == 0 || split >= config_.node_count) {
+      throw std::invalid_argument{"trunk_split must divide the nodes"};
+    }
+    // Per-node access links plus one full-duplex trunk between switches.
+    std::vector<std::pair<net::LinkId, net::LinkId>> ports;
+    ports.reserve(node_ids.size());
+    for (net::NodeId id : node_ids) {
+      (void)id;
+      ports.emplace_back(fabric_->add_link(config_.link),
+                         fabric_->add_link(config_.link));
+    }
+    const net::LinkId trunk_ab = fabric_->add_link(config_.trunk);
+    const net::LinkId trunk_ba = fabric_->add_link(config_.trunk);
+    for (std::size_t i = 0; i < node_ids.size(); ++i) {
+      for (std::size_t j = 0; j < node_ids.size(); ++j) {
+        if (i == j) continue;
+        std::vector<net::LinkId> route{ports[i].first};
+        const bool i_in_a = i < split, j_in_a = j < split;
+        if (i_in_a && !j_in_a) route.push_back(trunk_ab);
+        if (!i_in_a && j_in_a) route.push_back(trunk_ba);
+        route.push_back(ports[j].second);
+        fabric_->set_route(node_ids[i], node_ids[j], std::move(route));
+      }
+    }
+  }
+
+  // Hosts, NICs, pseudo-filesystems.
+  nodes_.resize(config_.node_count);
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    ClusterNode& node = nodes_[i];
+    host::HostConfig host_config = config_.host_template;
+    host_config.name = fabric_->node_name(node_ids[i]);
+    node.host = std::make_unique<host::Host>(
+        engine_, static_cast<host::HostId>(i), host_config, master.split());
+    node.nic = std::make_unique<net::Nic>(*fabric_, node_ids[i]);
+    node.procfs = std::make_unique<procfs::ProcFs>();
+  }
+
+  // Channel registry on node 0 (the paper's user-level directory server).
+  registry_ = std::make_unique<kecho::RegistryServer>(*nodes_[0].nic);
+
+  // KECho endpoints and d-mons.
+  std::vector<bool> runs_dproc(config_.node_count,
+                               !config_.dproc_nodes.has_value());
+  if (config_.dproc_nodes) {
+    for (std::size_t i : *config_.dproc_nodes) runs_dproc.at(i) = true;
+  }
+
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    ClusterNode& node = nodes_[i];
+    node.kecho = std::make_unique<kecho::Node>(*node.host, *node.nic,
+                                               node_ids[0]);
+    if (!runs_dproc[i]) continue;
+    node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
+                                       *node.procfs, config_.dmon);
+    if (config_.module_factory) {
+      config_.module_factory(*node.dmon, *node.host, *node.nic);
+    } else {
+      register_standard_modules(*node.dmon, *node.host, *node.nic,
+                                config_.link.bandwidth_bps);
+    }
+  }
+
+  // Every d-mon learns every other node as a peer (names + control files).
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    if (!nodes_[i].dmon) continue;
+    for (std::size_t j = 0; j < config_.node_count; ++j) {
+      if (i == j) continue;
+      nodes_[i].dmon->add_peer(node_ids[j], fabric_->node_name(node_ids[j]));
+    }
+  }
+}
+
+void Cluster::register_standard_modules(DMon& dmon, host::Host& host,
+                                        net::Nic& nic,
+                                        double link_capacity_bps) {
+  // Experiment-friendly CPU_MON window: the paper notes the 1-minute
+  // default is too sluggish for fast-changing load, and its experiments
+  // rely on prompt load visibility.
+  dmon.register_module(std::make_unique<CpuMonitor>(host, seconds(5.0)));
+  dmon.register_module(std::make_unique<MemMonitor>(host));
+  dmon.register_module(std::make_unique<DiskMonitor>(host));
+  dmon.register_module(
+      std::make_unique<NetMonitor>(host, nic, link_capacity_bps));
+  dmon.register_module(std::make_unique<PmcMonitor>(
+      host, std::vector<std::string>{host::Pmc::kCacheMisses}));
+}
+
+void Cluster::start_dproc() {
+  for (ClusterNode& node : nodes_) {
+    if (node.dmon) node.dmon->start();
+  }
+}
+
+}  // namespace dproc::core

@@ -1,0 +1,264 @@
+#include <cstdlib>
+#include <sstream>
+
+#include "dproc/core/tuning.hpp"
+#include "dproc/net/wire.hpp"
+
+namespace dproc::core {
+
+namespace {
+
+Result<double> parse_number(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::invalid_argument(std::string{"malformed "} + what + ": '" +
+                                    token + "'");
+  }
+  return value;
+}
+
+Result<double> parse_percent(const std::string& token) {
+  std::string body = token;
+  if (!body.empty() && body.back() == '%') body.pop_back();
+  return parse_number(body, "percentage");
+}
+
+Result<ThresholdKind> parse_direction(const std::string& token) {
+  if (token == "above") return ThresholdKind::kAbove;
+  if (token == "below") return ThresholdKind::kBelow;
+  return Status::invalid_argument("expected 'above' or 'below', got '" +
+                                  token + "'");
+}
+
+}  // namespace
+
+Result<TuningConfig> parse_control_commands(const std::string& text) {
+  TuningConfig config;
+  std::istringstream lines{text};
+  std::string line;
+  std::size_t consumed = 0;
+
+  while (std::getline(lines, line)) {
+    consumed += line.size() + 1;
+    std::istringstream words{line};
+    std::string command;
+    if (!(words >> command) || command.starts_with('#')) continue;
+
+    if (command == "clear") {
+      config.clear = true;
+    } else if (command == "period") {
+      // `period <sec>` or `period <metric> <sec> [if <metric> above|below <v>]`
+      std::string first, second;
+      if (!(words >> first)) {
+        return Status::invalid_argument("period: missing argument");
+      }
+      if (!(words >> second)) {
+        auto sec = parse_number(first, "period");
+        if (!sec) return sec.status();
+        config.default_period = seconds(sec.value());
+      } else {
+        MetricPeriod mp;
+        mp.metric = first;
+        auto sec = parse_number(second, "period");
+        if (!sec) return sec.status();
+        if (sec.value() <= 0) {
+          return Status::invalid_argument("period must be positive");
+        }
+        mp.period = seconds(sec.value());
+        std::string kw;
+        if (words >> kw) {
+          if (kw != "if") {
+            return Status::invalid_argument("period: expected 'if', got '" +
+                                            kw + "'");
+          }
+          std::string cond_metric, direction, value;
+          if (!(words >> cond_metric >> direction >> value)) {
+            return Status::invalid_argument(
+                "period: condition needs '<metric> above|below <value>'");
+          }
+          auto kind = parse_direction(direction);
+          if (!kind) return kind.status();
+          auto v = parse_number(value, "condition value");
+          if (!v) return v.status();
+          mp.conditional = true;
+          mp.cond_metric = cond_metric;
+          mp.cond_kind = kind.value();
+          mp.cond_value = v.value();
+        }
+        config.metric_periods.push_back(std::move(mp));
+      }
+    } else if (command == "threshold") {
+      std::string metric, kind_token;
+      if (!(words >> metric >> kind_token)) {
+        return Status::invalid_argument(
+            "threshold: usage 'threshold <metric> above|below|range|change ...'");
+      }
+      Threshold t;
+      t.metric = metric;
+      std::string a, b;
+      if (kind_token == "above" || kind_token == "below") {
+        if (!(words >> a)) {
+          return Status::invalid_argument("threshold: missing bound");
+        }
+        auto v = parse_number(a, "threshold bound");
+        if (!v) return v.status();
+        t.kind = kind_token == "above" ? ThresholdKind::kAbove
+                                       : ThresholdKind::kBelow;
+        t.a = v.value();
+      } else if (kind_token == "range") {
+        if (!(words >> a >> b)) {
+          return Status::invalid_argument("threshold range: need two bounds");
+        }
+        auto lo = parse_number(a, "range bound");
+        auto hi = parse_number(b, "range bound");
+        if (!lo) return lo.status();
+        if (!hi) return hi.status();
+        if (lo.value() > hi.value()) {
+          return Status::invalid_argument("threshold range: lo > hi");
+        }
+        t.kind = ThresholdKind::kRange;
+        t.a = lo.value();
+        t.b = hi.value();
+      } else if (kind_token == "change") {
+        if (!(words >> a)) {
+          return Status::invalid_argument("threshold change: missing percent");
+        }
+        auto pct = parse_percent(a);
+        if (!pct) return pct.status();
+        t.kind = ThresholdKind::kChangePct;
+        t.a = pct.value();
+      } else {
+        return Status::invalid_argument("threshold: unknown kind '" +
+                                        kind_token + "'");
+      }
+      config.thresholds.push_back(std::move(t));
+    } else if (command == "window") {
+      std::string module, value;
+      if (!(words >> module >> value)) {
+        return Status::invalid_argument("window: usage 'window <module> <seconds>'");
+      }
+      auto sec = parse_number(value, "window");
+      if (!sec) return sec.status();
+      if (sec.value() <= 0) {
+        return Status::invalid_argument("window must be positive");
+      }
+      config.module_periods.emplace_back(module, seconds(sec.value()));
+    } else if (command == "differential") {
+      std::string pct_token;
+      if (!(words >> pct_token)) {
+        return Status::invalid_argument("differential: missing percentage");
+      }
+      auto pct = parse_percent(pct_token);
+      if (!pct) return pct.status();
+      config.differential_pct = pct.value();
+    } else if (command == "filter") {
+      // Everything after the `filter` keyword — same line and all following
+      // lines — is E-code source.
+      std::string rest;
+      std::getline(words, rest);
+      std::string remainder{text.substr(std::min(consumed, text.size()))};
+      std::string source = rest + "\n" + remainder;
+      // Trim leading whitespace so "filter {..." and a bare block both work.
+      const auto begin = source.find_first_not_of(" \t\r\n");
+      config.filter_source =
+          begin == std::string::npos ? std::string{} : source.substr(begin);
+      if (config.filter_source->empty()) {
+        return Status::invalid_argument("filter: missing source");
+      }
+      break;
+    } else if (command == "nofilter") {
+      config.filter_source = std::string{};
+    } else {
+      return Status::invalid_argument("unknown control command '" + command +
+                                      "'");
+    }
+  }
+  return config;
+}
+
+std::vector<std::uint8_t> encode_tuning(const TuningConfig& config) {
+  net::ByteWriter w;
+  w.u8(config.clear ? 1 : 0);
+  w.u8(config.default_period ? 1 : 0);
+  if (config.default_period) w.i64(config.default_period->ns());
+
+  w.u32(static_cast<std::uint32_t>(config.metric_periods.size()));
+  for (const MetricPeriod& mp : config.metric_periods) {
+    w.str(mp.metric);
+    w.i64(mp.period.ns());
+    w.u8(mp.conditional ? 1 : 0);
+    if (mp.conditional) {
+      w.str(mp.cond_metric);
+      w.u8(static_cast<std::uint8_t>(mp.cond_kind));
+      w.f64(mp.cond_value);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(config.thresholds.size()));
+  for (const Threshold& t : config.thresholds) {
+    w.str(t.metric);
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.f64(t.a);
+    w.f64(t.b);
+  }
+
+  w.u8(config.differential_pct ? 1 : 0);
+  if (config.differential_pct) w.f64(*config.differential_pct);
+  w.u8(config.filter_source ? 1 : 0);
+  if (config.filter_source) w.str(*config.filter_source);
+
+  w.u32(static_cast<std::uint32_t>(config.module_periods.size()));
+  for (const auto& [module, period] : config.module_periods) {
+    w.str(module);
+    w.i64(period.ns());
+  }
+  return w.take();
+}
+
+Result<TuningConfig> decode_tuning(const std::vector<std::uint8_t>& bytes) {
+  net::ByteReader r{bytes};
+  TuningConfig config;
+  config.clear = r.u8() != 0;
+  if (r.u8() != 0) config.default_period = SimDuration{r.i64()};
+
+  const std::uint32_t period_count = r.u32();
+  for (std::uint32_t i = 0; i < period_count && r.ok(); ++i) {
+    MetricPeriod mp;
+    mp.metric = r.str();
+    mp.period = SimDuration{r.i64()};
+    mp.conditional = r.u8() != 0;
+    if (mp.conditional) {
+      mp.cond_metric = r.str();
+      mp.cond_kind = static_cast<ThresholdKind>(r.u8());
+      mp.cond_value = r.f64();
+    }
+    config.metric_periods.push_back(std::move(mp));
+  }
+
+  const std::uint32_t threshold_count = r.u32();
+  for (std::uint32_t i = 0; i < threshold_count && r.ok(); ++i) {
+    Threshold t;
+    t.metric = r.str();
+    t.kind = static_cast<ThresholdKind>(r.u8());
+    t.a = r.f64();
+    t.b = r.f64();
+    config.thresholds.push_back(std::move(t));
+  }
+
+  if (r.u8() != 0) config.differential_pct = r.f64();
+  if (r.u8() != 0) config.filter_source = r.str();
+
+  const std::uint32_t window_count = r.u32();
+  for (std::uint32_t i = 0; i < window_count && r.ok(); ++i) {
+    std::string module = r.str();
+    const SimDuration period{r.i64()};
+    config.module_periods.emplace_back(std::move(module), period);
+  }
+  if (!r.ok()) {
+    return Status::invalid_argument("malformed tuning payload");
+  }
+  return config;
+}
+
+}  // namespace dproc::core

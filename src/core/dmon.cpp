@@ -1,0 +1,376 @@
+#include "dproc/core/dmon.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "dproc/net/wire.hpp"
+#include "dproc/util/logging.hpp"
+
+namespace dproc::core {
+
+namespace {
+
+constexpr std::uint8_t kOpMonitor = 1;
+constexpr std::uint8_t kOpControl = 2;
+
+net::MessagePtr encode_monitor_event(const std::vector<MetricSample>& samples) {
+  net::ByteWriter w;
+  w.u8(kOpMonitor);
+  w.u32(static_cast<std::uint32_t>(samples.size()));
+  for (const MetricSample& s : samples) {
+    w.u32(s.id);
+    w.f64(s.value);
+    w.i64(s.sampled_at.ns());
+  }
+  return net::make_message(w.take());
+}
+
+net::MessagePtr encode_control_event(net::NodeId target,
+                                     const TuningConfig& config) {
+  net::ByteWriter w;
+  w.u8(kOpControl);
+  w.u32(target);
+  const std::vector<std::uint8_t> body = encode_tuning(config);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  auto message = std::make_shared<net::Message>();
+  message->header = w.take();
+  message->header.insert(message->header.end(), body.begin(), body.end());
+  return message;
+}
+
+std::string render_value(const RemoteMetric& metric, SimTime now) {
+  if (!metric.valid) return "no data\n";
+  std::ostringstream out;
+  out << std::setprecision(12) << metric.value << "\n"
+      << "sampled_at_s " << metric.sampled_at.sec() << "\n"
+      << "age_s " << (now - metric.received_at).sec() << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
+           procfs::ProcFs& procfs, DmonConfig config)
+    : host_(host), nic_(nic), kecho_(kecho), procfs_(procfs),
+      config_(std::move(config)) {
+  procfs_.mkdir("/proc/cluster");
+  procfs_.register_file("/proc/dproc/status", [this] {
+    std::ostringstream out;
+    out << "node " << nic_.node() << " (" << host_.name() << ")\n"
+        << "poll_period " << to_string(config_.poll_period) << "\n"
+        << "modules " << modules_.size() << "\n"
+        << "metrics " << metric_table_.size() << "\n"
+        << "last_submit_cost_us " << last_poll_.submit_cost.us() << "\n"
+        << "last_receive_cost_us " << last_poll_.receive_cost.us() << "\n";
+    if (!last_control_error_.empty()) {
+      out << "last_control_error " << last_control_error_ << "\n";
+    }
+    if (tuning_) out << tuning_->describe();
+    return out.str();
+  });
+  rebuild_tuning();
+}
+
+DMon::~DMon() { stop(); }
+
+void DMon::charge(double cycles) {
+  if (cycles <= 0) return;
+  host_.cpu().consume_kernel_cycles(cycles);
+}
+
+void DMon::rebuild_tuning() {
+  tuning_ = std::make_unique<PublisherTuning>(config_.poll_period, metric_ids_);
+}
+
+void DMon::register_module(std::unique_ptr<MonitoringModule> module) {
+  ModuleEntry entry;
+  entry.first_id = static_cast<MetricId>(metric_table_.size());
+  std::vector<MetricDesc> descs = module->metrics();
+  entry.metric_count = descs.size();
+  entry.module = std::move(module);
+  for (MetricDesc& desc : descs) {
+    desc.id = static_cast<MetricId>(metric_table_.size());
+    metric_ids_[desc.key] = desc.id;
+    metric_table_.push_back(desc);
+  }
+  register_local_files(entry);
+  // NET_MON additionally serves the per-connection table.
+  if (auto* net_monitor = dynamic_cast<NetMonitor*>(entry.module.get())) {
+    procfs_.register_file("/proc/net/connections", [net_monitor] {
+      return net_monitor->render_connections();
+    });
+  }
+  modules_.push_back(std::move(entry));
+  last_collected_.resize(metric_table_.size());
+  rebuild_tuning();
+
+  // Peers declared before this module gained metrics: create their files.
+  for (auto& [node, peer] : peers_) {
+    peer.metrics.resize(metric_table_.size());
+    for (std::size_t i = entry.first_id; i < metric_table_.size(); ++i) {
+      const MetricDesc& desc = metric_table_[i];
+      const net::NodeId node_copy = node;
+      const MetricId id = desc.id;
+      procfs_.register_file(
+          "/proc/cluster/" + peer.name + "/" + desc.path, [this, node_copy, id] {
+            auto it = peers_.find(node_copy);
+            if (it == peers_.end() || id >= it->second.metrics.size()) {
+              return std::string{"no data\n"};
+            }
+            return render_value(it->second.metrics[id], host_.engine().now());
+          });
+    }
+  }
+}
+
+void DMon::register_local_files(const ModuleEntry& entry) {
+  for (std::size_t i = 0; i < entry.metric_count; ++i) {
+    const MetricDesc& desc = metric_table_[entry.first_id + i];
+    const MetricId id = desc.id;
+    procfs_.register_file("/proc/" + desc.path, [this, id] {
+      if (id >= last_collected_.size()) return std::string{"no data\n"};
+      std::ostringstream out;
+      out << std::setprecision(12) << last_collected_[id].value << "\n";
+      return out.str();
+    });
+  }
+}
+
+void DMon::add_peer(net::NodeId node, const std::string& name) {
+  auto [it, created] = peers_.try_emplace(node);
+  Peer& peer = it->second;
+  peer.name = name;
+  peer.metrics.resize(metric_table_.size());
+  for (const MetricDesc& desc : metric_table_) {
+    const MetricId id = desc.id;
+    procfs_.register_file(
+        "/proc/cluster/" + name + "/" + desc.path, [this, node, id] {
+          auto peer_it = peers_.find(node);
+          if (peer_it == peers_.end() || id >= peer_it->second.metrics.size()) {
+            return std::string{"no data\n"};
+          }
+          return render_value(peer_it->second.metrics[id],
+                              host_.engine().now());
+        });
+  }
+  procfs_.register_file(
+      "/proc/cluster/" + name + "/control",
+      [name] {
+        return "# write control commands for node " + name +
+               ": period/threshold/differential/filter/clear\n";
+      },
+      [this, node](const std::string& text) {
+        auto config = parse_control_commands(text);
+        if (!config) return config.status();
+        return send_tuning(node, config.value());
+      });
+}
+
+void DMon::start() {
+  if (started_) return;
+  started_ = true;
+  monitor_channel_ = &kecho_.join(config_.monitor_channel);
+  monitor_channel_->set_handler(
+      [this](const kecho::Event& event) { on_monitor_event(event); });
+  control_channel_ = &kecho_.join(config_.control_channel);
+  control_channel_->set_handler(
+      [this](const kecho::Event& event) { on_control_event(event); });
+  poll_timer_ = host_.engine().schedule_periodic(config_.poll_period,
+                                                 [this] { poll(); });
+}
+
+void DMon::stop() {
+  poll_timer_.cancel();
+  started_ = false;
+}
+
+std::optional<MetricId> DMon::metric_id(const std::string& key) const {
+  auto it = metric_ids_.find(key);
+  if (it == metric_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const RemoteMetric* DMon::remote_metric(net::NodeId node, MetricId id) const {
+  auto it = peers_.find(node);
+  if (it == peers_.end() || id >= it->second.metrics.size()) return nullptr;
+  const RemoteMetric& metric = it->second.metrics[id];
+  return metric.valid ? &metric : nullptr;
+}
+
+const RemoteMetric* DMon::remote_metric(net::NodeId node,
+                                        const std::string& key) const {
+  auto id = metric_id(key);
+  return id ? remote_metric(node, *id) : nullptr;
+}
+
+Status DMon::apply_tuning(const TuningConfig& config) {
+  charge(config_.overheads.control_apply_cycles);
+  if (config.filter_source && !config.filter_source->empty()) {
+    charge(config_.overheads.filter_compile_cycles_per_byte *
+           static_cast<double>(config.filter_source->size()));
+  }
+  // Module-internal sampling windows (e.g. CPU_MON's run-queue averaging
+  // period) are applied before the publication tuning so a failed lookup
+  // rejects the whole request atomically from the caller's perspective.
+  for (const auto& [module_name, period] : config.module_periods) {
+    bool found = false;
+    for (ModuleEntry& entry : modules_) {
+      if (entry.module->name() == module_name) {
+        entry.module->set_period(period);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Status status = Status::not_found("unknown module '" + module_name + "'");
+      last_control_error_ = status.to_string();
+      return status;
+    }
+  }
+  Status status = tuning_->apply(config);
+  last_control_error_ = status.is_ok() ? std::string{} : status.to_string();
+  return status;
+}
+
+Status DMon::send_tuning(net::NodeId target, const TuningConfig& config) {
+  if (target == nic_.node()) return apply_tuning(config);
+  if (control_channel_ == nullptr || !control_channel_->ready()) {
+    return Status::failed_precondition(
+        "control channel not established yet");
+  }
+  control_channel_->submit(encode_control_event(target, config));
+  return Status::ok();
+}
+
+void DMon::on_monitor_event(const kecho::Event& event) {
+  net::ByteReader r{event.payload->header};
+  if (r.u8() != kOpMonitor) return;
+  const std::uint32_t count = r.u32();
+
+  auto it = peers_.find(event.source);
+  if (it == peers_.end()) {
+    // Peer never declared: learn it from the fabric's name table.
+    add_peer(event.source, nic_.fabric().node_name(event.source));
+    it = peers_.find(event.source);
+  }
+  Peer& peer = it->second;
+
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    const MetricId id = r.u32();
+    const double value = r.f64();
+    const SimTime sampled{r.i64()};
+    if (id < peer.metrics.size()) {
+      peer.metrics[id] =
+          RemoteMetric{value, sampled, host_.engine().now(), true};
+    }
+  }
+  const double cycles = config_.overheads.procfs_update_cycles_per_event;
+  charge(cycles);
+  handler_cost_ += seconds(cycles / host_.cpu().config().clock_hz);
+}
+
+void DMon::on_control_event(const kecho::Event& event) {
+  net::ByteReader r{event.payload->header};
+  if (r.u8() != kOpControl) return;
+  const net::NodeId target = r.u32();
+  if (target != nic_.node()) return;
+  const std::uint32_t body_size = r.u32();
+  if (!r.ok() || r.remaining() != body_size) {
+    DPROC_WARN() << "dmon " << nic_.node() << ": malformed control event";
+    return;
+  }
+  std::vector<std::uint8_t> body{event.payload->header.end() - body_size,
+                                 event.payload->header.end()};
+  auto config = decode_tuning(body);
+  if (!config) {
+    DPROC_WARN() << "dmon " << nic_.node()
+                 << ": bad tuning payload: " << config.status().to_string();
+    return;
+  }
+  const SimDuration before = host_.cpu().kernel_cpu_time();
+  Status status = apply_tuning(config.value());
+  handler_cost_ += host_.cpu().kernel_cpu_time() - before;
+  if (!status) {
+    DPROC_WARN() << "dmon " << nic_.node()
+                 << ": tuning from node " << event.source
+                 << " rejected: " << status.to_string();
+  }
+}
+
+PollRecord DMon::poll() {
+  PollRecord record;
+
+  // --- receive phase: drain the channels, dispatching to the handlers ---
+  handler_cost_ = SimDuration::zero();
+  const kecho::PollStats rx = kecho_.poll();
+  record.events_received = rx.events_delivered;
+  record.receive_cost = rx.cpu_cost + handler_cost_;
+
+  // --- collection phase: poll each registered module's callback ---------
+  charge(config_.overheads.collect_cycles_per_module *
+         static_cast<double>(modules_.size()));
+  const SimTime now = host_.engine().now();
+  std::vector<MetricSample> collected;
+  collected.reserve(metric_table_.size());
+  for (ModuleEntry& entry : modules_) {
+    const std::size_t before = collected.size();
+    entry.module->collect(collected, now);
+    if (collected.size() - before != entry.metric_count) {
+      DPROC_ERROR() << "module " << entry.module->name()
+                    << " returned wrong sample count";
+      collected.resize(before + entry.metric_count);
+    }
+    for (std::size_t i = 0; i < entry.metric_count; ++i) {
+      collected[before + i].id = static_cast<MetricId>(entry.first_id + i);
+    }
+  }
+  last_collected_ = collected;
+  for (const SampleObserver& observer : sample_observers_) {
+    observer(collected, now);
+  }
+
+  // --- decide + submit ---------------------------------------------------
+  Decision decision = tuning_->decide(collected, now);
+  record.filter_instructions = decision.filter_instructions;
+  charge(config_.overheads.filter_exec_cycles_per_insn *
+         static_cast<double>(decision.filter_instructions));
+
+  if (monitor_channel_ != nullptr && monitor_channel_->ready() &&
+      monitor_channel_->remote_member_count() > 0) {
+    // Filters may emit metrics in any order; per-module grouping needs
+    // ascending ids.
+    std::sort(decision.to_send.begin(), decision.to_send.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                return a.id < b.id;
+              });
+    std::size_t cursor = 0;
+    for (const ModuleEntry& entry : modules_) {
+      std::vector<MetricSample> group;
+      while (cursor < decision.to_send.size() &&
+             decision.to_send[cursor].id < entry.first_id + entry.metric_count) {
+        group.push_back(decision.to_send[cursor]);
+        ++cursor;
+      }
+      if (group.empty()) continue;
+      record.submit_cost += monitor_channel_->submit(encode_monitor_event(group));
+      ++record.events_submitted;
+    }
+  }
+
+  // --- indirect perturbation (cache pollution, deferred kernel work) ----
+  const double collateral_events =
+      static_cast<double>(record.events_submitted) *
+          static_cast<double>(monitor_channel_ != nullptr
+                                  ? monitor_channel_->remote_member_count()
+                                  : 0) +
+      static_cast<double>(record.events_received);
+  charge(config_.overheads.collateral_cycles_per_event * collateral_events);
+
+  submit_cost_us_.add(record.submit_cost.us());
+  receive_cost_us_.add(record.receive_cost.us());
+  last_poll_ = record;
+  return record;
+}
+
+}  // namespace dproc::core

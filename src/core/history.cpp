@@ -1,0 +1,109 @@
+#include "dproc/core/history.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "dproc/net/wire.hpp"
+
+namespace dproc::core {
+
+HistoryRecorder::HistoryRecorder(DMon& dmon, procfs::ProcFs& procfs,
+                                 std::size_t depth)
+    : dmon_(dmon), depth_(depth) {
+  for (std::size_t i = 0; i < dmon_.metric_table().size(); ++i) {
+    rings_.emplace_back(depth_);
+  }
+  dmon_.add_sample_observer(
+      [this](const std::vector<MetricSample>& samples, SimTime) {
+        on_samples(samples);
+      });
+  for (const MetricDesc& desc : dmon_.metric_table()) {
+    const MetricId id = desc.id;
+    procfs.register_file("/proc/history/" + desc.key, [this, id] {
+      std::ostringstream out;
+      out << std::setprecision(12);
+      if (id < rings_.size()) {
+        rings_[id].for_each([&](const HistoryPoint& point) {
+          out << point.at.sec() << " " << point.value << "\n";
+        });
+      }
+      return out.str();
+    });
+  }
+}
+
+void HistoryRecorder::on_samples(const std::vector<MetricSample>& samples) {
+  // Modules registered after construction extend the table; grow lazily.
+  while (rings_.size() < dmon_.metric_table().size()) {
+    rings_.emplace_back(depth_);
+  }
+  for (const MetricSample& sample : samples) {
+    if (sample.id < rings_.size()) {
+      rings_[sample.id].push(HistoryPoint{sample.sampled_at, sample.value});
+    }
+  }
+}
+
+std::vector<HistoryPoint> HistoryRecorder::history(MetricId id) const {
+  std::vector<HistoryPoint> points;
+  if (id >= rings_.size()) return points;
+  points.reserve(rings_[id].size());
+  rings_[id].for_each([&](const HistoryPoint& p) { points.push_back(p); });
+  return points;
+}
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x44504854;  // "DPHT"
+}  // namespace
+
+std::vector<std::uint8_t> HistoryRecorder::export_trace() const {
+  net::ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u32(static_cast<std::uint32_t>(rings_.size()));
+  for (std::size_t id = 0; id < rings_.size(); ++id) {
+    w.u32(static_cast<std::uint32_t>(id));
+    w.u32(static_cast<std::uint32_t>(rings_[id].size()));
+    rings_[id].for_each([&](const HistoryPoint& p) {
+      w.i64(p.at.ns());
+      w.f64(p.value);
+    });
+  }
+  return w.take();
+}
+
+Result<std::vector<std::pair<MetricId, std::vector<HistoryPoint>>>>
+HistoryRecorder::import_trace(const std::vector<std::uint8_t>& bytes) {
+  net::ByteReader r{bytes};
+  if (r.u32() != kTraceMagic) {
+    return Status::invalid_argument("not a dproc history trace");
+  }
+  const std::uint32_t metric_count = r.u32();
+  // Each series needs at least 8 bytes of header; a corrupted count cannot
+  // be allowed to drive allocation.
+  if (metric_count > r.remaining() / 8) {
+    return Status::invalid_argument("corrupt history trace: series count");
+  }
+  std::vector<std::pair<MetricId, std::vector<HistoryPoint>>> series;
+  for (std::uint32_t m = 0; m < metric_count && r.ok(); ++m) {
+    const MetricId id = r.u32();
+    const std::uint32_t points = r.u32();
+    if (points > r.remaining() / 16) {  // 16 bytes per point on the wire
+      return Status::invalid_argument("corrupt history trace: point count");
+    }
+    std::vector<HistoryPoint> history;
+    history.reserve(points);
+    for (std::uint32_t i = 0; i < points && r.ok(); ++i) {
+      HistoryPoint p;
+      p.at = SimTime{r.i64()};
+      p.value = r.f64();
+      history.push_back(p);
+    }
+    series.emplace_back(id, std::move(history));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::invalid_argument("truncated or corrupt history trace");
+  }
+  return series;
+}
+
+}  // namespace dproc::core

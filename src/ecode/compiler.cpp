@@ -1,0 +1,366 @@
+#include "dproc/ecode/compiler.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace dproc::ecode {
+
+Bytecode Compiler::compile(const Program& program) {
+  code_ = Bytecode{};
+  code_.local_slot_count = program.local_slot_count;
+  for (const auto& stmt : program.statements) compile_stmt(*stmt);
+  emit(Op::kHalt);
+  return std::move(code_);
+}
+
+std::size_t Compiler::emit(Op op, std::int32_t arg, std::int32_t arg2) {
+  code_.insns.push_back(Insn{op, arg, arg2, 0, 0.0});
+  return code_.insns.size() - 1;
+}
+
+std::size_t Compiler::emit_push_int(std::int64_t value) {
+  Insn insn{Op::kPushInt, 0, 0, value, 0.0};
+  code_.insns.push_back(insn);
+  return code_.insns.size() - 1;
+}
+
+std::size_t Compiler::emit_push_float(double value) {
+  Insn insn{Op::kPushFloat, 0, 0, 0, value};
+  code_.insns.push_back(insn);
+  return code_.insns.size() - 1;
+}
+
+std::size_t Compiler::emit_jump(Op op) { return emit(op, -1); }
+
+void Compiler::patch_jump(std::size_t at) {
+  patch_jump_to(at, code_.insns.size());
+}
+
+void Compiler::patch_jump_to(std::size_t at, std::size_t target) {
+  code_.insns[at].arg = static_cast<std::int32_t>(target);
+}
+
+void Compiler::emit_conversion(Type from, Type to) {
+  if (from == to) return;
+  if (from == Type::kInt && to == Type::kDouble) {
+    emit(Op::kToDouble);
+  } else if (from == Type::kDouble && to == Type::kInt) {
+    emit(Op::kToInt);
+  }
+  // sample/sample needs no conversion; mixed sample/numeric was rejected
+  // by semantic analysis.
+}
+
+void Compiler::compile_stmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kExpr:
+      compile_expr(*stmt.expr);
+      emit(Op::kPop);
+      return;
+    case Stmt::Kind::kVarDecl:
+      if (stmt.expr) {
+        compile_expr(*stmt.expr);
+        emit_conversion(stmt.expr->type, stmt.decl_type);
+      } else if (stmt.decl_type == Type::kSample) {
+        emit(Op::kPushZeroSample);
+      } else if (stmt.decl_type == Type::kDouble) {
+        emit_push_float(0.0);
+      } else {
+        emit_push_int(0);
+      }
+      emit(Op::kStoreLocal, stmt.local_slot);
+      emit(Op::kPop);
+      return;
+    case Stmt::Kind::kBlock:
+      for (const auto& s : stmt.body) compile_stmt(*s);
+      return;
+    case Stmt::Kind::kIf: {
+      compile_expr(*stmt.expr);
+      const std::size_t to_else = emit_jump(Op::kJmpIfFalse);
+      compile_stmt(*stmt.then_branch);
+      if (stmt.else_branch) {
+        const std::size_t to_end = emit_jump(Op::kJmp);
+        patch_jump(to_else);
+        compile_stmt(*stmt.else_branch);
+        patch_jump(to_end);
+      } else {
+        patch_jump(to_else);
+      }
+      return;
+    }
+    case Stmt::Kind::kFor: {
+      if (stmt.init) compile_stmt(*stmt.init);
+      const std::size_t cond_pos = code_.insns.size();
+      std::size_t exit_jump = SIZE_MAX;
+      if (stmt.expr) {
+        compile_expr(*stmt.expr);
+        exit_jump = emit_jump(Op::kJmpIfFalse);
+      }
+      break_frame_.push_back(break_patches_.size());
+      continue_frame_.push_back(continue_patches_.size());
+      compile_stmt(*stmt.loop_body);
+      // continue lands on the step expression
+      const std::size_t step_pos = code_.insns.size();
+      while (continue_patches_.size() > continue_frame_.back()) {
+        patch_jump_to(continue_patches_.back(), step_pos);
+        continue_patches_.pop_back();
+      }
+      continue_frame_.pop_back();
+      if (stmt.step) {
+        compile_expr(*stmt.step);
+        emit(Op::kPop);
+      }
+      emit(Op::kJmp, static_cast<std::int32_t>(cond_pos));
+      if (exit_jump != SIZE_MAX) patch_jump(exit_jump);
+      while (break_patches_.size() > break_frame_.back()) {
+        patch_jump(break_patches_.back());
+        break_patches_.pop_back();
+      }
+      break_frame_.pop_back();
+      return;
+    }
+    case Stmt::Kind::kWhile: {
+      const std::size_t cond_pos = code_.insns.size();
+      compile_expr(*stmt.expr);
+      const std::size_t exit_jump = emit_jump(Op::kJmpIfFalse);
+      break_frame_.push_back(break_patches_.size());
+      continue_frame_.push_back(continue_patches_.size());
+      compile_stmt(*stmt.loop_body);
+      while (continue_patches_.size() > continue_frame_.back()) {
+        patch_jump_to(continue_patches_.back(), cond_pos);
+        continue_patches_.pop_back();
+      }
+      continue_frame_.pop_back();
+      emit(Op::kJmp, static_cast<std::int32_t>(cond_pos));
+      patch_jump(exit_jump);
+      while (break_patches_.size() > break_frame_.back()) {
+        patch_jump(break_patches_.back());
+        break_patches_.pop_back();
+      }
+      break_frame_.pop_back();
+      return;
+    }
+    case Stmt::Kind::kReturn:
+      if (stmt.expr) {
+        compile_expr(*stmt.expr);
+        emit(Op::kReturn);
+      } else {
+        emit(Op::kHalt);
+      }
+      return;
+    case Stmt::Kind::kBreak:
+      break_patches_.push_back(emit_jump(Op::kJmp));
+      return;
+    case Stmt::Kind::kContinue:
+      continue_patches_.push_back(emit_jump(Op::kJmp));
+      return;
+  }
+}
+
+void Compiler::compile_logical(const Expr& expr) {
+  compile_expr(*expr.a);
+  if (expr.bin_op == BinaryOp::kLogicalAnd) {
+    const std::size_t short_circuit = emit_jump(Op::kJmpIfFalse);
+    compile_expr(*expr.b);
+    emit(Op::kToBool);
+    const std::size_t to_end = emit_jump(Op::kJmp);
+    patch_jump(short_circuit);
+    emit_push_int(0);
+    patch_jump(to_end);
+  } else {
+    const std::size_t short_circuit = emit_jump(Op::kJmpIfTrue);
+    compile_expr(*expr.b);
+    emit(Op::kToBool);
+    const std::size_t to_end = emit_jump(Op::kJmp);
+    patch_jump(short_circuit);
+    emit_push_int(1);
+    patch_jump(to_end);
+  }
+}
+
+namespace {
+Op binop_insn(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return Op::kAdd;
+    case BinaryOp::kSub: return Op::kSub;
+    case BinaryOp::kMul: return Op::kMul;
+    case BinaryOp::kDiv: return Op::kDiv;
+    case BinaryOp::kMod: return Op::kMod;
+    case BinaryOp::kLt: return Op::kLt;
+    case BinaryOp::kLe: return Op::kLe;
+    case BinaryOp::kGt: return Op::kGt;
+    case BinaryOp::kGe: return Op::kGe;
+    case BinaryOp::kEq: return Op::kEq;
+    case BinaryOp::kNe: return Op::kNe;
+    case BinaryOp::kBitAnd: return Op::kBitAnd;
+    case BinaryOp::kBitOr: return Op::kBitOr;
+    case BinaryOp::kBitXor: return Op::kBitXor;
+    case BinaryOp::kShl: return Op::kShl;
+    case BinaryOp::kShr: return Op::kShr;
+    case BinaryOp::kLogicalAnd:
+    case BinaryOp::kLogicalOr:
+      break;  // handled by compile_logical
+  }
+  throw std::logic_error{"binop_insn: unexpected operator"};
+}
+}  // namespace
+
+void Compiler::compile_assign(const Expr& expr) {
+  const Expr& target = *expr.a;
+  const Expr& value = *expr.b;
+
+  if (target.kind == Expr::Kind::kIdent) {
+    // local = value  /  local op= value
+    if (expr.compound) {
+      emit(Op::kLoadLocal, target.local_slot);
+      compile_expr(value);
+      emit(binop_insn(expr.bin_op));
+    } else {
+      compile_expr(value);
+    }
+    emit_conversion(expr.compound ? Type::kUnknown : value.type, target.type);
+    if (expr.compound) {
+      // The runtime result of the binop may be double even for int targets
+      // (e.g. int += double); force the declared type.
+      if (target.type == Type::kInt) emit(Op::kToInt);
+      if (target.type == Type::kDouble) emit(Op::kToDouble);
+    }
+    emit(Op::kStoreLocal, target.local_slot);
+    return;
+  }
+
+  if (target.kind == Expr::Kind::kIndex) {
+    // output[e] = sample
+    compile_expr(*target.b);  // index
+    compile_expr(value);      // sample
+    emit(Op::kStoreOutput);
+    return;
+  }
+
+  // Field assignment: output[e].f or local_sample.f
+  assert(target.kind == Expr::Kind::kField);
+  const Expr& base = *target.a;
+  const Type field_type = target.type;
+  if (base.kind == Expr::Kind::kIndex) {
+    compile_expr(*base.b);  // index
+    if (expr.compound) {
+      emit(Op::kDup);
+      emit(Op::kLoadOutput);
+      emit(Op::kFieldGet, static_cast<std::int32_t>(target.field));
+      compile_expr(value);
+      emit(binop_insn(expr.bin_op));
+    } else {
+      compile_expr(value);
+      emit_conversion(value.type, field_type);
+    }
+    if (expr.compound) {
+      if (field_type == Type::kInt) emit(Op::kToInt);
+      if (field_type == Type::kDouble) emit(Op::kToDouble);
+    }
+    emit(Op::kOutputFieldSet, static_cast<std::int32_t>(target.field));
+    return;
+  }
+
+  // local sample variable field
+  if (expr.compound) {
+    emit(Op::kLoadLocal, base.local_slot);
+    emit(Op::kFieldGet, static_cast<std::int32_t>(target.field));
+    compile_expr(value);
+    emit(binop_insn(expr.bin_op));
+    if (field_type == Type::kInt) emit(Op::kToInt);
+    if (field_type == Type::kDouble) emit(Op::kToDouble);
+  } else {
+    compile_expr(value);
+    emit_conversion(value.type, field_type);
+  }
+  emit(Op::kLocalFieldSet, base.local_slot,
+       static_cast<std::int32_t>(target.field));
+}
+
+void Compiler::compile_inc_dec(const Expr& expr) {
+  // Semantic analysis restricted the target to a local numeric variable.
+  const std::int32_t slot = expr.a->local_slot;
+  const Type type = expr.a->type;
+  emit(Op::kLoadLocal, slot);
+  if (!expr.prefix) emit(Op::kDup);  // keep the old value as the result
+  if (type == Type::kDouble) {
+    emit_push_float(1.0);
+  } else {
+    emit_push_int(1);
+  }
+  emit(expr.increment ? Op::kAdd : Op::kSub);
+  if (type == Type::kInt) emit(Op::kToInt);
+  emit(Op::kStoreLocal, slot);
+  if (!expr.prefix) emit(Op::kPop);  // drop the stored (new) value
+}
+
+void Compiler::compile_expr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit:
+      emit_push_int(expr.int_value);
+      return;
+    case Expr::Kind::kFloatLit:
+      emit_push_float(expr.float_value);
+      return;
+    case Expr::Kind::kIdent:
+      if (expr.resolution == Resolution::kConstant) {
+        emit_push_int(expr.const_value);
+      } else {
+        emit(Op::kLoadLocal, expr.local_slot);
+      }
+      return;
+    case Expr::Kind::kIndex:
+      compile_expr(*expr.b);
+      emit(expr.a->resolution == Resolution::kInputArray ? Op::kLoadInput
+                                                         : Op::kLoadOutput);
+      return;
+    case Expr::Kind::kField:
+      compile_expr(*expr.a);
+      emit(Op::kFieldGet, static_cast<std::int32_t>(expr.field));
+      return;
+    case Expr::Kind::kUnary:
+      compile_expr(*expr.a);
+      switch (expr.unary_op) {
+        case UnaryOp::kNeg: emit(Op::kNeg); break;
+        case UnaryOp::kNot: emit(Op::kNot); break;
+        case UnaryOp::kBitNot: emit(Op::kBitNot); break;
+      }
+      return;
+    case Expr::Kind::kBinary:
+      if (expr.bin_op == BinaryOp::kLogicalAnd ||
+          expr.bin_op == BinaryOp::kLogicalOr) {
+        compile_logical(expr);
+        return;
+      }
+      compile_expr(*expr.a);
+      compile_expr(*expr.b);
+      emit(binop_insn(expr.bin_op));
+      return;
+    case Expr::Kind::kAssign:
+      compile_assign(expr);
+      return;
+    case Expr::Kind::kTernary: {
+      compile_expr(*expr.a);
+      const std::size_t to_else = emit_jump(Op::kJmpIfFalse);
+      compile_expr(*expr.b);
+      emit_conversion(expr.b->type, expr.type);
+      const std::size_t to_end = emit_jump(Op::kJmp);
+      patch_jump(to_else);
+      compile_expr(*expr.c);
+      emit_conversion(expr.c->type, expr.type);
+      patch_jump(to_end);
+      return;
+    }
+    case Expr::Kind::kIncDec:
+      compile_inc_dec(expr);
+      return;
+    case Expr::Kind::kCall:
+      for (const auto& arg : expr.args) compile_expr(*arg);
+      emit(Op::kCallBuiltin, expr.builtin,
+           static_cast<std::int32_t>(expr.args.size()));
+      return;
+  }
+}
+
+}  // namespace dproc::ecode

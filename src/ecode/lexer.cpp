@@ -1,0 +1,299 @@
+#include "dproc/ecode/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+
+namespace dproc::ecode {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwLong: return "'long'";
+    case TokenKind::kKwDouble: return "'double'";
+    case TokenKind::kKwSample: return "'sample'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+  }
+  return "<unknown>";
+}
+
+namespace {
+const std::map<std::string_view, TokenKind>& keywords() {
+  static const std::map<std::string_view, TokenKind> kw{
+      {"int", TokenKind::kKwInt},         {"long", TokenKind::kKwLong},
+      {"double", TokenKind::kKwDouble},   {"sample", TokenKind::kKwSample},
+      {"if", TokenKind::kKwIf},           {"else", TokenKind::kKwElse},
+      {"for", TokenKind::kKwFor},         {"while", TokenKind::kKwWhile},
+      {"return", TokenKind::kKwReturn},   {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+  };
+  return kw;
+}
+}  // namespace
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++loc_.line;
+    loc_.column = 1;
+  } else {
+    ++loc_.column;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (at_end() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_whitespace_and_comments() {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = loc_;
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) {
+        diagnostics_.push_back({start, "unterminated block comment"});
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_number() {
+  const SourceLoc start = loc_;
+  const std::size_t begin = pos_;
+  bool is_float = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+    Token tok{TokenKind::kIntLiteral, start, {}, 0, 0.0};
+    const auto text = source_.substr(begin + 2, pos_ - begin - 2);
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                     value, 16);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      diagnostics_.push_back({start, "malformed hexadecimal literal"});
+    }
+    tok.int_value = static_cast<std::int64_t>(value);
+    return tok;
+  }
+
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    const char sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(sign)) ||
+        ((sign == '+' || sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      is_float = true;
+      advance();  // e
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+  }
+
+  const std::string text{source_.substr(begin, pos_ - begin)};
+  Token tok;
+  tok.loc = start;
+  if (is_float) {
+    tok.kind = TokenKind::kFloatLiteral;
+    tok.float_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    tok.kind = TokenKind::kIntLiteral;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), tok.int_value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      diagnostics_.push_back({start, "integer literal out of range: " + text});
+    }
+  }
+  return tok;
+}
+
+Token Lexer::lex_identifier() {
+  const SourceLoc start = loc_;
+  const std::size_t begin = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  const std::string_view text = source_.substr(begin, pos_ - begin);
+  auto kw = keywords().find(text);
+  Token tok;
+  tok.loc = start;
+  if (kw != keywords().end()) {
+    tok.kind = kw->second;
+  } else {
+    tok.kind = TokenKind::kIdentifier;
+    tok.text = std::string{text};
+  }
+  return tok;
+}
+
+Result<std::vector<Token>> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    skip_whitespace_and_comments();
+    if (at_end()) break;
+    const char c = peek();
+    const SourceLoc start = loc_;
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lex_identifier());
+      continue;
+    }
+
+    advance();
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '~': kind = TokenKind::kTilde; break;
+      case '^': kind = TokenKind::kCaret; break;
+      case '+':
+        kind = match('+') ? TokenKind::kPlusPlus
+               : match('=') ? TokenKind::kPlusAssign
+                            : TokenKind::kPlus;
+        break;
+      case '-':
+        kind = match('-') ? TokenKind::kMinusMinus
+               : match('=') ? TokenKind::kMinusAssign
+                            : TokenKind::kMinus;
+        break;
+      case '*':
+        kind = match('=') ? TokenKind::kStarAssign : TokenKind::kStar;
+        break;
+      case '/':
+        kind = match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+        break;
+      case '%':
+        kind = match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent;
+        break;
+      case '=':
+        kind = match('=') ? TokenKind::kEq : TokenKind::kAssign;
+        break;
+      case '!':
+        kind = match('=') ? TokenKind::kNe : TokenKind::kNot;
+        break;
+      case '<':
+        kind = match('=') ? TokenKind::kLe
+               : match('<') ? TokenKind::kShl
+                            : TokenKind::kLt;
+        break;
+      case '>':
+        kind = match('=') ? TokenKind::kGe
+               : match('>') ? TokenKind::kShr
+                            : TokenKind::kGt;
+        break;
+      case '&':
+        kind = match('&') ? TokenKind::kAndAnd : TokenKind::kAmp;
+        break;
+      case '|':
+        kind = match('|') ? TokenKind::kOrOr : TokenKind::kPipe;
+        break;
+      default:
+        diagnostics_.push_back(
+            {start, std::string{"unexpected character '"} + c + "'"});
+        continue;
+    }
+    Token tok;
+    tok.kind = kind;
+    tok.loc = start;
+    tokens.push_back(tok);
+  }
+
+  if (!diagnostics_.empty()) {
+    return Status::invalid_argument(format_diagnostics(diagnostics_));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = loc_;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace dproc::ecode

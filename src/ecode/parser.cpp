@@ -1,0 +1,483 @@
+#include "dproc/ecode/parser.hpp"
+
+#include <utility>
+
+namespace dproc::ecode {
+
+namespace {
+
+ExprPtr make_expr(Expr::Kind kind, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  return e;
+}
+
+StmtPtr make_stmt(Stmt::Kind kind, SourceLoc loc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  return s;
+}
+
+struct BinOpInfo {
+  BinaryOp op;
+  int precedence;  // higher binds tighter
+};
+
+// C precedence table for the binary operators E-code supports.
+const BinOpInfo* binop_info(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStar:    { static BinOpInfo i{BinaryOp::kMul, 10}; return &i; }
+    case TokenKind::kSlash:   { static BinOpInfo i{BinaryOp::kDiv, 10}; return &i; }
+    case TokenKind::kPercent: { static BinOpInfo i{BinaryOp::kMod, 10}; return &i; }
+    case TokenKind::kPlus:    { static BinOpInfo i{BinaryOp::kAdd, 9}; return &i; }
+    case TokenKind::kMinus:   { static BinOpInfo i{BinaryOp::kSub, 9}; return &i; }
+    case TokenKind::kShl:     { static BinOpInfo i{BinaryOp::kShl, 8}; return &i; }
+    case TokenKind::kShr:     { static BinOpInfo i{BinaryOp::kShr, 8}; return &i; }
+    case TokenKind::kLt:      { static BinOpInfo i{BinaryOp::kLt, 7}; return &i; }
+    case TokenKind::kLe:      { static BinOpInfo i{BinaryOp::kLe, 7}; return &i; }
+    case TokenKind::kGt:      { static BinOpInfo i{BinaryOp::kGt, 7}; return &i; }
+    case TokenKind::kGe:      { static BinOpInfo i{BinaryOp::kGe, 7}; return &i; }
+    case TokenKind::kEq:      { static BinOpInfo i{BinaryOp::kEq, 6}; return &i; }
+    case TokenKind::kNe:      { static BinOpInfo i{BinaryOp::kNe, 6}; return &i; }
+    case TokenKind::kAmp:     { static BinOpInfo i{BinaryOp::kBitAnd, 5}; return &i; }
+    case TokenKind::kCaret:   { static BinOpInfo i{BinaryOp::kBitXor, 4}; return &i; }
+    case TokenKind::kPipe:    { static BinOpInfo i{BinaryOp::kBitOr, 3}; return &i; }
+    case TokenKind::kAndAnd:  { static BinOpInfo i{BinaryOp::kLogicalAnd, 2}; return &i; }
+    case TokenKind::kOrOr:    { static BinOpInfo i{BinaryOp::kLogicalOr, 1}; return &i; }
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& tok = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind kind, const char* context) {
+  if (match(kind)) return true;
+  error(peek().loc, std::string{"expected "} + to_string(kind) + " " + context +
+                        ", found " + to_string(peek().kind));
+  return false;
+}
+
+void Parser::error(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({loc, std::move(message)});
+}
+
+void Parser::synchronize() {
+  // Skip to a statement boundary so one error doesn't cascade.
+  while (!check(TokenKind::kEof)) {
+    if (match(TokenKind::kSemicolon)) return;
+    if (check(TokenKind::kRBrace)) return;
+    advance();
+  }
+}
+
+bool Parser::is_type_keyword(TokenKind kind) {
+  return kind == TokenKind::kKwInt || kind == TokenKind::kKwLong ||
+         kind == TokenKind::kKwDouble || kind == TokenKind::kKwSample;
+}
+
+Type Parser::keyword_type(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+      return Type::kInt;
+    case TokenKind::kKwDouble:
+      return Type::kDouble;
+    case TokenKind::kKwSample:
+      return Type::kSample;
+    default:
+      return Type::kUnknown;
+  }
+}
+
+Result<Program> Parser::parse_program() {
+  Program program;
+  // The canonical filter shape is `{ ... }`; accept a bare list too.
+  const bool braced = match(TokenKind::kLBrace);
+  const TokenKind terminator = braced ? TokenKind::kRBrace : TokenKind::kEof;
+  while (!check(terminator) && !check(TokenKind::kEof)) {
+    if (auto stmt = parse_statement()) {
+      program.statements.push_back(std::move(stmt));
+    } else {
+      synchronize();
+    }
+  }
+  if (braced) expect(TokenKind::kRBrace, "to close the filter body");
+  if (!check(TokenKind::kEof)) {
+    error(peek().loc, "trailing tokens after filter body");
+  }
+  if (!diagnostics_.empty()) {
+    return Status::invalid_argument(format_diagnostics(diagnostics_));
+  }
+  return program;
+}
+
+StmtPtr Parser::parse_statement() {
+  const Token& tok = peek();
+  if (is_type_keyword(tok.kind)) {
+    const Type type = keyword_type(advance().kind);
+    return parse_var_decl(type);
+  }
+  switch (tok.kind) {
+    case TokenKind::kLBrace: return parse_block();
+    case TokenKind::kKwIf: return parse_if();
+    case TokenKind::kKwFor: return parse_for();
+    case TokenKind::kKwWhile: return parse_while();
+    case TokenKind::kKwReturn: return parse_return();
+    case TokenKind::kKwBreak: {
+      auto s = make_stmt(Stmt::Kind::kBreak, advance().loc);
+      expect(TokenKind::kSemicolon, "after 'break'");
+      return s;
+    }
+    case TokenKind::kKwContinue: {
+      auto s = make_stmt(Stmt::Kind::kContinue, advance().loc);
+      expect(TokenKind::kSemicolon, "after 'continue'");
+      return s;
+    }
+    case TokenKind::kSemicolon: {
+      // Empty statement.
+      auto s = make_stmt(Stmt::Kind::kBlock, advance().loc);
+      return s;
+    }
+    default: {
+      auto s = make_stmt(Stmt::Kind::kExpr, tok.loc);
+      s->expr = parse_expression();
+      if (!s->expr) return nullptr;
+      expect(TokenKind::kSemicolon, "after expression");
+      return s;
+    }
+  }
+}
+
+StmtPtr Parser::parse_var_decl(Type type) {
+  const Token& name_tok = peek();
+  auto s = make_stmt(Stmt::Kind::kVarDecl, name_tok.loc);
+  s->decl_type = type;
+  if (!check(TokenKind::kIdentifier)) {
+    error(name_tok.loc, "expected variable name");
+    return nullptr;
+  }
+  s->name = advance().text;
+  if (match(TokenKind::kAssign)) {
+    s->expr = parse_expression();
+    if (!s->expr) return nullptr;
+  }
+  expect(TokenKind::kSemicolon, "after declaration");
+  return s;
+}
+
+StmtPtr Parser::parse_block() {
+  auto s = make_stmt(Stmt::Kind::kBlock, peek().loc);
+  expect(TokenKind::kLBrace, "to open block");
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    if (auto stmt = parse_statement()) {
+      s->body.push_back(std::move(stmt));
+    } else {
+      synchronize();
+    }
+  }
+  expect(TokenKind::kRBrace, "to close block");
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  auto s = make_stmt(Stmt::Kind::kIf, advance().loc);
+  expect(TokenKind::kLParen, "after 'if'");
+  s->expr = parse_expression();
+  expect(TokenKind::kRParen, "after if condition");
+  s->then_branch = parse_statement();
+  if (match(TokenKind::kKwElse)) {
+    s->else_branch = parse_statement();
+  }
+  if (!s->expr || !s->then_branch) return nullptr;
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  auto s = make_stmt(Stmt::Kind::kFor, advance().loc);
+  expect(TokenKind::kLParen, "after 'for'");
+
+  // init: declaration, expression, or empty
+  if (match(TokenKind::kSemicolon)) {
+    // empty init
+  } else if (is_type_keyword(peek().kind)) {
+    const Type type = keyword_type(advance().kind);
+    s->init = parse_var_decl(type);  // consumes the ';'
+  } else {
+    auto init = make_stmt(Stmt::Kind::kExpr, peek().loc);
+    init->expr = parse_expression();
+    expect(TokenKind::kSemicolon, "after for-init");
+    s->init = std::move(init);
+  }
+
+  if (!check(TokenKind::kSemicolon)) {
+    s->expr = parse_expression();
+  }
+  expect(TokenKind::kSemicolon, "after for-condition");
+
+  if (!check(TokenKind::kRParen)) {
+    s->step = parse_expression();
+  }
+  expect(TokenKind::kRParen, "after for-step");
+
+  s->loop_body = parse_statement();
+  if (!s->loop_body) return nullptr;
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  auto s = make_stmt(Stmt::Kind::kWhile, advance().loc);
+  expect(TokenKind::kLParen, "after 'while'");
+  s->expr = parse_expression();
+  expect(TokenKind::kRParen, "after while condition");
+  s->loop_body = parse_statement();
+  if (!s->expr || !s->loop_body) return nullptr;
+  return s;
+}
+
+StmtPtr Parser::parse_return() {
+  auto s = make_stmt(Stmt::Kind::kReturn, advance().loc);
+  if (!check(TokenKind::kSemicolon)) {
+    s->expr = parse_expression();
+  }
+  expect(TokenKind::kSemicolon, "after return");
+  return s;
+}
+
+namespace {
+/// Scoped depth counter for the recursion guard.
+class DepthGuard {
+ public:
+  explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+  ~DepthGuard() { --depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+}  // namespace
+
+ExprPtr Parser::parse_expression() {
+  DepthGuard guard{expr_depth_};
+  if (expr_depth_ > kMaxExprDepth) {
+    error(peek().loc, "expression nesting too deep");
+    // Consume the offending token so error recovery makes progress.
+    advance();
+    return nullptr;
+  }
+  ExprPtr lhs = parse_ternary();
+  if (!lhs) return nullptr;
+
+  // Right-associative assignment.
+  const TokenKind kind = peek().kind;
+  BinaryOp compound_op{};
+  bool is_assign = false, is_compound = false;
+  switch (kind) {
+    case TokenKind::kAssign: is_assign = true; break;
+    case TokenKind::kPlusAssign: is_assign = is_compound = true; compound_op = BinaryOp::kAdd; break;
+    case TokenKind::kMinusAssign: is_assign = is_compound = true; compound_op = BinaryOp::kSub; break;
+    case TokenKind::kStarAssign: is_assign = is_compound = true; compound_op = BinaryOp::kMul; break;
+    case TokenKind::kSlashAssign: is_assign = is_compound = true; compound_op = BinaryOp::kDiv; break;
+    case TokenKind::kPercentAssign: is_assign = is_compound = true; compound_op = BinaryOp::kMod; break;
+    default: return lhs;
+  }
+  (void)is_assign;
+  const SourceLoc loc = advance().loc;
+  auto rhs = parse_expression();
+  if (!rhs) return nullptr;
+  auto e = make_expr(Expr::Kind::kAssign, loc);
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  e->compound = is_compound;
+  e->bin_op = compound_op;
+  return e;
+}
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(1);
+  if (!cond) return nullptr;
+  if (!match(TokenKind::kQuestion)) return cond;
+  const SourceLoc loc = cond->loc;
+  auto then_expr = parse_expression();
+  expect(TokenKind::kColon, "in ternary expression");
+  auto else_expr = parse_ternary();
+  if (!then_expr || !else_expr) return nullptr;
+  auto e = make_expr(Expr::Kind::kTernary, loc);
+  e->a = std::move(cond);
+  e->b = std::move(then_expr);
+  e->c = std::move(else_expr);
+  return e;
+}
+
+ExprPtr Parser::parse_binary(int min_precedence) {
+  ExprPtr lhs = parse_unary();
+  if (!lhs) return nullptr;
+  while (true) {
+    const BinOpInfo* info = binop_info(peek().kind);
+    if (info == nullptr || info->precedence < min_precedence) return lhs;
+    const SourceLoc loc = advance().loc;
+    ExprPtr rhs = parse_binary(info->precedence + 1);
+    if (!rhs) return nullptr;
+    auto e = make_expr(Expr::Kind::kBinary, loc);
+    e->bin_op = info->op;
+    e->a = std::move(lhs);
+    e->b = std::move(rhs);
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::kMinus: {
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_unary();
+      if (!operand) return nullptr;
+      auto e = make_expr(Expr::Kind::kUnary, loc);
+      e->unary_op = UnaryOp::kNeg;
+      e->a = std::move(operand);
+      return e;
+    }
+    case TokenKind::kNot: {
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_unary();
+      if (!operand) return nullptr;
+      auto e = make_expr(Expr::Kind::kUnary, loc);
+      e->unary_op = UnaryOp::kNot;
+      e->a = std::move(operand);
+      return e;
+    }
+    case TokenKind::kTilde: {
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_unary();
+      if (!operand) return nullptr;
+      auto e = make_expr(Expr::Kind::kUnary, loc);
+      e->unary_op = UnaryOp::kBitNot;
+      e->a = std::move(operand);
+      return e;
+    }
+    case TokenKind::kPlusPlus:
+    case TokenKind::kMinusMinus: {
+      const bool increment = tok.kind == TokenKind::kPlusPlus;
+      const SourceLoc loc = advance().loc;
+      auto operand = parse_unary();
+      if (!operand) return nullptr;
+      auto e = make_expr(Expr::Kind::kIncDec, loc);
+      e->prefix = true;
+      e->increment = increment;
+      e->a = std::move(operand);
+      return e;
+    }
+    case TokenKind::kPlus: {  // unary plus: no-op
+      advance();
+      return parse_unary();
+    }
+    default:
+      return parse_postfix();
+  }
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr expr = parse_primary();
+  if (!expr) return nullptr;
+  while (true) {
+    if (expr->kind == Expr::Kind::kIdent && check(TokenKind::kLParen)) {
+      advance();
+      auto call = make_expr(Expr::Kind::kCall, expr->loc);
+      call->name = expr->name;
+      if (!check(TokenKind::kRParen)) {
+        do {
+          auto arg = parse_expression();
+          if (!arg) return nullptr;
+          call->args.push_back(std::move(arg));
+        } while (match(TokenKind::kComma));
+      }
+      expect(TokenKind::kRParen, "to close argument list");
+      expr = std::move(call);
+      continue;
+    }
+    if (match(TokenKind::kLBracket)) {
+      const SourceLoc loc = expr->loc;
+      auto index = parse_expression();
+      expect(TokenKind::kRBracket, "after index");
+      if (!index) return nullptr;
+      auto e = make_expr(Expr::Kind::kIndex, loc);
+      e->a = std::move(expr);
+      e->b = std::move(index);
+      expr = std::move(e);
+    } else if (match(TokenKind::kDot)) {
+      if (!check(TokenKind::kIdentifier)) {
+        error(peek().loc, "expected field name after '.'");
+        return nullptr;
+      }
+      const Token& field = advance();
+      auto e = make_expr(Expr::Kind::kField, field.loc);
+      e->name = field.text;
+      e->a = std::move(expr);
+      expr = std::move(e);
+    } else if (check(TokenKind::kPlusPlus) || check(TokenKind::kMinusMinus)) {
+      const bool increment = peek().kind == TokenKind::kPlusPlus;
+      const SourceLoc loc = advance().loc;
+      auto e = make_expr(Expr::Kind::kIncDec, loc);
+      e->prefix = false;
+      e->increment = increment;
+      e->a = std::move(expr);
+      expr = std::move(e);
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::kIntLiteral: {
+      auto e = make_expr(Expr::Kind::kIntLit, tok.loc);
+      e->int_value = advance().int_value;
+      return e;
+    }
+    case TokenKind::kFloatLiteral: {
+      auto e = make_expr(Expr::Kind::kFloatLit, tok.loc);
+      e->float_value = advance().float_value;
+      return e;
+    }
+    case TokenKind::kIdentifier: {
+      auto e = make_expr(Expr::Kind::kIdent, tok.loc);
+      e->name = advance().text;
+      return e;
+    }
+    case TokenKind::kLParen: {
+      advance();
+      auto e = parse_expression();
+      expect(TokenKind::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    default:
+      error(tok.loc, std::string{"expected expression, found "} +
+                         to_string(tok.kind));
+      advance();
+      return nullptr;
+  }
+}
+
+}  // namespace dproc::ecode

@@ -1,0 +1,242 @@
+#include "dproc/ecode/printer.hpp"
+
+#include <sstream>
+
+namespace dproc::ecode {
+
+namespace {
+
+const char* binop_spelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLogicalAnd: return "&&";
+    case BinaryOp::kLogicalOr: return "||";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  std::string stmt_list(const std::vector<StmtPtr>& statements) {
+    for (const auto& stmt : statements) print_stmt(*stmt);
+    return out_.str();
+  }
+
+  std::string expression(const Expr& expr) {
+    print_expr(expr);
+    return out_.str();
+  }
+
+ private:
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  void print_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kExpr:
+        indent();
+        print_expr(*stmt.expr);
+        out_ << ";\n";
+        return;
+      case Stmt::Kind::kVarDecl:
+        indent();
+        out_ << to_string(stmt.decl_type) << " " << stmt.name;
+        if (stmt.expr) {
+          out_ << " = ";
+          print_expr(*stmt.expr);
+        }
+        out_ << ";\n";
+        return;
+      case Stmt::Kind::kBlock:
+        indent();
+        out_ << "{\n";
+        ++depth_;
+        for (const auto& child : stmt.body) print_stmt(*child);
+        --depth_;
+        indent();
+        out_ << "}\n";
+        return;
+      case Stmt::Kind::kIf:
+        indent();
+        out_ << "if (";
+        print_expr(*stmt.expr);
+        out_ << ")\n";
+        print_branch(*stmt.then_branch);
+        if (stmt.else_branch) {
+          indent();
+          out_ << "else\n";
+          print_branch(*stmt.else_branch);
+        }
+        return;
+      case Stmt::Kind::kFor:
+        indent();
+        out_ << "for (";
+        if (stmt.init) {
+          if (stmt.init->kind == Stmt::Kind::kVarDecl) {
+            out_ << to_string(stmt.init->decl_type) << " " << stmt.init->name;
+            if (stmt.init->expr) {
+              out_ << " = ";
+              print_expr(*stmt.init->expr);
+            }
+          } else if (stmt.init->expr) {
+            print_expr(*stmt.init->expr);
+          }
+        }
+        out_ << "; ";
+        if (stmt.expr) print_expr(*stmt.expr);
+        out_ << "; ";
+        if (stmt.step) print_expr(*stmt.step);
+        out_ << ")\n";
+        print_branch(*stmt.loop_body);
+        return;
+      case Stmt::Kind::kWhile:
+        indent();
+        out_ << "while (";
+        print_expr(*stmt.expr);
+        out_ << ")\n";
+        print_branch(*stmt.loop_body);
+        return;
+      case Stmt::Kind::kReturn:
+        indent();
+        out_ << "return";
+        if (stmt.expr) {
+          out_ << " ";
+          print_expr(*stmt.expr);
+        }
+        out_ << ";\n";
+        return;
+      case Stmt::Kind::kBreak:
+        indent();
+        out_ << "break;\n";
+        return;
+      case Stmt::Kind::kContinue:
+        indent();
+        out_ << "continue;\n";
+        return;
+    }
+  }
+
+  void print_branch(const Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kBlock) {
+      print_stmt(stmt);
+    } else {
+      ++depth_;
+      print_stmt(stmt);
+      --depth_;
+    }
+  }
+
+  /// Fully parenthesized expressions: correctness without a precedence
+  /// re-derivation, and the round-trip property still holds.
+  void print_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        out_ << expr.int_value;
+        return;
+      case Expr::Kind::kFloatLit: {
+        std::ostringstream value;
+        value.precision(17);
+        value << expr.float_value;
+        out_ << value.str();
+        // Keep it lexing as a float literal.
+        const std::string rendered = value.str();
+        if (rendered.find('.') == std::string::npos &&
+            rendered.find('e') == std::string::npos &&
+            rendered.find("inf") == std::string::npos) {
+          out_ << ".0";
+        }
+        return;
+      }
+      case Expr::Kind::kIdent:
+        out_ << expr.name;
+        return;
+      case Expr::Kind::kUnary:
+        switch (expr.unary_op) {
+          case UnaryOp::kNeg: out_ << "-"; break;
+          case UnaryOp::kNot: out_ << "!"; break;
+          case UnaryOp::kBitNot: out_ << "~"; break;
+        }
+        out_ << "(";
+        print_expr(*expr.a);
+        out_ << ")";
+        return;
+      case Expr::Kind::kBinary:
+        out_ << "(";
+        print_expr(*expr.a);
+        out_ << " " << binop_spelling(expr.bin_op) << " ";
+        print_expr(*expr.b);
+        out_ << ")";
+        return;
+      case Expr::Kind::kAssign:
+        print_expr(*expr.a);
+        out_ << " " << (expr.compound ? binop_spelling(expr.bin_op) : "")
+             << "= ";
+        print_expr(*expr.b);
+        return;
+      case Expr::Kind::kTernary:
+        out_ << "(";
+        print_expr(*expr.a);
+        out_ << " ? ";
+        print_expr(*expr.b);
+        out_ << " : ";
+        print_expr(*expr.c);
+        out_ << ")";
+        return;
+      case Expr::Kind::kIndex:
+        print_expr(*expr.a);
+        out_ << "[";
+        print_expr(*expr.b);
+        out_ << "]";
+        return;
+      case Expr::Kind::kField:
+        print_expr(*expr.a);
+        out_ << "." << expr.name;
+        return;
+      case Expr::Kind::kIncDec:
+        if (expr.prefix) out_ << (expr.increment ? "++" : "--");
+        print_expr(*expr.a);
+        if (!expr.prefix) out_ << (expr.increment ? "++" : "--");
+        return;
+      case Expr::Kind::kCall: {
+        out_ << expr.name << "(";
+        bool first = true;
+        for (const auto& arg : expr.args) {
+          if (!first) out_ << ", ";
+          first = false;
+          print_expr(*arg);
+        }
+        out_ << ")";
+        return;
+      }
+    }
+  }
+
+  std::ostringstream out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string to_source(const Program& program) {
+  return Printer{}.stmt_list(program.statements);
+}
+
+std::string to_source(const Expr& expr) { return Printer{}.expression(expr); }
+
+}  // namespace dproc::ecode

@@ -1,0 +1,460 @@
+#include "dproc/ecode/sema.hpp"
+
+namespace dproc::ecode {
+
+const std::vector<BuiltinFn>& builtin_functions() {
+  static const std::vector<BuiltinFn> kBuiltins{
+      {"abs", 1}, {"min", 2}, {"max", 2},
+      {"floor", 1}, {"ceil", 1}, {"sqrt", 1},
+  };
+  return kBuiltins;
+}
+
+int find_builtin(const std::string& name) {
+  const auto& table = builtin_functions();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (name == table[i].name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+bool field_from_name(const std::string& name, SampleField& field, Type& type) {
+  if (name == "value") {
+    field = SampleField::kValue;
+    type = Type::kDouble;
+    return true;
+  }
+  if (name == "last_value_sent") {
+    field = SampleField::kLastValueSent;
+    type = Type::kDouble;
+    return true;
+  }
+  if (name == "id") {
+    field = SampleField::kId;
+    type = Type::kInt;
+    return true;
+  }
+  if (name == "timestamp") {
+    field = SampleField::kTimestamp;
+    type = Type::kInt;
+    return true;
+  }
+  return false;
+}
+
+/// True when the expression reads from the read-only `input` array.
+bool rooted_in_input(const Expr& expr) {
+  const Expr* e = &expr;
+  while (e->kind == Expr::Kind::kField || e->kind == Expr::Kind::kIndex) {
+    e = e->a.get();
+  }
+  return e->kind == Expr::Kind::kIdent &&
+         e->resolution == Resolution::kInputArray;
+}
+}  // namespace
+
+Status Sema::analyze(Program& program) {
+  scopes_.clear();
+  next_slot_ = 0;
+  loop_depth_ = 0;
+  diagnostics_.clear();
+
+  push_scope();
+  for (auto& stmt : program.statements) check_stmt(*stmt);
+  pop_scope();
+
+  if (!diagnostics_.empty()) {
+    return Status::invalid_argument(format_diagnostics(diagnostics_));
+  }
+  program.local_slot_count = static_cast<std::size_t>(next_slot_);
+  return Status::ok();
+}
+
+void Sema::push_scope() { scopes_.emplace_back(); }
+void Sema::pop_scope() { scopes_.pop_back(); }
+
+int Sema::declare(const std::string& name, Type type, SourceLoc loc) {
+  for (const Local& local : scopes_.back()) {
+    if (local.name == name) {
+      error(loc, "redeclaration of '" + name + "'");
+      return local.slot;
+    }
+  }
+  if (name == "input" || name == "output") {
+    error(loc, "'" + name + "' is a builtin array and cannot be declared");
+  }
+  const int slot = next_slot_++;
+  scopes_.back().push_back(Local{name, type, slot});
+  return slot;
+}
+
+void Sema::check_stmt(Stmt& stmt) {
+  switch (stmt.kind) {
+    case Stmt::Kind::kExpr:
+      check_expr(*stmt.expr);
+      return;
+    case Stmt::Kind::kVarDecl: {
+      if (stmt.expr) {
+        const Type init = check_expr(*stmt.expr);
+        if (stmt.decl_type == Type::kSample) {
+          if (init != Type::kSample && init != Type::kUnknown) {
+            error(stmt.loc, "cannot initialize sample from " +
+                                std::string{to_string(init)});
+          }
+        } else if (!is_numeric(init) && init != Type::kUnknown) {
+          error(stmt.loc, "cannot initialize " +
+                              std::string{to_string(stmt.decl_type)} +
+                              " from " + to_string(init));
+        }
+      }
+      stmt.local_slot = declare(stmt.name, stmt.decl_type, stmt.loc);
+      return;
+    }
+    case Stmt::Kind::kBlock:
+      push_scope();
+      for (auto& s : stmt.body) check_stmt(*s);
+      pop_scope();
+      return;
+    case Stmt::Kind::kIf: {
+      const Type cond = check_expr(*stmt.expr);
+      if (!is_numeric(cond) && cond != Type::kUnknown) {
+        error(stmt.expr->loc, "if condition must be numeric, got " +
+                                  std::string{to_string(cond)});
+      }
+      check_stmt(*stmt.then_branch);
+      if (stmt.else_branch) check_stmt(*stmt.else_branch);
+      return;
+    }
+    case Stmt::Kind::kFor: {
+      push_scope();
+      if (stmt.init) check_stmt(*stmt.init);
+      if (stmt.expr) {
+        const Type cond = check_expr(*stmt.expr);
+        if (!is_numeric(cond) && cond != Type::kUnknown) {
+          error(stmt.expr->loc, "for condition must be numeric");
+        }
+      }
+      if (stmt.step) check_expr(*stmt.step);
+      ++loop_depth_;
+      check_stmt(*stmt.loop_body);
+      --loop_depth_;
+      pop_scope();
+      return;
+    }
+    case Stmt::Kind::kWhile: {
+      const Type cond = check_expr(*stmt.expr);
+      if (!is_numeric(cond) && cond != Type::kUnknown) {
+        error(stmt.expr->loc, "while condition must be numeric");
+      }
+      ++loop_depth_;
+      check_stmt(*stmt.loop_body);
+      --loop_depth_;
+      return;
+    }
+    case Stmt::Kind::kReturn:
+      if (stmt.expr) {
+        const Type t = check_expr(*stmt.expr);
+        if (!is_numeric(t) && t != Type::kUnknown) {
+          error(stmt.loc, "return value must be numeric, got " +
+                              std::string{to_string(t)});
+        }
+      }
+      return;
+    case Stmt::Kind::kBreak:
+    case Stmt::Kind::kContinue:
+      if (loop_depth_ == 0) {
+        error(stmt.loc, stmt.kind == Stmt::Kind::kBreak
+                            ? "'break' outside of a loop"
+                            : "'continue' outside of a loop");
+      }
+      return;
+  }
+}
+
+void Sema::resolve_ident(Expr& expr) {
+  // Locals shadow builtins shadow constants.
+  for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+    for (const Local& local : *scope) {
+      if (local.name == expr.name) {
+        expr.resolution = Resolution::kLocal;
+        expr.local_slot = local.slot;
+        expr.type = local.type;
+        return;
+      }
+    }
+  }
+  if (expr.name == "input") {
+    expr.resolution = Resolution::kInputArray;
+    expr.type = Type::kUnknown;  // only meaningful under an index
+    return;
+  }
+  if (expr.name == "output") {
+    expr.resolution = Resolution::kOutputArray;
+    expr.type = Type::kUnknown;
+    return;
+  }
+  auto constant = env_.constants.find(expr.name);
+  if (constant != env_.constants.end()) {
+    expr.resolution = Resolution::kConstant;
+    expr.const_value = constant->second;
+    expr.type = Type::kInt;
+    return;
+  }
+  error(expr.loc, "use of undeclared identifier '" + expr.name + "'");
+}
+
+Type Sema::check_call(Expr& expr) {
+  expr.builtin = find_builtin(expr.name);
+  if (expr.builtin < 0) {
+    error(expr.loc, "unknown function '" + expr.name +
+                        "' (builtins: abs, min, max, floor, ceil, sqrt)");
+    expr.type = Type::kUnknown;
+    return expr.type;
+  }
+  const BuiltinFn& fn = builtin_functions()[static_cast<std::size_t>(expr.builtin)];
+  if (static_cast<int>(expr.args.size()) != fn.arity) {
+    error(expr.loc, "'" + expr.name + "' takes " + std::to_string(fn.arity) +
+                        " argument(s), got " + std::to_string(expr.args.size()));
+  }
+  for (auto& arg : expr.args) {
+    const Type t = check_expr(*arg);
+    if (!is_numeric(t) && t != Type::kUnknown) {
+      error(arg->loc, "'" + expr.name + "' requires numeric arguments");
+    }
+  }
+  expr.type = Type::kDouble;
+  return expr.type;
+}
+
+Type Sema::check_index(Expr& expr) {
+  // Resolve the base directly (not via check_expr) so bare-array diagnosis
+  // below stays limited to non-index contexts.
+  if (expr.a->kind == Expr::Kind::kIdent) resolve_ident(*expr.a);
+  if (expr.a->kind != Expr::Kind::kIdent ||
+      (expr.a->resolution != Resolution::kInputArray &&
+       expr.a->resolution != Resolution::kOutputArray)) {
+    error(expr.loc, "only 'input' and 'output' can be indexed");
+    expr.type = Type::kUnknown;
+    return expr.type;
+  }
+  const Type index = check_expr(*expr.b);
+  if (index != Type::kInt && index != Type::kUnknown) {
+    error(expr.b->loc, "array index must be an integer, got " +
+                           std::string{to_string(index)});
+  }
+  expr.type = Type::kSample;
+  return expr.type;
+}
+
+Type Sema::check_field(Expr& expr) {
+  const Type base = check_expr(*expr.a);
+  if (base != Type::kSample && base != Type::kUnknown) {
+    error(expr.loc, "'." + expr.name + "' requires a sample, got " +
+                        std::string{to_string(base)});
+    expr.type = Type::kUnknown;
+    return expr.type;
+  }
+  SampleField field{};
+  Type type{};
+  if (!field_from_name(expr.name, field, type)) {
+    error(expr.loc, "sample has no field '" + expr.name +
+                        "' (fields: value, last_value_sent, id, timestamp)");
+    expr.type = Type::kUnknown;
+    return expr.type;
+  }
+  expr.field = field;
+  expr.type = type;
+  return expr.type;
+}
+
+Type Sema::check_lvalue(Expr& expr) {
+  const Type type = check_expr(expr);
+  switch (expr.kind) {
+    case Expr::Kind::kIdent:
+      if (expr.resolution == Resolution::kLocal) return type;
+      error(expr.loc, "'" + expr.name + "' is not assignable");
+      return Type::kUnknown;
+    case Expr::Kind::kIndex:
+      if (expr.a->resolution == Resolution::kOutputArray) return type;
+      error(expr.loc, "'input' is read-only");
+      return Type::kUnknown;
+    case Expr::Kind::kField: {
+      if (rooted_in_input(expr)) {
+        error(expr.loc, "'input' is read-only");
+        return Type::kUnknown;
+      }
+      // Assignable fields: output[e].f, or a local sample variable's field.
+      const Expr& base = *expr.a;
+      const bool output_field =
+          base.kind == Expr::Kind::kIndex &&
+          base.a->resolution == Resolution::kOutputArray;
+      const bool local_sample_field =
+          base.kind == Expr::Kind::kIdent &&
+          base.resolution == Resolution::kLocal && base.type == Type::kSample;
+      if (!output_field && !local_sample_field) {
+        error(expr.loc, "field is not assignable here");
+        return Type::kUnknown;
+      }
+      return type;
+    }
+    default:
+      error(expr.loc, "expression is not assignable");
+      return Type::kUnknown;
+  }
+}
+
+Type Sema::check_assign(Expr& expr) {
+  const Type target = check_lvalue(*expr.a);
+  const Type value = check_expr(*expr.b);
+
+  if (expr.compound) {
+    if ((!is_numeric(target) && target != Type::kUnknown) ||
+        (!is_numeric(value) && value != Type::kUnknown)) {
+      error(expr.loc, "compound assignment requires numeric operands");
+    }
+    if ((expr.bin_op == BinaryOp::kMod) &&
+        (target == Type::kDouble || value == Type::kDouble)) {
+      error(expr.loc, "'%=' requires integer operands");
+    }
+    expr.type = target;
+    return expr.type;
+  }
+
+  if (target == Type::kSample) {
+    if (value != Type::kSample && value != Type::kUnknown) {
+      error(expr.loc, "cannot assign " + std::string{to_string(value)} +
+                          " to a sample");
+    }
+  } else if (is_numeric(target)) {
+    if (!is_numeric(value) && value != Type::kUnknown) {
+      error(expr.loc, "cannot assign " + std::string{to_string(value)} +
+                          " to " + to_string(target));
+    }
+  }
+  expr.type = target;
+  return expr.type;
+}
+
+Type Sema::check_expr(Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit:
+      expr.type = Type::kInt;
+      return expr.type;
+    case Expr::Kind::kFloatLit:
+      expr.type = Type::kDouble;
+      return expr.type;
+    case Expr::Kind::kIdent:
+      resolve_ident(expr);
+      if (expr.resolution == Resolution::kInputArray ||
+          expr.resolution == Resolution::kOutputArray) {
+        error(expr.loc, "'" + expr.name + "' can only be used with an index");
+      }
+      return expr.type;
+    case Expr::Kind::kIndex:
+      return check_index(expr);
+    case Expr::Kind::kCall:
+      return check_call(expr);
+    case Expr::Kind::kField:
+      return check_field(expr);
+    case Expr::Kind::kUnary: {
+      const Type operand = check_expr(*expr.a);
+      if (!is_numeric(operand) && operand != Type::kUnknown) {
+        error(expr.loc, "unary operator requires a numeric operand");
+        expr.type = Type::kUnknown;
+        return expr.type;
+      }
+      switch (expr.unary_op) {
+        case UnaryOp::kNeg:
+          expr.type = operand;
+          break;
+        case UnaryOp::kNot:
+          expr.type = Type::kInt;
+          break;
+        case UnaryOp::kBitNot:
+          if (operand == Type::kDouble) {
+            error(expr.loc, "'~' requires an integer operand");
+          }
+          expr.type = Type::kInt;
+          break;
+      }
+      return expr.type;
+    }
+    case Expr::Kind::kBinary: {
+      const Type a = check_expr(*expr.a);
+      const Type b = check_expr(*expr.b);
+      if ((!is_numeric(a) && a != Type::kUnknown) ||
+          (!is_numeric(b) && b != Type::kUnknown)) {
+        error(expr.loc, "binary operator requires numeric operands");
+        expr.type = Type::kUnknown;
+        return expr.type;
+      }
+      switch (expr.bin_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          expr.type = unify_numeric(a, b);
+          break;
+        case BinaryOp::kMod:
+        case BinaryOp::kBitAnd:
+        case BinaryOp::kBitOr:
+        case BinaryOp::kBitXor:
+        case BinaryOp::kShl:
+        case BinaryOp::kShr:
+          if (a == Type::kDouble || b == Type::kDouble) {
+            error(expr.loc, "operator requires integer operands");
+          }
+          expr.type = Type::kInt;
+          break;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLogicalAnd:
+        case BinaryOp::kLogicalOr:
+          expr.type = Type::kInt;
+          break;
+      }
+      return expr.type;
+    }
+    case Expr::Kind::kAssign:
+      return check_assign(expr);
+    case Expr::Kind::kTernary: {
+      const Type cond = check_expr(*expr.a);
+      if (!is_numeric(cond) && cond != Type::kUnknown) {
+        error(expr.a->loc, "ternary condition must be numeric");
+      }
+      const Type t = check_expr(*expr.b);
+      const Type f = check_expr(*expr.c);
+      if (t == Type::kSample && f == Type::kSample) {
+        expr.type = Type::kSample;
+      } else if (is_numeric(t) && is_numeric(f)) {
+        expr.type = unify_numeric(t, f);
+      } else if (t == Type::kUnknown || f == Type::kUnknown) {
+        expr.type = Type::kUnknown;
+      } else {
+        error(expr.loc, "ternary branches have incompatible types");
+        expr.type = Type::kUnknown;
+      }
+      return expr.type;
+    }
+    case Expr::Kind::kIncDec: {
+      const Type target = check_lvalue(*expr.a);
+      if (expr.a->kind != Expr::Kind::kIdent ||
+          expr.a->resolution != Resolution::kLocal) {
+        error(expr.loc, "'++'/'--' requires a declared local variable");
+      } else if (!is_numeric(target) && target != Type::kUnknown) {
+        error(expr.loc, "'++'/'--' requires a numeric variable");
+      }
+      expr.type = target;
+      return expr.type;
+    }
+  }
+  expr.type = Type::kUnknown;
+  return expr.type;
+}
+
+}  // namespace dproc::ecode

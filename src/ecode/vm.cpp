@@ -1,0 +1,406 @@
+#include "dproc/ecode/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace dproc::ecode {
+
+namespace {
+
+/// Runtime value: an int, a double, or a sample.
+struct Value {
+  enum class Kind : std::uint8_t { kInt, kDouble, kSample } kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  Sample s{};
+
+  static Value from_int(std::int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value from_double(double v) {
+    Value x;
+    x.kind = Kind::kDouble;
+    x.d = v;
+    return x;
+  }
+  static Value from_sample(const Sample& v) {
+    Value x;
+    x.kind = Kind::kSample;
+    x.s = v;
+    return x;
+  }
+
+  [[nodiscard]] bool is_numeric() const { return kind != Kind::kSample; }
+  [[nodiscard]] double as_double() const {
+    return kind == Kind::kDouble ? d : static_cast<double>(i);
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    return kind == Kind::kInt ? i : static_cast<std::int64_t>(d);
+  }
+  [[nodiscard]] bool truthy() const {
+    return kind == Kind::kDouble ? d != 0.0 : i != 0;
+  }
+};
+
+std::string at_pc(std::size_t pc) {
+  return " (pc=" + std::to_string(pc) + ")";
+}
+
+}  // namespace
+
+Result<FilterResult> Vm::run(const Bytecode& code,
+                             std::span<const Sample> input) {
+  std::vector<Value> stack;
+  stack.reserve(16);
+  std::vector<Value> locals(code.local_slot_count);
+  std::map<std::int64_t, Sample> outputs;
+
+  FilterResult result;
+  std::uint64_t fuel = 0;
+  std::size_t pc = 0;
+
+  auto pop = [&]() {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  while (pc < code.insns.size()) {
+    if (++fuel > limits_.max_instructions) {
+      return Status{StatusCode::kResourceExhausted,
+                    "filter exceeded instruction limit (" +
+                        std::to_string(limits_.max_instructions) + ")"};
+    }
+    const Insn& insn = code.insns[pc];
+    switch (insn.op) {
+      case Op::kPushInt:
+        stack.push_back(Value::from_int(insn.imm_i));
+        break;
+      case Op::kPushFloat:
+        stack.push_back(Value::from_double(insn.imm_f));
+        break;
+      case Op::kPushZeroSample:
+        stack.push_back(Value::from_sample(Sample{}));
+        break;
+      case Op::kLoadLocal:
+        stack.push_back(locals[static_cast<std::size_t>(insn.arg)]);
+        break;
+      case Op::kStoreLocal:
+        locals[static_cast<std::size_t>(insn.arg)] = stack.back();
+        break;
+      case Op::kDup:
+        stack.push_back(stack.back());
+        break;
+      case Op::kPop:
+        stack.pop_back();
+        break;
+      case Op::kSwap:
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+
+      case Op::kLoadInput: {
+        const std::int64_t idx = pop().as_int();
+        if (idx < 0 || static_cast<std::size_t>(idx) >= input.size()) {
+          return Status::invalid_argument(
+              "input index " + std::to_string(idx) + " out of range [0, " +
+              std::to_string(input.size()) + ")" + at_pc(pc));
+        }
+        stack.push_back(Value::from_sample(input[static_cast<std::size_t>(idx)]));
+        break;
+      }
+      case Op::kLoadOutput: {
+        const std::int64_t idx = pop().as_int();
+        if (idx < 0 || idx > limits_.max_output_index) {
+          return Status::invalid_argument("output index " + std::to_string(idx) +
+                                          " out of range" + at_pc(pc));
+        }
+        auto it = outputs.find(idx);
+        stack.push_back(
+            Value::from_sample(it == outputs.end() ? Sample{} : it->second));
+        break;
+      }
+      case Op::kStoreOutput: {
+        const Value value = pop();
+        const std::int64_t idx = pop().as_int();
+        if (idx < 0 || idx > limits_.max_output_index) {
+          return Status::invalid_argument("output index " + std::to_string(idx) +
+                                          " out of range" + at_pc(pc));
+        }
+        if (value.kind != Value::Kind::kSample) {
+          return Status::internal("store of non-sample into output" + at_pc(pc));
+        }
+        outputs[idx] = value.s;
+        stack.push_back(value);
+        break;
+      }
+      case Op::kFieldGet: {
+        const Value base = pop();
+        if (base.kind != Value::Kind::kSample) {
+          return Status::internal("field access on non-sample" + at_pc(pc));
+        }
+        switch (static_cast<SampleField>(insn.arg)) {
+          case SampleField::kValue:
+            stack.push_back(Value::from_double(base.s.value));
+            break;
+          case SampleField::kLastValueSent:
+            stack.push_back(Value::from_double(base.s.last_value_sent));
+            break;
+          case SampleField::kId:
+            stack.push_back(Value::from_int(base.s.id));
+            break;
+          case SampleField::kTimestamp:
+            stack.push_back(Value::from_int(base.s.timestamp_ns));
+            break;
+        }
+        break;
+      }
+      case Op::kOutputFieldSet: {
+        const Value value = pop();
+        const std::int64_t idx = pop().as_int();
+        if (idx < 0 || idx > limits_.max_output_index) {
+          return Status::invalid_argument("output index " + std::to_string(idx) +
+                                          " out of range" + at_pc(pc));
+        }
+        Sample& sample = outputs[idx];
+        switch (static_cast<SampleField>(insn.arg)) {
+          case SampleField::kValue: sample.value = value.as_double(); break;
+          case SampleField::kLastValueSent:
+            sample.last_value_sent = value.as_double();
+            break;
+          case SampleField::kId: sample.id = value.as_int(); break;
+          case SampleField::kTimestamp: sample.timestamp_ns = value.as_int(); break;
+        }
+        stack.push_back(value);
+        break;
+      }
+      case Op::kLocalFieldSet: {
+        const Value value = pop();
+        Sample& sample = locals[static_cast<std::size_t>(insn.arg)].s;
+        locals[static_cast<std::size_t>(insn.arg)].kind = Value::Kind::kSample;
+        switch (static_cast<SampleField>(insn.arg2)) {
+          case SampleField::kValue: sample.value = value.as_double(); break;
+          case SampleField::kLastValueSent:
+            sample.last_value_sent = value.as_double();
+            break;
+          case SampleField::kId: sample.id = value.as_int(); break;
+          case SampleField::kTimestamp: sample.timestamp_ns = value.as_int(); break;
+        }
+        stack.push_back(value);
+        break;
+      }
+
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        const Value b = pop();
+        const Value a = pop();
+        if (a.kind == Value::Kind::kDouble || b.kind == Value::Kind::kDouble) {
+          const double x = a.as_double(), y = b.as_double();
+          double r = 0;
+          switch (insn.op) {
+            case Op::kAdd: r = x + y; break;
+            case Op::kSub: r = x - y; break;
+            case Op::kMul: r = x * y; break;
+            case Op::kDiv:
+              if (y == 0.0) {
+                return Status::invalid_argument("division by zero" + at_pc(pc));
+              }
+              r = x / y;
+              break;
+            default: break;
+          }
+          stack.push_back(Value::from_double(r));
+        } else {
+          const std::int64_t x = a.i, y = b.i;
+          std::int64_t r = 0;
+          switch (insn.op) {
+            case Op::kAdd: r = x + y; break;
+            case Op::kSub: r = x - y; break;
+            case Op::kMul: r = x * y; break;
+            case Op::kDiv:
+              if (y == 0) {
+                return Status::invalid_argument("division by zero" + at_pc(pc));
+              }
+              r = x / y;
+              break;
+            default: break;
+          }
+          stack.push_back(Value::from_int(r));
+        }
+        break;
+      }
+      case Op::kMod: {
+        const std::int64_t y = pop().as_int();
+        const std::int64_t x = pop().as_int();
+        if (y == 0) {
+          return Status::invalid_argument("modulo by zero" + at_pc(pc));
+        }
+        stack.push_back(Value::from_int(x % y));
+        break;
+      }
+      case Op::kNeg: {
+        const Value a = pop();
+        stack.push_back(a.kind == Value::Kind::kDouble
+                            ? Value::from_double(-a.d)
+                            : Value::from_int(-a.i));
+        break;
+      }
+      case Op::kNot:
+        stack.push_back(Value::from_int(pop().truthy() ? 0 : 1));
+        break;
+      case Op::kBitNot:
+        stack.push_back(Value::from_int(~pop().as_int()));
+        break;
+      case Op::kBitAnd: {
+        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        stack.push_back(Value::from_int(x & y));
+        break;
+      }
+      case Op::kBitOr: {
+        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        stack.push_back(Value::from_int(x | y));
+        break;
+      }
+      case Op::kBitXor: {
+        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        stack.push_back(Value::from_int(x ^ y));
+        break;
+      }
+      case Op::kShl: {
+        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        if (y < 0 || y > 63) {
+          return Status::invalid_argument("shift amount out of range" + at_pc(pc));
+        }
+        stack.push_back(Value::from_int(
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(x) << y)));
+        break;
+      }
+      case Op::kShr: {
+        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        if (y < 0 || y > 63) {
+          return Status::invalid_argument("shift amount out of range" + at_pc(pc));
+        }
+        stack.push_back(Value::from_int(x >> y));
+        break;
+      }
+
+      case Op::kLt:
+      case Op::kLe:
+      case Op::kGt:
+      case Op::kGe:
+      case Op::kEq:
+      case Op::kNe: {
+        const Value b = pop();
+        const Value a = pop();
+        bool r = false;
+        if (a.kind == Value::Kind::kDouble || b.kind == Value::Kind::kDouble) {
+          const double x = a.as_double(), y = b.as_double();
+          switch (insn.op) {
+            case Op::kLt: r = x < y; break;
+            case Op::kLe: r = x <= y; break;
+            case Op::kGt: r = x > y; break;
+            case Op::kGe: r = x >= y; break;
+            case Op::kEq: r = x == y; break;
+            case Op::kNe: r = x != y; break;
+            default: break;
+          }
+        } else {
+          const std::int64_t x = a.i, y = b.i;
+          switch (insn.op) {
+            case Op::kLt: r = x < y; break;
+            case Op::kLe: r = x <= y; break;
+            case Op::kGt: r = x > y; break;
+            case Op::kGe: r = x >= y; break;
+            case Op::kEq: r = x == y; break;
+            case Op::kNe: r = x != y; break;
+            default: break;
+          }
+        }
+        stack.push_back(Value::from_int(r ? 1 : 0));
+        break;
+      }
+
+      case Op::kToInt: {
+        Value& top = stack.back();
+        if (top.kind == Value::Kind::kDouble) {
+          top = Value::from_int(static_cast<std::int64_t>(top.d));
+        }
+        break;
+      }
+      case Op::kToDouble: {
+        Value& top = stack.back();
+        if (top.kind == Value::Kind::kInt) {
+          top = Value::from_double(static_cast<double>(top.i));
+        }
+        break;
+      }
+      case Op::kToBool: {
+        Value& top = stack.back();
+        top = Value::from_int(top.truthy() ? 1 : 0);
+        break;
+      }
+
+      case Op::kCallBuiltin: {
+        const int argc = insn.arg2;
+        double args[2] = {0.0, 0.0};
+        for (int i = argc - 1; i >= 0; --i) args[i] = pop().as_double();
+        double r = 0.0;
+        switch (insn.arg) {
+          case 0: r = std::abs(args[0]); break;           // abs
+          case 1: r = std::min(args[0], args[1]); break;  // min
+          case 2: r = std::max(args[0], args[1]); break;  // max
+          case 3: r = std::floor(args[0]); break;         // floor
+          case 4: r = std::ceil(args[0]); break;          // ceil
+          case 5:                                          // sqrt
+            if (args[0] < 0) {
+              return Status::invalid_argument("sqrt of negative value" +
+                                              at_pc(pc));
+            }
+            r = std::sqrt(args[0]);
+            break;
+          default:
+            return Status::internal("unknown builtin" + at_pc(pc));
+        }
+        stack.push_back(Value::from_double(r));
+        break;
+      }
+      case Op::kJmp:
+        pc = static_cast<std::size_t>(insn.arg);
+        continue;
+      case Op::kJmpIfFalse:
+        if (!pop().truthy()) {
+          pc = static_cast<std::size_t>(insn.arg);
+          continue;
+        }
+        break;
+      case Op::kJmpIfTrue:
+        if (pop().truthy()) {
+          pc = static_cast<std::size_t>(insn.arg);
+          continue;
+        }
+        break;
+
+      case Op::kReturn:
+        result.return_value = pop().as_double();
+        pc = code.insns.size();
+        continue;
+      case Op::kHalt:
+        pc = code.insns.size();
+        continue;
+    }
+    ++pc;
+  }
+
+  result.instructions_executed = fuel;
+  result.outputs.reserve(outputs.size());
+  for (const auto& [idx, sample] : outputs) result.outputs.emplace_back(idx, sample);
+  return result;
+}
+
+}  // namespace dproc::ecode

@@ -1,0 +1,53 @@
+#include "dproc/host/battery.hpp"
+
+namespace dproc::host {
+
+Battery::Battery(sim::Engine& engine, Cpu& cpu, net::Nic& nic,
+                 BatteryConfig config)
+    : engine_(engine),
+      cpu_(cpu),
+      nic_(nic),
+      config_(config),
+      last_update_(engine.now()) {}
+
+void Battery::advance() {
+  const SimTime now = engine_.now();
+  const double dt = (now - last_update_).sec();
+  if (dt <= 0) return;
+  last_update_ = now;
+
+  // CPU draw: utilization() is a lifetime average; reconstruct the busy
+  // seconds in this window from its definition (busy = util * elapsed).
+  const double elapsed = (now - SimTime::zero()).sec();
+  const SimDuration busy_total = seconds(cpu_.utilization() * elapsed);
+  const double busy_dt =
+      std::max(0.0, (busy_total - last_cpu_busy_).sec());
+  last_cpu_busy_ = busy_total;
+
+  const std::uint64_t nic_bytes =
+      nic_.stats().bytes_sent + nic_.stats().bytes_received;
+  const double bytes_dt = static_cast<double>(nic_bytes - last_nic_bytes_);
+  last_nic_bytes_ = nic_bytes;
+
+  const double joules = config_.idle_watts * dt +
+                        config_.cpu_active_watts * busy_dt +
+                        config_.nanojoules_per_byte * bytes_dt * 1e-9;
+  consumed_joules_ += joules;
+  last_watts_ = joules / dt;
+}
+
+double Battery::remaining_joules() {
+  advance();
+  return std::max(0.0, config_.capacity_joules - consumed_joules_);
+}
+
+double Battery::level() {
+  return remaining_joules() / config_.capacity_joules;
+}
+
+double Battery::watts() {
+  advance();
+  return last_watts_;
+}
+
+}  // namespace dproc::host

@@ -1,0 +1,213 @@
+#include "dproc/kecho/node.hpp"
+
+#include <algorithm>
+
+#include "dproc/net/wire.hpp"
+#include "dproc/util/logging.hpp"
+
+namespace dproc::kecho {
+
+namespace {
+
+/// Event frame carried over the peer transport: fixed header + the
+/// application payload's encoded header; bulk rides as declared body bytes.
+net::MessagePtr encode_event(ChannelId channel, net::NodeId source,
+                             SimTime submitted_at,
+                             const net::MessagePtr& payload) {
+  net::ByteWriter w;
+  w.u32(channel);
+  w.u32(source);
+  w.i64(submitted_at.ns());
+  w.u32(static_cast<std::uint32_t>(payload->header.size()));
+  auto frame = std::make_shared<net::Message>();
+  frame->header = w.take();
+  frame->header.insert(frame->header.end(), payload->header.begin(),
+                       payload->header.end());
+  frame->body_bytes = payload->body_bytes;
+  return frame;
+}
+
+bool decode_event(const net::MessagePtr& frame, Event& event) {
+  net::ByteReader r{frame->header};
+  event.channel = r.u32();
+  event.source = r.u32();
+  event.submitted_at = SimTime{r.i64()};
+  const std::uint32_t payload_header_bytes = r.u32();
+  if (!r.ok() || r.remaining() != payload_header_bytes) return false;
+  auto payload = std::make_shared<net::Message>();
+  payload->header.assign(frame->header.end() - payload_header_bytes,
+                         frame->header.end());
+  payload->body_bytes = frame->body_bytes;
+  event.payload = std::move(payload);
+  return true;
+}
+
+}  // namespace
+
+SimDuration Channel::submit(const net::MessagePtr& payload) {
+  ++submitted_;
+  const KechoCosts& costs = node_.costs();
+  double cycles = 0.0;
+  const net::MessagePtr frame =
+      encode_event(id_, node_.nic().node(), node_.host().engine().now(), payload);
+  for (const Member& member : members_) {
+    cycles += costs.submit_base_cycles +
+              costs.submit_per_byte_cycles * static_cast<double>(frame->size());
+    if (transport_ == ChannelTransport::kDatagram) {
+      node_.nic().send_datagram(member.node, Node::kDatagramEventPort, frame,
+                                Node::kDatagramEventPort);
+    } else {
+      node_.transport_to(member.node)->send(frame);
+    }
+  }
+  const SimDuration cost =
+      seconds(cycles / node_.host().cpu().config().clock_hz);
+  if (cost > SimDuration::zero()) node_.host().cpu().consume_kernel(cost);
+  return cost;
+}
+
+std::size_t Channel::remote_member_count() const { return members_.size(); }
+
+Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
+           net::Port registry_port, KechoCosts costs)
+    : host_(host),
+      nic_(nic),
+      registry_node_(registry_node),
+      registry_port_(registry_port),
+      costs_(costs) {
+  nic_.bind_datagram(kChannelPort,
+                     [this](net::NodeId, net::Port, const net::MessagePtr& m) {
+                       on_registry_datagram(m);
+                     });
+  nic_.bind_datagram(kDatagramEventPort,
+                     [this](net::NodeId, net::Port, const net::MessagePtr& m) {
+                       on_peer_message(m);
+                     });
+  listener_ = std::make_unique<net::TcpListener>(
+      nic_, kChannelPort, net::TcpConfig{},
+      [this](net::TcpConnection::Ptr conn) {
+        conn->set_message_handler(
+            [this](const net::MessagePtr& m) { on_peer_message(m); });
+        accepted_.push_back(std::move(conn));
+      });
+}
+
+Channel& Node::join(const std::string& name,
+                    std::function<void(Channel&)> on_ready,
+                    ChannelTransport transport) {
+  auto it = channels_by_name_.find(name);
+  if (it == channels_by_name_.end()) {
+    auto channel = std::unique_ptr<Channel>{new Channel{*this, name}};
+    channel->transport_ = transport;
+    it = channels_by_name_.emplace(name, std::move(channel)).first;
+    nic_.send_datagram(
+        registry_node_, registry_port_,
+        encode_join_request(name, Member{nic_.node(), kChannelPort}),
+        kChannelPort);
+  }
+  Channel& channel = *it->second;
+  if (on_ready) {
+    if (channel.ready_) {
+      on_ready(channel);
+    } else {
+      channel.on_ready_.push_back(std::move(on_ready));
+    }
+  }
+  return channel;
+}
+
+void Node::on_registry_datagram(const net::MessagePtr& message) {
+  net::ByteReader r{message->header};
+  const auto op = static_cast<RegistryOp>(r.u8());
+  switch (op) {
+    case RegistryOp::kJoinResponse: {
+      const std::string name = r.str();
+      const ChannelId id = r.u32();
+      const std::uint32_t count = r.u32();
+      auto it = channels_by_name_.find(name);
+      if (it == channels_by_name_.end()) {
+        DPROC_WARN() << "kecho node " << nic_.node()
+                     << ": join response for unknown channel '" << name << "'";
+        return;
+      }
+      Channel& channel = *it->second;
+      channel.id_ = id;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Member member{r.u32(), r.u16()};
+        if (member.node != nic_.node()) channel.members_.push_back(member);
+      }
+      if (!r.ok()) return;
+      channel.ready_ = true;
+      channels_by_id_[id] = &channel;
+      auto callbacks = std::move(channel.on_ready_);
+      channel.on_ready_.clear();
+      for (auto& fn : callbacks) fn(channel);
+      return;
+    }
+    case RegistryOp::kMemberNotify: {
+      const ChannelId id = r.u32();
+      Member member{r.u32(), r.u16()};
+      if (!r.ok()) return;
+      auto it = channels_by_id_.find(id);
+      if (it == channels_by_id_.end()) return;
+      if (member.node == nic_.node()) return;
+      auto& members = it->second->members_;
+      if (std::find(members.begin(), members.end(), member) == members.end()) {
+        members.push_back(member);
+      }
+      return;
+    }
+    case RegistryOp::kJoinRequest:
+      DPROC_WARN() << "kecho node " << nic_.node()
+                   << ": unexpected join request";
+      return;
+  }
+}
+
+net::TcpConnection::Ptr& Node::transport_to(net::NodeId peer) {
+  auto it = transports_.find(peer);
+  if (it == transports_.end()) {
+    auto conn = net::TcpConnection::connect(nic_, peer, kChannelPort);
+    conn->set_message_handler(
+        [this](const net::MessagePtr& m) { on_peer_message(m); });
+    it = transports_.emplace(peer, std::move(conn)).first;
+  }
+  return it->second;
+}
+
+void Node::on_peer_message(const net::MessagePtr& message) {
+  Event event;
+  if (!decode_event(message, event)) {
+    DPROC_WARN() << "kecho node " << nic_.node() << ": malformed event frame";
+    return;
+  }
+  auto it = channels_by_id_.find(event.channel);
+  if (it == channels_by_id_.end()) {
+    DPROC_DEBUG() << "kecho node " << nic_.node() << ": event for channel "
+                  << event.channel << " not joined here";
+    return;
+  }
+  it->second->rx_queue_.push_back(std::move(event));
+}
+
+PollStats Node::poll() {
+  PollStats stats;
+  double cycles = costs_.poll_base_cycles;
+  for (auto& [name, channel] : channels_by_name_) {
+    while (!channel->rx_queue_.empty()) {
+      Event event = std::move(channel->rx_queue_.front());
+      channel->rx_queue_.pop_front();
+      cycles += costs_.receive_base_cycles +
+                costs_.receive_per_byte_cycles *
+                    static_cast<double>(event.payload->size());
+      ++channel->received_;
+      ++stats.events_delivered;
+      if (channel->handler_) channel->handler_(event);
+    }
+  }
+  stats.cpu_cost = seconds(cycles / host_.cpu().config().clock_hz);
+  host_.cpu().consume_kernel(stats.cpu_cost);
+  return stats;
+}
+
+}  // namespace dproc::kecho

@@ -1,0 +1,92 @@
+#include "dproc/kecho/registry.hpp"
+
+#include <algorithm>
+
+#include "dproc/net/wire.hpp"
+#include "dproc/util/logging.hpp"
+
+namespace dproc::kecho {
+
+namespace {
+net::MessagePtr encode_join_response(const std::string& name, ChannelId id,
+                                     const std::vector<Member>& members) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RegistryOp::kJoinResponse));
+  w.str(name);
+  w.u32(id);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const Member& m : members) {
+    w.u32(m.node);
+    w.u16(m.port);
+  }
+  return net::make_message(w.take());
+}
+
+net::MessagePtr encode_member_notify(ChannelId id, Member member) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RegistryOp::kMemberNotify));
+  w.u32(id);
+  w.u32(member.node);
+  w.u16(member.port);
+  return net::make_message(w.take());
+}
+}  // namespace
+
+net::MessagePtr encode_join_request(const std::string& name, Member member) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RegistryOp::kJoinRequest));
+  w.str(name);
+  w.u32(member.node);
+  w.u16(member.port);
+  return net::make_message(w.take());
+}
+
+RegistryServer::RegistryServer(net::Nic& nic, net::Port port)
+    : nic_(nic), port_(port) {
+  nic_.bind_datagram(port_, [this](net::NodeId from, net::Port,
+                                   const net::MessagePtr& message) {
+    handle_request(from, message);
+  });
+}
+
+void RegistryServer::handle_request(net::NodeId from,
+                                    const net::MessagePtr& message) {
+  net::ByteReader r{message->header};
+  const auto op = static_cast<RegistryOp>(r.u8());
+  if (op != RegistryOp::kJoinRequest) {
+    DPROC_WARN() << "registry: unexpected op from node " << from;
+    return;
+  }
+  const std::string name = r.str();
+  Member member{r.u32(), r.u16()};
+  if (!r.ok()) {
+    DPROC_WARN() << "registry: malformed join request from node " << from;
+    return;
+  }
+
+  auto [it, created] = channels_.try_emplace(name);
+  ChannelRecord& record = it->second;
+  if (created) {
+    record.id = next_id_++;
+    record.name = name;
+    DPROC_INFO() << "registry: created channel '" << name << "' id "
+                 << record.id;
+  }
+
+  // Reply with the membership as it was before this join, then notify the
+  // existing members about the newcomer.
+  nic_.send_datagram(from, member.port,
+                     encode_join_response(name, record.id, record.members));
+  const bool already_member =
+      std::find(record.members.begin(), record.members.end(), member) !=
+      record.members.end();
+  if (!already_member) {
+    for (const Member& existing : record.members) {
+      nic_.send_datagram(existing.node, existing.port,
+                         encode_member_notify(record.id, member));
+    }
+    record.members.push_back(member);
+  }
+}
+
+}  // namespace dproc::kecho

@@ -1,0 +1,145 @@
+#include "dproc/net/fabric.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dproc/util/logging.hpp"
+
+namespace dproc::net {
+
+bool Link::transmit(const Packet& packet,
+                    std::function<void(const Packet&)> on_exit) {
+  const std::uint64_t wire = packet.wire_bytes();
+  if (backlog_bytes() + wire > config_.buffer_bytes) {
+    ++stats_.packets_dropped;
+    stats_.bytes_dropped += wire;
+    return false;
+  }
+  const SimTime start = std::max(engine_.now(), busy_until_);
+  const SimDuration serialize =
+      seconds(static_cast<double>(wire) * 8.0 / config_.bandwidth_bps);
+  busy_until_ = start + serialize;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += wire;
+
+  const SimTime exit_time = busy_until_ + config_.propagation;
+  engine_.schedule_at(exit_time, [packet, on_exit = std::move(on_exit)] {
+    on_exit(packet);
+  });
+  return true;
+}
+
+std::uint64_t Link::backlog_bytes() const {
+  if (busy_until_ <= engine_.now()) return 0;
+  const double sec = (busy_until_ - engine_.now()).sec();
+  return static_cast<std::uint64_t>(sec * config_.bandwidth_bps / 8.0);
+}
+
+NodeId Fabric::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(std::move(name));
+  delivery_.emplace_back();
+  delivered_bytes_.push_back(0);
+  node_down_.push_back(false);
+  return id;
+}
+
+void Fabric::set_node_down(NodeId node, bool down) {
+  node_down_.at(node) = down;
+}
+
+bool Fabric::node_down(NodeId node) const { return node_down_.at(node); }
+
+LinkId Fabric::add_link(LinkConfig config) {
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::make_unique<Link>(engine_, config));
+  return id;
+}
+
+void Fabric::set_route(NodeId src, NodeId dst, std::vector<LinkId> links) {
+  for (LinkId id : links) {
+    if (id >= links_.size()) throw std::invalid_argument{"set_route: bad link id"};
+  }
+  routes_[{src, dst}] = std::move(links);
+}
+
+std::vector<std::pair<LinkId, LinkId>> Fabric::build_star(
+    const std::vector<NodeId>& nodes, const LinkConfig& config) {
+  std::vector<std::pair<LinkId, LinkId>> ports;
+  ports.reserve(nodes.size());
+  for (NodeId node : nodes) {
+    (void)node;
+    ports.emplace_back(add_link(config), add_link(config));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      if (i == j) continue;
+      set_route(nodes[i], nodes[j], {ports[i].first, ports[j].second});
+    }
+  }
+  return ports;
+}
+
+void Fabric::set_delivery_handler(NodeId node, DeliveryHandler handler) {
+  delivery_.at(node) = std::move(handler);
+}
+
+std::uint64_t Fabric::bytes_delivered_to(NodeId node) const {
+  return delivered_bytes_.at(node);
+}
+
+void Fabric::send(Packet packet, std::function<void(const Packet&)> on_drop) {
+  if (trace_) trace_(TraceEvent::kSend, packet, engine_.now());
+  if (node_down_.at(packet.src)) {
+    if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+    if (on_drop) on_drop(packet);
+    return;
+  }
+  if (packet.src == packet.dst) {
+    // Loopback: no link traversal, a small in-kernel delay, never dropped.
+    engine_.schedule_after(microseconds(1.0), [this, packet = std::move(packet)] {
+      if (trace_) trace_(TraceEvent::kDeliver, packet, engine_.now());
+      delivered_bytes_.at(packet.dst) += packet.wire_bytes();
+      auto& handler = delivery_.at(packet.dst);
+      if (handler) handler(packet);
+    });
+    return;
+  }
+  auto it = routes_.find({packet.src, packet.dst});
+  if (it == routes_.end()) {
+    throw std::logic_error{"Fabric::send: no route " + node_name(packet.src) +
+                           " -> " + node_name(packet.dst)};
+  }
+  forward(std::move(packet), it->second, 0, std::move(on_drop));
+}
+
+void Fabric::forward(Packet packet, const std::vector<LinkId>& route,
+                     std::size_t hop, std::function<void(const Packet&)> on_drop) {
+  if (hop == route.size()) {
+    if (node_down_.at(packet.dst)) {
+      if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+      return;  // vanished at the dead NIC
+    }
+    if (trace_) trace_(TraceEvent::kDeliver, packet, engine_.now());
+    delivered_bytes_.at(packet.dst) += packet.wire_bytes();
+    auto& handler = delivery_.at(packet.dst);
+    if (handler) {
+      handler(packet);
+    } else {
+      DPROC_DEBUG() << "fabric: packet to " << node_name(packet.dst)
+                    << " with no NIC attached; discarded";
+    }
+    return;
+  }
+  Link& link = *links_.at(route[hop]);
+  const bool accepted = link.transmit(
+      packet, [this, &route, hop, on_drop](const Packet& p) {
+        forward(p, route, hop + 1, on_drop);
+      });
+  if (!accepted) {
+    if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+    if (on_drop) on_drop(packet);
+  }
+}
+
+}  // namespace dproc::net

@@ -1,0 +1,182 @@
+#include "dproc/procfs/procfs.hpp"
+
+#include <sstream>
+
+namespace dproc::procfs {
+
+ProcFs::ProcFs() : root_(std::make_unique<Node>()) {}
+
+Result<std::vector<std::string>> ProcFs::split_path(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    return Status::invalid_argument("path must be absolute: '" + path + "'");
+  }
+  std::vector<std::string> components;
+  std::string current;
+  for (std::size_t i = 1; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!current.empty()) {
+        if (current == "." || current == "..") {
+          return Status::invalid_argument("'.' and '..' are not supported");
+        }
+        components.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current += path[i];
+    }
+  }
+  return components;
+}
+
+const ProcFs::Node* ProcFs::find(const std::string& path) const {
+  auto components = split_path(path);
+  if (!components) return nullptr;
+  const Node* node = root_.get();
+  for (const std::string& component : components.value()) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+ProcFs::Node* ProcFs::ensure_directories(
+    const std::vector<std::string>& components, std::size_t count,
+    Status& status) {
+  Node* node = root_.get();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!node->directory) {
+      status = Status::invalid_argument("'" + components[i - 1] +
+                                        "' is a file, not a directory");
+      return nullptr;
+    }
+    auto [it, created] = node->children.try_emplace(components[i]);
+    if (created) it->second = std::make_unique<Node>();
+    node = it->second.get();
+  }
+  if (!node->directory) {
+    status = Status::invalid_argument("path component is a file");
+    return nullptr;
+  }
+  return node;
+}
+
+Status ProcFs::register_file(const std::string& path, ReadHandler read,
+                             WriteHandler write) {
+  auto components = split_path(path);
+  if (!components) return components.status();
+  const auto& parts = components.value();
+  if (parts.empty()) {
+    return Status::invalid_argument("cannot register the root as a file");
+  }
+  Status status;
+  Node* dir = ensure_directories(parts, parts.size() - 1, status);
+  if (dir == nullptr) return status;
+
+  auto [it, created] = dir->children.try_emplace(parts.back());
+  if (!created && it->second->directory) {
+    return Status::already_exists("'" + path + "' exists as a directory");
+  }
+  if (created) it->second = std::make_unique<Node>();
+  Node& file = *it->second;
+  file.directory = false;
+  file.read = std::move(read);
+  file.write = std::move(write);
+  return Status::ok();
+}
+
+Status ProcFs::mkdir(const std::string& path) {
+  auto components = split_path(path);
+  if (!components) return components.status();
+  Status status;
+  if (ensure_directories(components.value(), components.value().size(),
+                         status) == nullptr) {
+    return status;
+  }
+  return Status::ok();
+}
+
+Status ProcFs::remove(const std::string& path) {
+  auto components = split_path(path);
+  if (!components) return components.status();
+  const auto& parts = components.value();
+  if (parts.empty()) return Status::invalid_argument("cannot remove the root");
+  Node* node = root_.get();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) {
+      return Status::not_found("'" + path + "' does not exist");
+    }
+    node = it->second.get();
+  }
+  if (node->children.erase(parts.back()) == 0) {
+    return Status::not_found("'" + path + "' does not exist");
+  }
+  return Status::ok();
+}
+
+Result<std::string> ProcFs::read(const std::string& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Status::not_found("'" + path + "' does not exist");
+  if (node->directory) {
+    return Status::invalid_argument("'" + path + "' is a directory");
+  }
+  if (!node->read) return std::string{};
+  return node->read();
+}
+
+Status ProcFs::write(const std::string& path, const std::string& data) {
+  const Node* node = find(path);
+  if (node == nullptr) return Status::not_found("'" + path + "' does not exist");
+  if (node->directory) {
+    return Status::invalid_argument("'" + path + "' is a directory");
+  }
+  if (!node->write) {
+    return Status{StatusCode::kPermissionDenied, "'" + path + "' is read-only"};
+  }
+  return node->write(data);
+}
+
+Result<std::vector<std::string>> ProcFs::list(const std::string& path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Status::not_found("'" + path + "' does not exist");
+  if (!node->directory) {
+    return Status::invalid_argument("'" + path + "' is not a directory");
+  }
+  std::vector<std::string> entries;
+  entries.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    entries.push_back(child->directory ? name + "/" : name);
+  }
+  return entries;
+}
+
+bool ProcFs::exists(const std::string& path) const {
+  return find(path) != nullptr;
+}
+
+bool ProcFs::is_directory(const std::string& path) const {
+  const Node* node = find(path);
+  return node != nullptr && node->directory;
+}
+
+void ProcFs::render(const Node& node, const std::string& name, int depth,
+                    std::string& out) {
+  if (depth >= 0) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += name;
+    if (node.directory) out += '/';
+    out += '\n';
+  }
+  for (const auto& [child_name, child] : node.children) {
+    render(*child, child_name, depth + 1, out);
+  }
+}
+
+std::string ProcFs::tree() const {
+  std::string out;
+  render(*root_, "", -1, out);
+  return out;
+}
+
+}  // namespace dproc::procfs

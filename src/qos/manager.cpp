@@ -1,0 +1,140 @@
+#include "dproc/qos/manager.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "dproc/util/logging.hpp"
+
+namespace dproc::qos {
+
+Manager::Manager(host::Host& host, QosManagerConfig config)
+    : host_(host), config_(config), last_epoch_at_(host.engine().now()) {
+  epoch_timer_ =
+      host_.engine().schedule_periodic(config_.epoch, [this] { epoch_tick(); });
+}
+
+Manager::~Manager() { epoch_timer_.cancel(); }
+
+Status Manager::reserve(host::TaskId task, ReservationConfig config) {
+  if (config.cpu_share <= 0.0 || config.cpu_share > 1.0) {
+    return Status::invalid_argument("cpu_share must be in (0, 1]");
+  }
+  auto existing = reservations_.find(task);
+  const double current = existing == reservations_.end()
+                             ? 0.0
+                             : existing->second.status.target_share;
+  if (admitted_share_ - current + config.cpu_share > config_.admission_limit) {
+    return Status{StatusCode::kResourceExhausted,
+                  "admission limit exceeded: " +
+                      std::to_string(admitted_share_ - current +
+                                     config.cpu_share) +
+                      " > " + std::to_string(config_.admission_limit)};
+  }
+  // Verify the task exists (throws on unknown ids).
+  (void)host_.cpu().task_weight(task);
+
+  admitted_share_ += config.cpu_share - current;
+  Reservation& reservation = reservations_[task];
+  reservation.config = std::move(config);
+  reservation.status.target_share = reservation.config.cpu_share;
+  reservation.status.weight = host_.cpu().task_weight(task);
+  reservation.seeded = false;
+  return Status::ok();
+}
+
+void Manager::release(host::TaskId task) {
+  auto it = reservations_.find(task);
+  if (it == reservations_.end()) return;
+  admitted_share_ -= it->second.status.target_share;
+  try {
+    host_.cpu().set_task_weight(task, 1.0);
+  } catch (const std::invalid_argument&) {
+    // Task already removed; nothing to restore.
+  }
+  reservations_.erase(it);
+}
+
+const ReservationStatus* Manager::status(host::TaskId task) const {
+  auto it = reservations_.find(task);
+  return it == reservations_.end() ? nullptr : &it->second.status;
+}
+
+void Manager::epoch_tick() {
+  const SimTime now = host_.engine().now();
+  const double dt = (now - last_epoch_at_).sec();
+  last_epoch_at_ = now;
+  if (dt <= 0) return;
+
+  for (auto it = reservations_.begin(); it != reservations_.end();) {
+    Reservation& reservation = it->second;
+    SimDuration cpu_time;
+    try {
+      cpu_time = host_.cpu().task_cpu_time(it->first);
+    } catch (const std::invalid_argument&) {
+      // The task vanished; drop the reservation.
+      admitted_share_ -= reservation.status.target_share;
+      it = reservations_.erase(it);
+      continue;
+    }
+
+    if (!reservation.seeded) {
+      reservation.last_cpu_time = cpu_time;
+      reservation.seeded = true;
+      ++it;
+      continue;
+    }
+
+    const double achieved = (cpu_time - reservation.last_cpu_time).sec() / dt;
+    reservation.last_cpu_time = cpu_time;
+    reservation.status.achieved_share = achieved;
+
+    const double target = reservation.status.target_share;
+    // Proportional control on the scheduling weight. Anti-windup: when the
+    // task overachieves merely because it runs (nearly) alone, leave the
+    // weight in place — winding it down would cost a long transient the
+    // moment competitors arrive.
+    const double error = target - achieved;
+    const bool overachieving_alone =
+        error < 0 && host_.cpu().run_queue_length() <= 1;
+    if (!overachieving_alone &&
+        (achieved > 0 || host_.cpu().run_queue_length() > 0)) {
+      const double factor = 1.0 + config_.gain * error;
+      const double new_weight =
+          std::clamp(reservation.status.weight * std::max(factor, 0.1),
+                     config_.min_weight, config_.max_weight);
+      reservation.status.weight = new_weight;
+      try {
+        host_.cpu().set_task_weight(it->first, new_weight);
+      } catch (const std::invalid_argument&) {
+        ++it;
+        continue;
+      }
+    }
+
+    if (achieved < config_.violation_tolerance * target) {
+      ++reservation.status.violations;
+      if (reservation.config.on_violation) {
+        reservation.config.on_violation(achieved);
+      }
+      DPROC_DEBUG() << "qos: task " << it->first << " achieved " << achieved
+                    << " of reserved " << target;
+    }
+    ++it;
+  }
+}
+
+std::string Manager::describe() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "admitted_share " << admitted_share_ << "\n";
+  for (const auto& [task, reservation] : reservations_) {
+    out << "task " << task << " target " << reservation.status.target_share
+        << " achieved " << reservation.status.achieved_share << " weight "
+        << reservation.status.weight << " violations "
+        << reservation.status.violations << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dproc::qos

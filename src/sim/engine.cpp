@@ -1,0 +1,73 @@
+#include "dproc/sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dproc::sim {
+
+EventHandle Engine::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument{"Engine::schedule_at: time in the past"};
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Scheduled{when, next_seq_++, flag, std::move(fn)});
+  return EventHandle{std::move(flag)};
+}
+
+EventHandle Engine::schedule_after(SimDuration delay, Callback fn) {
+  if (delay < SimDuration::zero()) delay = SimDuration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_periodic(SimDuration period, Callback fn) {
+  if (period <= SimDuration::zero()) {
+    throw std::invalid_argument{"Engine::schedule_periodic: period must be > 0"};
+  }
+  auto flag = std::make_shared<bool>(false);
+  // The recursive lambda owns the user callback; the queue entry holds a
+  // copy of the wrapper so cancellation via `flag` stops the chain.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, flag, tick, fn = std::move(fn)]() {
+    if (*flag) return;
+    fn();
+    if (*flag) return;  // fn may have cancelled its own timer
+    queue_.push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+  };
+  queue_.push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+  return EventHandle{std::move(flag)};
+}
+
+void Engine::fire(Scheduled&& ev) {
+  now_ = ev.when;
+  if (ev.cancelled && *ev.cancelled) return;
+  ++processed_;
+  ev.fn();
+}
+
+bool Engine::step() {
+  // Skip cancelled entries without counting them as processed events.
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;
+    fire(std::move(ev));
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    fire(std::move(ev));
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace dproc::sim

@@ -1,0 +1,83 @@
+#include "dproc/smartpointer/client.hpp"
+
+#include "dproc/core/monitors.hpp"
+#include "dproc/util/logging.hpp"
+
+namespace dproc::smartpointer {
+
+Client::Client(host::Host& host, net::Nic& nic, net::NodeId server,
+               net::Port server_port, ClientConfig config)
+    : host_(host),
+      nic_(nic),
+      server_(server),
+      server_port_(server_port),
+      config_(config),
+      checkpoint_time_(host.engine().now()) {
+  processing_task_ = host_.cpu().add_server_task("smartpointer-client");
+  if (config_.dmon != nullptr) {
+    config_.dmon->register_module(std::make_unique<core::SyntheticMonitor>(
+        "app", 1, [this](std::size_t, SimTime) { return lag_ewma_.value(); }));
+  }
+}
+
+Client::~Client() {
+  if (conn_) conn_->close();
+  host_.cpu().remove_task(processing_task_);
+}
+
+void Client::connect() {
+  conn_ = net::TcpConnection::connect(
+      nic_, server_, server_port_, net::TcpConfig{}, [this] {
+        Subscribe sub;
+        sub.client_node = nic_.node();
+        sub.mode = config_.mode;
+        sub.static_rep = config_.static_rep;
+        sub.storage_client = config_.storage_client;
+        conn_->send(encode_subscribe(sub));
+      });
+  conn_->set_message_handler(
+      [this](const net::MessagePtr& message) { on_frame(message); });
+}
+
+void Client::on_frame(const net::MessagePtr& message) {
+  auto frame = decode_frame(message);
+  if (!frame) {
+    DPROC_WARN() << "smartpointer client " << nic_.node()
+                 << ": bad frame: " << frame.status().to_string();
+    return;
+  }
+  ++received_;
+  const FramePayload payload = frame.value();
+  const double cpu_seconds =
+      config_.costs.client_cpu_seconds(payload.rep, payload.data_bytes) *
+      config_.processing_scale;
+
+  host_.cpu().submit_work(processing_task_, cpu_seconds, [this, payload] {
+    if (config_.storage_client) {
+      host_.disk().submit(host::Disk::Op::kWrite, payload.data_bytes);
+    }
+    ++processed_;
+    const SimDuration lag = host_.engine().now() - payload.generated_at;
+    lags_.add(lag.sec());
+    lag_ewma_.add(lag.sec());
+    lag_series_.push_back(LagPoint{host_.engine().now(), lag, payload.rep});
+    if (on_frame_processed_) on_frame_processed_(payload, host_.engine().now());
+  });
+}
+
+double Client::event_rate_since_checkpoint() const {
+  const double elapsed = (host_.engine().now() - checkpoint_time_).sec();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(processed_ - checkpoint_processed_) / elapsed;
+}
+
+void Client::checkpoint() {
+  checkpoint_processed_ = processed_;
+  checkpoint_time_ = host_.engine().now();
+}
+
+std::size_t Client::backlog() const {
+  return host_.cpu().queued_items(processing_task_);
+}
+
+}  // namespace dproc::smartpointer

@@ -1,0 +1,101 @@
+#include "dproc/smartpointer/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dproc/net/wire.hpp"
+
+namespace dproc::smartpointer {
+
+const char* to_string(Representation rep) {
+  switch (rep) {
+    case Representation::kFull: return "full";
+    case Representation::kPositionOnly: return "position_only";
+    case Representation::kCompressed: return "compressed";
+    case Representation::kPreRendered: return "pre_rendered";
+  }
+  return "?";
+}
+
+std::uint64_t StreamCostModel::frame_bytes(Representation rep,
+                                           std::uint32_t atoms,
+                                           double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double atoms_kept = static_cast<double>(atoms) * fraction;
+  switch (rep) {
+    case Representation::kFull:
+      return static_cast<std::uint64_t>(
+          atoms_kept * workload::MdLayout::kFullBytesPerAtom);
+    case Representation::kPositionOnly:
+      return static_cast<std::uint64_t>(
+          atoms_kept * workload::MdLayout::kPositionOnlyBytesPerAtom);
+    case Representation::kCompressed:
+      return static_cast<std::uint64_t>(
+          atoms_kept * workload::MdLayout::kFullBytesPerAtom *
+          compressed_size_factor);
+    case Representation::kPreRendered:
+      // An image's size does not depend on the atom count.
+      return workload::MdLayout::kImageBytes;
+  }
+  return 0;
+}
+
+double StreamCostModel::client_cpu_seconds(Representation rep,
+                                           std::uint64_t bytes) const {
+  const double mb = static_cast<double>(bytes) / 1e6;
+  switch (rep) {
+    case Representation::kFull: return mb * cpu_sec_per_mb_full;
+    case Representation::kPositionOnly: return mb * cpu_sec_per_mb_position;
+    case Representation::kCompressed: return mb * cpu_sec_per_mb_compressed;
+    case Representation::kPreRendered: return mb * cpu_sec_per_mb_image;
+  }
+  return 0.0;
+}
+
+net::MessagePtr encode_frame(const FramePayload& frame) {
+  net::ByteWriter w;
+  w.u8(1);  // frame opcode
+  w.u64(frame.frame_number);
+  w.i64(frame.generated_at.ns());
+  w.u8(static_cast<std::uint8_t>(frame.rep));
+  w.f64(frame.fraction);
+  w.u64(frame.data_bytes);
+  return net::make_message(w.take(), frame.data_bytes);
+}
+
+Result<FramePayload> decode_frame(const net::MessagePtr& message) {
+  net::ByteReader r{message->header};
+  if (r.u8() != 1) return Status::invalid_argument("not a frame message");
+  FramePayload frame;
+  frame.frame_number = r.u64();
+  frame.generated_at = SimTime{r.i64()};
+  frame.rep = static_cast<Representation>(r.u8());
+  frame.fraction = r.f64();
+  frame.data_bytes = r.u64();
+  if (!r.ok()) return Status::invalid_argument("truncated frame header");
+  return frame;
+}
+
+net::MessagePtr encode_subscribe(const Subscribe& sub) {
+  net::ByteWriter w;
+  w.u8(2);  // subscribe opcode
+  w.u32(sub.client_node);
+  w.u8(static_cast<std::uint8_t>(sub.mode));
+  w.u8(static_cast<std::uint8_t>(sub.static_rep));
+  w.u8(sub.storage_client ? 1 : 0);
+  return net::make_message(w.take());
+}
+
+Result<Subscribe> decode_subscribe(const net::MessagePtr& message) {
+  net::ByteReader r{message->header};
+  if (r.u8() != 2) return Status::invalid_argument("not a subscribe message");
+  Subscribe sub;
+  sub.client_node = r.u32();
+  sub.mode = static_cast<FilterMode>(r.u8());
+  sub.static_rep = static_cast<Representation>(r.u8());
+  sub.storage_client = r.u8() != 0;
+  if (!r.ok()) return Status::invalid_argument("truncated subscribe");
+  return sub;
+}
+
+}  // namespace dproc::smartpointer

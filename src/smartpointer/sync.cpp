@@ -1,0 +1,57 @@
+#include "dproc/smartpointer/sync.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dproc::smartpointer {
+
+SyncGroup::SyncGroup(std::vector<Client*> streams)
+    : streams_(std::move(streams)) {
+  if (streams_.size() < 2) {
+    throw std::invalid_argument{"SyncGroup needs at least two streams"};
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    streams_[i]->set_frame_callback(
+        [this, i](const FramePayload& frame, SimTime at) {
+          on_frame(i, frame, at);
+        });
+  }
+}
+
+std::size_t SyncGroup::buffered() const {
+  std::size_t count = 0;
+  for (const auto& [frame, arrivals] : pending_) {
+    for (const auto& [done, at] : arrivals) count += done ? 1 : 0;
+  }
+  return count;
+}
+
+void SyncGroup::on_frame(std::size_t stream, const FramePayload& frame,
+                         SimTime at) {
+  auto [it, created] = pending_.try_emplace(
+      frame.frame_number,
+      std::vector<std::pair<bool, SimTime>>(streams_.size(), {false, {}}));
+  it->second[stream] = {true, at};
+
+  const bool complete = std::all_of(it->second.begin(), it->second.end(),
+                                    [](const auto& e) { return e.first; });
+  stats_.max_buffered = std::max<std::uint64_t>(stats_.max_buffered, buffered());
+  if (!complete) return;
+
+  // Present: skew is the spread of completion times; the earlier streams
+  // waited (now - their completion) in the sync buffer.
+  SimTime earliest = it->second.front().second;
+  SimTime latest = it->second.front().second;
+  for (const auto& [done, when] : it->second) {
+    earliest = std::min(earliest, when);
+    latest = std::max(latest, when);
+  }
+  ++stats_.presented;
+  stats_.skew_sec.add((latest - earliest).sec());
+  for (const auto& [done, when] : it->second) {
+    stats_.buffer_delay_sec.add((latest - when).sec());
+  }
+  pending_.erase(it);
+}
+
+}  // namespace dproc::smartpointer

@@ -1,0 +1,79 @@
+#include "dproc/util/logging.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
+namespace dproc {
+
+namespace {
+std::mutex g_sink_mutex;
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::scoped_lock lock{g_sink_mutex};
+  sink_ = std::move(sink);
+}
+
+void Logger::set_time_source(std::function<SimTime()> source) {
+  const std::scoped_lock lock{g_sink_mutex};
+  time_source_ = std::move(source);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  const std::scoped_lock lock{g_sink_mutex};
+  if (!sink_) return;
+  if (time_source_) {
+    std::ostringstream prefixed;
+    prefixed << "t=" << std::fixed << std::setprecision(6)
+             << time_source_().sec() << "s " << message;
+    sink_(level, prefixed.str());
+  } else {
+    sink_(level, message);
+  }
+}
+
+std::string to_string(SimDuration d) {
+  std::ostringstream out;
+  out << std::fixed;
+  const double abs_ns = std::abs(static_cast<double>(d.ns()));
+  if (abs_ns < 1e3) {
+    out << d.ns() << "ns";
+  } else if (abs_ns < 1e6) {
+    out << std::setprecision(3) << d.us() << "us";
+  } else if (abs_ns < 1e9) {
+    out << std::setprecision(3) << d.ms() << "ms";
+  } else {
+    out << std::setprecision(3) << d.sec() << "s";
+  }
+  return out.str();
+}
+
+std::string to_string(SimTime t) { return to_string(t - SimTime::zero()); }
+
+}  // namespace dproc

@@ -1,0 +1,65 @@
+#include "dproc/workload/iperf.hpp"
+
+#include <stdexcept>
+
+namespace dproc::workload {
+
+IperfSender::IperfSender(net::Nic& nic, net::NodeId dst, IperfConfig config)
+    : nic_(nic), dst_(dst), config_(config) {
+  if (config_.rate_bps <= 0) {
+    throw std::invalid_argument{"IperfConfig rate must be positive"};
+  }
+}
+
+IperfSender::~IperfSender() { stop(); }
+
+void IperfSender::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void IperfSender::stop() {
+  running_ = false;
+  next_send_.cancel();
+}
+
+void IperfSender::set_rate(double rate_bps) {
+  if (rate_bps <= 0) throw std::invalid_argument{"iperf rate must be positive"};
+  config_.rate_bps = rate_bps;
+}
+
+void IperfSender::schedule_next() {
+  const SimDuration gap =
+      seconds(static_cast<double>(config_.datagram_bytes) * 8.0 / config_.rate_bps);
+  next_send_ = nic_.fabric().engine().schedule_after(gap, [this] {
+    if (!running_) return;
+    auto payload = net::make_message({}, config_.datagram_bytes);
+    nic_.send_datagram(dst_, config_.port, payload, config_.port);
+    ++sent_;
+    schedule_next();
+  });
+}
+
+IperfReceiver::IperfReceiver(net::Nic& nic, net::Port port)
+    : nic_(nic), checkpoint_time_(nic.fabric().engine().now()) {
+  nic_.bind_datagram(port, [this](net::NodeId, net::Port,
+                                  const net::MessagePtr& message) {
+    bytes_ += message->size();
+    ++datagrams_;
+  });
+}
+
+double IperfReceiver::goodput_bps_since_checkpoint() const {
+  const double elapsed =
+      (nic_.fabric().engine().now() - checkpoint_time_).sec();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes_ - checkpoint_bytes_) * 8.0 / elapsed;
+}
+
+void IperfReceiver::checkpoint() {
+  checkpoint_bytes_ = bytes_;
+  checkpoint_time_ = nic_.fabric().engine().now();
+}
+
+}  // namespace dproc::workload

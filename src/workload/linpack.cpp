@@ -1,0 +1,76 @@
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::workload {
+
+LinpackTask::LinpackTask(host::Host& host, std::string name)
+    : host_(host),
+      task_(host.cpu().add_compute_task(std::move(name))),
+      started_(host.engine().now()),
+      checkpoint_time_(host.engine().now()) {
+  // Hardware counters advance continuously; sync them once per second so
+  // PMC_MON observes progress without a reader having to ask first.
+  pmc_timer_ = host_.engine().schedule_periodic(seconds(1.0),
+                                                [this] { sync_pmc(); });
+}
+
+LinpackTask::~LinpackTask() {
+  pmc_timer_.cancel();
+  sync_pmc();
+  host_.cpu().remove_task(task_);
+}
+
+double LinpackTask::mflops() {
+  sync_pmc();
+  return host_.cpu().task_mflops(task_);
+}
+
+double LinpackTask::mflops_since_checkpoint() {
+  sync_pmc();
+  const double elapsed = (host_.engine().now() - checkpoint_time_).sec();
+  if (elapsed <= 0) return 0.0;
+  const SimDuration cpu = host_.cpu().task_cpu_time(task_) - checkpoint_cpu_;
+  return host_.cpu().config().mflops_capacity * cpu.sec() / elapsed;
+}
+
+void LinpackTask::checkpoint() {
+  sync_pmc();
+  checkpoint_time_ = host_.engine().now();
+  checkpoint_cpu_ = host_.cpu().task_cpu_time(task_);
+}
+
+void LinpackTask::sync_pmc() {
+  // Attribute hardware events for the work done since the last sync:
+  // flops at the machine's peak rate, cache misses at the Pentium Pro-era
+  // rough ratio of one miss per ~200 floating point operations.
+  const double flops_done = host_.cpu().task_cpu_time(task_).sec() *
+                            host_.cpu().config().mflops_capacity * 1e6;
+  const double delta = flops_done - pmc_flops_accounted_;
+  if (delta <= 0) return;
+  pmc_flops_accounted_ = flops_done;
+  host_.pmc().increment(host::Pmc::kFlops, static_cast<std::uint64_t>(delta));
+  host_.pmc().increment(host::Pmc::kCacheMisses,
+                        static_cast<std::uint64_t>(delta / 200.0));
+}
+
+MemoryHog::MemoryHog(host::Host& host, std::uint64_t initial_bytes,
+                     std::uint64_t grow_bytes, SimDuration grow_interval)
+    : host_(host) {
+  if (host_.memory().allocate(initial_bytes)) held_ = initial_bytes;
+  if (grow_bytes > 0) {
+    grow_timer_ = host_.engine().schedule_periodic(
+        grow_interval, [this, grow_bytes] {
+          if (host_.memory().allocate(grow_bytes)) {
+            held_ += grow_bytes;
+          } else {
+            grow_timer_.cancel();
+          }
+        });
+  }
+}
+
+MemoryHog::~MemoryHog() {
+  grow_timer_.cancel();
+  host_.memory().release(held_);
+}
+
+}  // namespace dproc::workload

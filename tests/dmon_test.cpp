@@ -1,0 +1,237 @@
+// d-mon tests: module registration, metric id conventions, polling,
+// remote-store updates, control propagation, and overhead accounting.
+#include <gtest/gtest.h>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/workload/linpack.hpp"
+
+namespace dproc::core {
+namespace {
+
+class DmonTest : public ::testing::Test {
+ protected:
+  DmonTest() {
+    ClusterConfig config;
+    config.node_count = 3;
+    config.node_names = {"alan", "maui", "etna"};
+    cluster = std::make_unique<Cluster>(engine, config);
+    cluster->start_dproc();
+  }
+
+  void settle(double sec) { engine.run_until(engine.now() + seconds(sec)); }
+
+  sim::Engine engine;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST_F(DmonTest, MetricIdsAreClusterConvention) {
+  const auto& table0 = cluster->dmon(0)->metric_table();
+  const auto& table1 = cluster->dmon(1)->metric_table();
+  ASSERT_EQ(table0.size(), table1.size());
+  for (std::size_t i = 0; i < table0.size(); ++i) {
+    EXPECT_EQ(table0[i].id, i);
+    EXPECT_EQ(table0[i].key, table1[i].key);
+    EXPECT_EQ(table0[i].id, table1[i].id);
+  }
+}
+
+TEST_F(DmonTest, StandardModulesProvideExpectedMetrics) {
+  DMon& dmon = *cluster->dmon(0);
+  for (const char* key : {"loadavg", "cpu_util", "freemem", "disk_reads",
+                          "diskusage", "net_in", "net_out", "net_avail",
+                          "rtt", "retrans", "udp_lost", "cache_misses"}) {
+    EXPECT_TRUE(dmon.metric_id(key).has_value()) << key;
+  }
+  EXPECT_FALSE(dmon.metric_id("bogus").has_value());
+}
+
+TEST_F(DmonTest, LocalProcFilesRenderCollectedValues) {
+  settle(3.0);
+  auto loadavg = cluster->procfs(0).read("/proc/cpu/loadavg");
+  ASSERT_TRUE(loadavg.is_ok());
+  EXPECT_NE(loadavg.value(), "no data\n");
+  auto freemem = cluster->procfs(0).read("/proc/mem/freemem");
+  ASSERT_TRUE(freemem.is_ok());
+  EXPECT_GT(std::stod(freemem.value()), 1e8);  // ~512 MB free
+}
+
+TEST_F(DmonTest, RemoteValuesArriveWithinOnePeriod) {
+  settle(2.5);
+  const RemoteMetric* metric = cluster->dmon(0)->remote_metric(1, "freemem");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_GT(metric->value, 0.0);
+  EXPECT_LE((engine.now() - metric->received_at).sec(), 1.1);
+}
+
+TEST_F(DmonTest, StatusFileRendersState) {
+  settle(2.0);
+  auto status = cluster->procfs(0).read("/proc/dproc/status");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_NE(status.value().find("modules 5"), std::string::npos);
+  EXPECT_NE(status.value().find("poll_period"), std::string::npos);
+}
+
+TEST_F(DmonTest, PollReportsSubmitAndReceiveCosts) {
+  settle(5.0);
+  const PollRecord& record = cluster->dmon(0)->last_poll();
+  EXPECT_GT(record.submit_cost, SimDuration::zero());
+  EXPECT_GT(record.receive_cost, SimDuration::zero());
+  EXPECT_GT(record.events_submitted, 0u);
+  EXPECT_GT(record.events_received, 0u);
+}
+
+TEST_F(DmonTest, SubmitCostScalesWithPeers) {
+  // Larger cluster, same workload: higher submission cost per poll.
+  sim::Engine big_engine;
+  ClusterConfig config;
+  config.node_count = 8;
+  Cluster big{big_engine, config};
+  big.start_dproc();
+  big_engine.run_until(SimTime{} + seconds(5.0));
+  settle(5.0);
+  EXPECT_GT(big.dmon(0)->last_poll().submit_cost.ns(),
+            cluster->dmon(0)->last_poll().submit_cost.ns());
+}
+
+TEST_F(DmonTest, ControlFileWritePropagates) {
+  settle(2.0);
+  ASSERT_TRUE(cluster->procfs(0)
+                  .write("/proc/cluster/maui/control", "period 3.0")
+                  .is_ok());
+  settle(2.0);
+  EXPECT_EQ(cluster->dmon(1)->tuning().default_period().sec(), 3.0);
+  // Other nodes untouched.
+  EXPECT_EQ(cluster->dmon(2)->tuning().default_period().sec(), 1.0);
+}
+
+TEST_F(DmonTest, ControlFileRejectsGarbageLocally) {
+  settle(2.0);
+  const Status status =
+      cluster->procfs(0).write("/proc/cluster/maui/control", "gibberish 1");
+  EXPECT_FALSE(status.is_ok());
+}
+
+TEST_F(DmonTest, SelfTuningAppliesDirectly) {
+  TuningConfig config;
+  config.differential_pct = 15.0;
+  ASSERT_TRUE(cluster->dmon(0)->apply_tuning(config).is_ok());
+  EXPECT_EQ(*cluster->dmon(0)->tuning().differential_pct(), 15.0);
+}
+
+TEST_F(DmonTest, SendTuningToSelfWorks) {
+  TuningConfig config;
+  config.default_period = seconds(4.0);
+  ASSERT_TRUE(cluster->dmon(0)->send_tuning(0, config).is_ok());
+  EXPECT_EQ(cluster->dmon(0)->tuning().default_period().sec(), 4.0);
+}
+
+TEST_F(DmonTest, SendTuningBeforeChannelReadyFails) {
+  sim::Engine fresh_engine;
+  ClusterConfig config;
+  config.node_count = 2;
+  Cluster fresh{fresh_engine, config};
+  fresh.start_dproc();
+  // No time for the registry round trip yet.
+  TuningConfig tuning;
+  tuning.default_period = seconds(2.0);
+  EXPECT_EQ(fresh.dmon(0)->send_tuning(1, tuning).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DmonTest, DifferentialFilterQuenchesSteadyState) {
+  settle(3.0);
+  TuningConfig config;
+  config.differential_pct = 15.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster->dmon(i)->apply_tuning(config).is_ok());
+  }
+  settle(10.0);  // let the system quiesce under the filter
+  StreamingStats events;
+  for (int i = 0; i < 10; ++i) {
+    settle(1.0);
+    events.add(static_cast<double>(cluster->dmon(0)->last_poll().events_submitted));
+  }
+  // Nearly everything suppressed on an idle cluster.
+  EXPECT_LT(events.mean(), 2.0);
+}
+
+TEST_F(DmonTest, LoadavgReflectsRemoteLoadWithModuleWindow) {
+  settle(2.0);
+  workload::LinpackTask t1{cluster->host(2)}, t2{cluster->host(2)};
+  settle(10.0);
+  const RemoteMetric* loadavg = cluster->dmon(0)->remote_metric(2, "loadavg");
+  ASSERT_NE(loadavg, nullptr);
+  EXPECT_NEAR(loadavg->value, 2.0, 0.5);
+}
+
+TEST_F(DmonTest, PmcMetricTracksCacheMisses) {
+  settle(2.0);
+  workload::LinpackTask linpack{cluster->host(1)};
+  settle(10.0);
+  const RemoteMetric* misses = cluster->dmon(0)->remote_metric(1, "cache_misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->value, 0.0);
+}
+
+TEST_F(DmonTest, NetMetricsSeeMonitoringTraffic) {
+  settle(5.0);
+  const RemoteMetric* in_bps = cluster->dmon(0)->remote_metric(1, "net_in");
+  ASSERT_NE(in_bps, nullptr);
+  EXPECT_GT(in_bps->value, 0.0);
+  const RemoteMetric* avail = cluster->dmon(0)->remote_metric(1, "net_avail");
+  ASSERT_NE(avail, nullptr);
+  EXPECT_LT(avail->value, 100e6);
+  EXPECT_GT(avail->value, 90e6);
+}
+
+TEST_F(DmonTest, SyntheticModuleExtendsAtRuntime) {
+  // The paper's extension story: new modules can be added dynamically.
+  DMon& dmon = *cluster->dmon(0);
+  const std::size_t before = dmon.metric_table().size();
+  dmon.register_module(std::make_unique<SyntheticMonitor>(
+      "battery", 1, [](std::size_t, SimTime) { return 87.0; }));
+  EXPECT_EQ(dmon.metric_table().size(), before + 1);
+  settle(2.0);
+  auto reading = cluster->procfs(0).read("/proc/battery/battery0");
+  ASSERT_TRUE(reading.is_ok());
+  EXPECT_NEAR(std::stod(reading.value()), 87.0, 1e-9);
+}
+
+TEST_F(DmonTest, WindowCommandRetunesModule) {
+  settle(2.0);
+  // Shrink maui's CPU_MON averaging window remotely, then verify its
+  // loadavg responds faster than the 5 s default would allow.
+  ASSERT_TRUE(cluster->procfs(0)
+                  .write("/proc/cluster/maui/control", "window cpu 1")
+                  .is_ok());
+  settle(2.0);
+  workload::LinpackTask a{cluster->host(1)}, b{cluster->host(1)},
+      c{cluster->host(1)};
+  settle(3.5);
+  const RemoteMetric* loadavg = cluster->dmon(0)->remote_metric(1, "loadavg");
+  ASSERT_NE(loadavg, nullptr);
+  EXPECT_GT(loadavg->value, 2.4) << "1 s window should converge within ~3 s";
+}
+
+TEST_F(DmonTest, WindowCommandUnknownModuleRejected) {
+  settle(2.0);
+  TuningConfig config;
+  config.module_periods.emplace_back("warp_drive", seconds(1.0));
+  EXPECT_EQ(cluster->dmon(0)->apply_tuning(config).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DmonTest, FilterDeployChargesCompileCost) {
+  settle(2.0);
+  const SimDuration before = cluster->host(1).cpu().kernel_cpu_time();
+  ASSERT_TRUE(cluster->procfs(0)
+                  .write("/proc/cluster/maui/control",
+                         "filter { output[0] = input[LOADAVG]; }")
+                  .is_ok());
+  settle(2.0);
+  ASSERT_TRUE(cluster->dmon(1)->tuning().has_filter());
+  EXPECT_GT((cluster->host(1).cpu().kernel_cpu_time() - before).ns(), 0);
+}
+
+}  // namespace
+}  // namespace dproc::core

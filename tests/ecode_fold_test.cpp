@@ -1,0 +1,105 @@
+// Constant folding: semantics preserved, code shrunk, diagnostics kept.
+#include <gtest/gtest.h>
+
+#include "dproc/ecode/ecode.hpp"
+
+namespace dproc::ecode {
+namespace {
+
+std::size_t insn_count(std::string_view source, const CompileEnv& env = {}) {
+  auto filter = Filter::compile(source, env);
+  EXPECT_TRUE(filter.is_ok()) << filter.status().to_string();
+  return filter.is_ok() ? filter.value().bytecode().insns.size() : 0;
+}
+
+double run_ret(std::string_view source, const CompileEnv& env = {}) {
+  auto filter = Filter::compile(source, env);
+  EXPECT_TRUE(filter.is_ok()) << filter.status().to_string();
+  auto result = filter.value().run({});
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return result.value().return_value.value_or(0.0);
+}
+
+TEST(Fold, ArithmeticCollapsesToOnePush) {
+  // push + return + halt.
+  EXPECT_EQ(insn_count("return 2 + 3 * 4 - 1;"), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return 2 + 3 * 4 - 1;"), 13.0);
+  EXPECT_EQ(insn_count("return (1 << 10) | 7;"), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return -(2.5 * 4);"), -10.0);
+  EXPECT_EQ(insn_count("return -(2.5 * 4);"), 3u);
+}
+
+TEST(Fold, EnvironmentConstantsParticipate) {
+  CompileEnv env;
+  env.constants = {{"LOADAVG", 3}};
+  EXPECT_EQ(insn_count("return LOADAVG * 2 + 1;", env), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return LOADAVG * 2 + 1;", env), 7.0);
+}
+
+TEST(Fold, BuiltinsFoldOnConstants) {
+  EXPECT_EQ(insn_count("return max(abs(0 - 4), sqrt(9.0));"), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return max(abs(0 - 4), sqrt(9.0));"), 4.0);
+}
+
+TEST(Fold, TernaryDropsDeadBranch) {
+  EXPECT_EQ(insn_count("return 1 ? 10 : 20;"), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return 1 ? 10 : 20;"), 10.0);
+  EXPECT_DOUBLE_EQ(run_ret("return 0 ? 10 : 20;"), 20.0);
+  // Widening preserved: an int branch under a double ternary.
+  EXPECT_DOUBLE_EQ(run_ret("return 0 ? 1.5 : 3;"), 3.0);
+  EXPECT_DOUBLE_EQ(run_ret("double d = 1 ? 2 : 0.5; return d * 2;"), 4.0);
+}
+
+TEST(Fold, ShortCircuitWithConstantLeft) {
+  EXPECT_EQ(insn_count("return 0 && 1;"), 3u);
+  EXPECT_DOUBLE_EQ(run_ret("return 0 && 1;"), 0.0);
+  EXPECT_DOUBLE_EQ(run_ret("return 1 || 0;"), 1.0);
+  EXPECT_DOUBLE_EQ(run_ret("return 1 && 7;"), 1.0);  // normalized
+  // Non-constant right side under a true left keeps the normalization.
+  EXPECT_DOUBLE_EQ(run_ret("int x = 7; return 1 && x;"), 1.0);
+}
+
+TEST(Fold, DivisionByConstantZeroStaysRuntime) {
+  auto filter = Filter::compile("return 1 / 0;");
+  ASSERT_TRUE(filter.is_ok());
+  auto result = filter.value().run({});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("division by zero"),
+            std::string::npos);
+  // Same for modulo and sqrt of a negative constant.
+  EXPECT_FALSE(Filter::compile("return 5 % 0;").value().run({}).is_ok());
+  EXPECT_FALSE(Filter::compile("return sqrt(0-1);").value().run({}).is_ok());
+}
+
+TEST(Fold, RuntimeValuesNotFolded) {
+  std::vector<Sample> input{{0, 5.0, 0.0, 0}};
+  auto filter = Filter::compile("return input[0].value * (2 + 3);");
+  ASSERT_TRUE(filter.is_ok());
+  auto result = filter.value().run(input);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(*result.value().return_value, 25.0);
+}
+
+TEST(Fold, FoldingShrinksThePaperFilterStyleConditions) {
+  CompileEnv env;
+  env.constants = {{"FREEMEM", 2}};
+  // 50e6 / 2 folds; the comparison against live input cannot.
+  const std::size_t folded =
+      insn_count("if (input[FREEMEM].value < 50e6 / 2) output[0] = input[FREEMEM];",
+                 env);
+  const std::size_t reference =
+      insn_count("if (input[FREEMEM].value < 25e6) output[0] = input[FREEMEM];",
+                 env);
+  EXPECT_EQ(folded, reference);
+}
+
+TEST(Fold, LoopBoundsFold) {
+  // The loop itself must still execute (bound is constant but the body
+  // accumulates), with the bound expression collapsed.
+  EXPECT_DOUBLE_EQ(
+      run_ret("int s = 0; for (int i = 0; i < 2 * 5; ++i) s += i; return s;"),
+      45.0);
+}
+
+}  // namespace
+}  // namespace dproc::ecode

@@ -1,0 +1,323 @@
+// Lexer, parser, and semantic-analysis tests for the E-code front end.
+#include <gtest/gtest.h>
+
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/ecode/lexer.hpp"
+#include "dproc/ecode/parser.hpp"
+
+namespace dproc::ecode {
+namespace {
+
+std::vector<Token> lex(std::string_view source) {
+  auto tokens = Lexer{source}.tokenize();
+  EXPECT_TRUE(tokens.is_ok()) << tokens.status().to_string();
+  return tokens.is_ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+CompileEnv env_with(std::initializer_list<std::pair<const std::string, std::int64_t>>
+                        constants) {
+  CompileEnv env;
+  env.constants = constants;
+  return env;
+}
+
+// --- lexer ------------------------------------------------------------
+
+TEST(Lexer, TokenizesKeywordsAndIdentifiers) {
+  auto tokens = lex("int foo; if else for while return break continue");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKwIf);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto tokens = lex("0 42 10000 0xff");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 10000);
+  EXPECT_EQ(tokens[3].int_value, 255);
+}
+
+TEST(Lexer, FloatLiteralsIncludingExponent) {
+  auto tokens = lex("1.5 50e6 2.5e-3 1E2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 50e6);  // the paper's 50e6
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2.5e-3);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 100.0);
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto tokens = lex("== != <= >= && || << >> += -= ++ --");
+  const TokenKind expected[] = {
+      TokenKind::kEq, TokenKind::kNe, TokenKind::kLe, TokenKind::kGe,
+      TokenKind::kAndAnd, TokenKind::kOrOr, TokenKind::kShl, TokenKind::kShr,
+      TokenKind::kPlusAssign, TokenKind::kMinusAssign, TokenKind::kPlusPlus,
+      TokenKind::kMinusMinus};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = lex("1 // line comment\n 2 /* block\ncomment */ 3");
+  ASSERT_EQ(tokens.size(), 4u);  // three ints + eof
+  EXPECT_EQ(tokens[2].int_value, 3);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Lexer{"int @x;"}.tokenize().is_ok());
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_FALSE(Lexer{"/* never ends"}.tokenize().is_ok());
+}
+
+TEST(Lexer, RejectsOutOfRangeInteger) {
+  EXPECT_FALSE(Lexer{"99999999999999999999999999"}.tokenize().is_ok());
+}
+
+// --- parser -----------------------------------------------------------
+
+Result<Program> parse(std::string_view source) {
+  auto tokens = Lexer{source}.tokenize();
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser{std::move(tokens).value()}.parse_program();
+}
+
+TEST(Parser, AcceptsBracedAndBareBodies) {
+  EXPECT_TRUE(parse("{ int i = 0; }").is_ok());
+  EXPECT_TRUE(parse("int i = 0;").is_ok());
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto program = parse("int x = 1 + 2 * 3;");
+  ASSERT_TRUE(program.is_ok());
+  const Expr& init = *program.value().statements[0]->expr;
+  ASSERT_EQ(init.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(init.bin_op, BinaryOp::kAdd);
+  EXPECT_EQ(init.b->bin_op, BinaryOp::kMul);
+}
+
+TEST(Parser, ComparisonBindsTighterThanLogical) {
+  auto program = parse("int x = 1 < 2 && 3 > 2;");
+  ASSERT_TRUE(program.is_ok());
+  const Expr& init = *program.value().statements[0]->expr;
+  EXPECT_EQ(init.bin_op, BinaryOp::kLogicalAnd);
+  EXPECT_EQ(init.a->bin_op, BinaryOp::kLt);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  auto program = parse("int a = 0; int b = 0; a = b = 3;");
+  ASSERT_TRUE(program.is_ok());
+  const Expr& expr = *program.value().statements[2]->expr;
+  ASSERT_EQ(expr.kind, Expr::Kind::kAssign);
+  EXPECT_EQ(expr.b->kind, Expr::Kind::kAssign);
+}
+
+TEST(Parser, ParsesPaperFilterShape) {
+  // Figure 3 of the paper, verbatim structure.
+  auto program = parse(R"({
+    int i = 0;
+    if (input[0].value > 2) {
+      output[i] = input[0];
+      i = i + 1;
+    }
+    if (input[1].value > 10000 && input[2].value < 50e6) {
+      output[i] = input[1];
+      i = i + 1;
+      output[i] = input[2];
+      i = i + 1;
+    }
+    if (input[3].value > input[3].last_value_sent) {
+      output[i] = input[3];
+      i = i + 1;
+    }
+  })");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  EXPECT_EQ(program.value().statements.size(), 4u);
+}
+
+TEST(Parser, ForWithAllClauses) {
+  EXPECT_TRUE(parse("for (int i = 0; i < 10; i = i + 1) { }").is_ok());
+}
+
+TEST(Parser, ForWithEmptyClauses) {
+  EXPECT_TRUE(parse("for (;;) { break; }").is_ok());
+}
+
+TEST(Parser, TernaryParses) {
+  EXPECT_TRUE(parse("int x = 1 < 2 ? 3 : 4;").is_ok());
+}
+
+TEST(Parser, MissingSemicolonReported) {
+  auto program = parse("int x = 1");
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_NE(program.status().message().find("';'"), std::string::npos);
+}
+
+TEST(Parser, UnbalancedBraceReported) {
+  EXPECT_FALSE(parse("{ if (1) {").is_ok());
+}
+
+TEST(Parser, ErrorsCarryLocations) {
+  auto program = parse("int x = ;\nint y = 2;");
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_NE(program.status().message().find("1:"), std::string::npos);
+}
+
+TEST(Parser, MultipleErrorsCollected) {
+  auto program = parse("int = 1;\nint y 2;\n");
+  ASSERT_FALSE(program.is_ok());
+  // Two diagnostics, one per line.
+  EXPECT_NE(program.status().message().find('\n'), std::string::npos);
+}
+
+// --- semantic analysis --------------------------------------------------
+
+Status analyze(std::string_view source, const CompileEnv& env = {}) {
+  return Filter::compile(source, env).status();
+}
+
+TEST(Sema, UndeclaredIdentifierRejected) {
+  const Status status = analyze("x = 1;");
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, EnvironmentConstantsResolve) {
+  EXPECT_TRUE(analyze("output[LOADAVG] = input[LOADAVG];",
+                      env_with({{"LOADAVG", 0}}))
+                  .is_ok());
+}
+
+TEST(Sema, LocalsShadowConstants) {
+  EXPECT_TRUE(analyze("int LOADAVG = 3; output[LOADAVG] = input[0];",
+                      env_with({{"LOADAVG", 0}}))
+                  .is_ok());
+}
+
+TEST(Sema, RedeclarationRejected) {
+  EXPECT_FALSE(analyze("int x = 1; int x = 2;").is_ok());
+}
+
+TEST(Sema, BlockScoping) {
+  EXPECT_TRUE(analyze("{ { int x = 1; } { int x = 2; } }").is_ok());
+  EXPECT_FALSE(analyze("{ { int x = 1; } x = 2; }").is_ok());
+}
+
+TEST(Sema, InputIsReadOnly) {
+  EXPECT_FALSE(analyze("input[0] = input[1];").is_ok());
+  EXPECT_FALSE(analyze("input[0].value = 1;").is_ok());
+}
+
+TEST(Sema, OutputFieldAssignable) {
+  EXPECT_TRUE(analyze("output[0].value = 1.5;").is_ok());
+  EXPECT_TRUE(analyze("output[0].id = 3;").is_ok());
+}
+
+TEST(Sema, UnknownFieldRejected) {
+  const Status status = analyze("double v = input[0].velocity;");
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("no field"), std::string::npos);
+}
+
+TEST(Sema, OnlyArraysIndexable) {
+  EXPECT_FALSE(analyze("int x = 1; int y = x[0];").is_ok());
+}
+
+TEST(Sema, BareArrayUseRejected) {
+  EXPECT_FALSE(analyze("int x = input;").is_ok());
+}
+
+TEST(Sema, SampleAssignmentTypeChecked) {
+  EXPECT_FALSE(analyze("output[0] = 5;").is_ok());
+  EXPECT_FALSE(analyze("int x = input[0];").is_ok());
+  EXPECT_TRUE(analyze("sample s = input[0]; output[0] = s;").is_ok());
+}
+
+TEST(Sema, ModRequiresIntegers) {
+  EXPECT_FALSE(analyze("double x = 1.5 % 2;").is_ok());
+  EXPECT_TRUE(analyze("int x = 7 % 2;").is_ok());
+}
+
+TEST(Sema, BitwiseRequiresIntegers) {
+  EXPECT_FALSE(analyze("int x = 1.5 & 2;").is_ok());
+  EXPECT_FALSE(analyze("int x = ~1.5;").is_ok());
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  EXPECT_FALSE(analyze("break;").is_ok());
+  EXPECT_FALSE(analyze("continue;").is_ok());
+  EXPECT_TRUE(analyze("while (0) { break; }").is_ok());
+}
+
+TEST(Sema, IncDecOnlyOnLocals) {
+  EXPECT_TRUE(analyze("int i = 0; i++; ++i; i--;").is_ok());
+  EXPECT_FALSE(analyze("output[0].value++;").is_ok());
+  EXPECT_FALSE(analyze("5++;").is_ok());
+}
+
+TEST(Sema, ConditionMustBeNumeric) {
+  EXPECT_FALSE(analyze("if (input[0]) { }").is_ok());
+  EXPECT_FALSE(analyze("while (input[0]) { }").is_ok());
+}
+
+TEST(Sema, ReturnValueMustBeNumeric) {
+  EXPECT_FALSE(analyze("return input[0];").is_ok());
+  EXPECT_TRUE(analyze("return 1;").is_ok());
+  EXPECT_TRUE(analyze("return;").is_ok());
+}
+
+TEST(Sema, TernaryBranchTypesMustAgree) {
+  EXPECT_TRUE(analyze("double x = 1 ? 1.5 : 2;").is_ok());
+  EXPECT_TRUE(analyze("sample s = 1 ? input[0] : input[1];").is_ok());
+  EXPECT_FALSE(analyze("int x = 1 ? 2 : input[0];").is_ok());
+}
+
+TEST(Sema, LongIsIntAlias) {
+  EXPECT_TRUE(analyze("long big = 1 << 40; int x = big / 2;").is_ok());
+}
+
+TEST(Sema, HexLiteralsUsableInFilters) {
+  EXPECT_TRUE(analyze("int mask = 0xFF; output[0].id = mask & 0x0F;").is_ok());
+}
+
+TEST(Parser, DeepButReasonableNestingAccepted) {
+  std::string source = "return ";
+  for (int i = 0; i < 50; ++i) source += '(';
+  source += '1';
+  for (int i = 0; i < 50; ++i) source += ')';
+  source += ';';
+  EXPECT_TRUE(parse(source).is_ok());
+}
+
+TEST(Parser, PathologicalNestingRejectedWithDiagnostic) {
+  std::string source = "return ";
+  for (int i = 0; i < 500; ++i) source += '(';
+  source += '1';
+  for (int i = 0; i < 500; ++i) source += ')';
+  source += ';';
+  auto program = parse(source);
+  ASSERT_FALSE(program.is_ok());
+  EXPECT_NE(program.status().message().find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(Sema, CannotDeclareBuiltinNames) {
+  EXPECT_FALSE(analyze("int input = 1;").is_ok());
+  EXPECT_FALSE(analyze("int output = 1;").is_ok());
+}
+
+}  // namespace
+}  // namespace dproc::ecode

@@ -1,0 +1,150 @@
+// AST printer: canonical rendering and the parse -> print -> parse
+// round-trip property (same bytecode both ways).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dproc/ecode/compiler.hpp"
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/ecode/lexer.hpp"
+#include "dproc/ecode/parser.hpp"
+#include "dproc/ecode/printer.hpp"
+#include "dproc/util/rng.hpp"
+
+namespace dproc::ecode {
+namespace {
+
+Result<Program> parse(std::string_view source) {
+  auto tokens = Lexer{source}.tokenize();
+  if (!tokens.is_ok()) return tokens.status();
+  return Parser{std::move(tokens).value()}.parse_program();
+}
+
+std::string bytecode_of(std::string_view source, const CompileEnv& env = {}) {
+  auto filter = Filter::compile(source, env);
+  EXPECT_TRUE(filter.is_ok()) << filter.status().to_string() << "\n" << source;
+  return filter.is_ok() ? filter.value().bytecode().disassemble() : "";
+}
+
+void expect_round_trip(std::string_view source, const CompileEnv& env = {}) {
+  auto program = parse(source);
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  const std::string printed = to_source(program.value());
+  EXPECT_EQ(bytecode_of(source, env), bytecode_of(printed, env))
+      << "original:\n" << source << "\nprinted:\n" << printed;
+  // The printer itself must be a fixed point.
+  auto reparsed = parse(printed);
+  ASSERT_TRUE(reparsed.is_ok()) << printed;
+  EXPECT_EQ(to_source(reparsed.value()), printed);
+}
+
+TEST(Printer, SimpleStatements) {
+  auto program = parse("int i = 0; i = i + 1; return i;");
+  ASSERT_TRUE(program.is_ok());
+  EXPECT_EQ(to_source(program.value()),
+            "int i = 0;\ni = (i + 1);\nreturn i;\n");
+}
+
+TEST(Printer, RoundTripPaperFilter) {
+  CompileEnv env;
+  env.constants = {{"LOADAVG", 0}, {"DISKUSAGE", 1}, {"FREEMEM", 2},
+                   {"CACHE_MISS", 3}};
+  expect_round_trip(R"({
+    int i = 0;
+    if (input[LOADAVG].value > 2) {
+      output[i] = input[LOADAVG];
+      i = i + 1;
+    }
+    if (input[DISKUSAGE].value > 10000 && input[FREEMEM].value < 50e6) {
+      output[i] = input[DISKUSAGE];
+      i = i + 1;
+      output[i] = input[FREEMEM];
+      i = i + 1;
+    }
+    if (input[CACHE_MISS].value > input[CACHE_MISS].last_value_sent) {
+      output[i] = input[CACHE_MISS];
+      i = i + 1;
+    }
+  })", env);
+}
+
+TEST(Printer, RoundTripControlFlow) {
+  expect_round_trip(
+      "int sum = 0;\n"
+      "for (int i = 0; i < 10; ++i) {\n"
+      "  if (i % 2) continue; else sum += i;\n"
+      "  if (sum > 100) break;\n"
+      "}\n"
+      "while (sum > 0) sum = sum - 3;\n"
+      "return sum;");
+}
+
+TEST(Printer, RoundTripOperatorZoo) {
+  expect_round_trip(
+      "int a = 5; int b = 3;\n"
+      "int c = a * b + a / b - a % b;\n"
+      "int d = (a << 2) | (b >> 1) & ~a ^ 7;\n"
+      "int e = a < b ? -a : +b;\n"
+      "int f = !(a <= b) && a != b || a == 5;\n"
+      "double g = 1.5e3 + 0.25;\n"
+      "return c + d + e + f + g;");
+}
+
+TEST(Printer, RoundTripSamplesAndBuiltins) {
+  expect_round_trip(
+      "sample s = input[0];\n"
+      "s.value = max(abs(s.value), sqrt(4.0));\n"
+      "output[0] = s;\n"
+      "output[1].value = floor(min(1.9, 2));\n"
+      "output[1].id = 7;");
+}
+
+TEST(Printer, RoundTripIncDec) {
+  expect_round_trip(
+      "int i = 0; int j = i++; int k = ++i; i--; --i; return i * 100 + j + k;");
+}
+
+TEST(Printer, RandomProgramsRoundTrip) {
+  Rng rng{0x715};
+  for (int trial = 0; trial < 60; ++trial) {
+    std::ostringstream source;
+    source << "int v0 = " << rng.uniform_int(-9, 9) << ";\n"
+           << "int v1 = " << rng.uniform_int(-9, 9) << ";\n"
+           << "double v2 = " << rng.uniform_int(0, 9) << ".5;\n";
+    for (int stmt = 0; stmt < 12; ++stmt) {
+      const int dst = static_cast<int>(rng.uniform_int(0, 1));
+      switch (rng.uniform_int(0, 4)) {
+        case 0:
+          source << "v" << dst << " = v0 + v1 * " << rng.uniform_int(1, 5)
+                 << ";\n";
+          break;
+        case 1:
+          source << "if (v0 > v1) v" << dst << " = v" << dst
+                 << " - 1; else v" << dst << " += 2;\n";
+          break;
+        case 2:
+          source << "for (int i = 0; i < " << rng.uniform_int(1, 5)
+                 << "; ++i) v" << dst << " = v" << dst << " + i;\n";
+          break;
+        case 3:
+          source << "v2 = v2 * 1.5 + min(v0, v1);\n";
+          break;
+        case 4:
+          source << "v" << dst << " = v0 > 0 ? v1 : -v1;\n";
+          break;
+      }
+    }
+    source << "return v0 + 1000 * v1 + v2;";
+    expect_round_trip(source.str());
+  }
+}
+
+TEST(Printer, ExpressionRendering) {
+  auto program = parse("int x = min(1, 2) + input[0].value;");
+  ASSERT_TRUE(program.is_ok());
+  const Expr& init = *program.value().statements[0]->expr;
+  EXPECT_EQ(to_source(init), "(min(1, 2) + input[0].value)");
+}
+
+}  // namespace
+}  // namespace dproc::ecode

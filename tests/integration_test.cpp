@@ -1,0 +1,223 @@
+// End-to-end integration: full cluster bring-up, remote /proc population,
+// control-file round trips, filter deployment across the wire.
+#include <gtest/gtest.h>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/workload/linpack.hpp"
+
+#include <memory>
+
+namespace dproc {
+namespace {
+
+core::ClusterConfig three_nodes() {
+  core::ClusterConfig config;
+  config.node_count = 3;
+  config.node_names = {"alan", "maui", "etna"};
+  return config;
+}
+
+TEST(Integration, RemoteProcEntriesPopulate) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(5.0));
+
+  // Figure 1's hierarchy: every node sees every other node's metrics.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      const std::string path = "/proc/cluster/" +
+                               cluster.fabric().node_name(
+                                   static_cast<net::NodeId>(j)) +
+                               "/cpu/loadavg";
+      auto content = cluster.procfs(i).read(path);
+      ASSERT_TRUE(content.is_ok()) << path << ": " << content.status().to_string();
+      EXPECT_NE(content.value(), "no data\n") << path;
+    }
+  }
+}
+
+TEST(Integration, LoadOnOneNodeVisibleOnAnother) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  // Start 3 linpack threads on etna; alan should see its loadavg rise.
+  std::vector<std::unique_ptr<workload::LinpackTask>> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.push_back(std::make_unique<workload::LinpackTask>(cluster.host(2)));
+  }
+  engine.run_until(SimTime{} + seconds(12.0));
+
+  const core::RemoteMetric* loadavg =
+      cluster.dmon(0)->remote_metric(2, "loadavg");
+  ASSERT_NE(loadavg, nullptr);
+  EXPECT_GT(loadavg->value, 2.0);
+  EXPECT_LE(loadavg->value, 3.5);
+}
+
+TEST(Integration, ControlFileDeploysFilterRemotely) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  // From alan, deploy a filter on etna that only reports loadavg > 2.
+  const std::string control = "filter {\n"
+                              "  int i = 0;\n"
+                              "  if (input[LOADAVG].value > 2) {\n"
+                              "    output[i] = input[LOADAVG];\n"
+                              "    i = i + 1;\n"
+                              "  }\n"
+                              "}\n";
+  ASSERT_TRUE(cluster.procfs(0)
+                  .write("/proc/cluster/etna/control", control)
+                  .is_ok());
+  engine.run_until(SimTime{} + seconds(4.0));
+  ASSERT_TRUE(cluster.dmon(2)->tuning().has_filter());
+
+  // With idle CPUs nothing passes the filter, so alan's view of etna's
+  // loadavg stops updating while e.g. freemem (also filtered out) does too.
+  const core::RemoteMetric* before =
+      cluster.dmon(0)->remote_metric(2, "freemem");
+  const SimTime before_time = before ? before->received_at : SimTime{};
+  engine.run_until(SimTime{} + seconds(8.0));
+  const core::RemoteMetric* after =
+      cluster.dmon(0)->remote_metric(2, "freemem");
+  const SimTime after_time = after ? after->received_at : SimTime{};
+  EXPECT_EQ(before_time.ns(), after_time.ns())
+      << "filter should have suppressed freemem updates";
+
+  // Load etna: loadavg crosses the threshold and updates resume.
+  workload::LinpackTask a{cluster.host(2)}, b{cluster.host(2)},
+      c{cluster.host(2)};
+  engine.run_until(SimTime{} + seconds(18.0));
+  const core::RemoteMetric* loadavg =
+      cluster.dmon(0)->remote_metric(2, "loadavg");
+  ASSERT_NE(loadavg, nullptr);
+  EXPECT_GT(loadavg->value, 2.0);
+  EXPECT_GT(loadavg->received_at.ns(), after_time.ns());
+}
+
+TEST(Integration, BadFilterIsRejectedAndReported) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  ASSERT_TRUE(cluster.procfs(0)
+                  .write("/proc/cluster/etna/control",
+                         "filter { output[0] = input[NOSUCHMETRIC]; }")
+                  .is_ok());
+  engine.run_until(SimTime{} + seconds(4.0));
+  EXPECT_FALSE(cluster.dmon(2)->tuning().has_filter());
+  EXPECT_FALSE(cluster.dmon(2)->last_control_error().empty());
+}
+
+TEST(Integration, PaperFigure3FilterEndToEnd) {
+  // The paper's flagship filter, deployed over the wire and driven by real
+  // simulated resource pressure: disk writes push DISKUSAGE up while a
+  // memory hog pulls FREEMEM below 50 MB, and loadavg crosses 2 — each
+  // clause must fire from genuine monitoring data, not synthetic samples.
+  sim::Engine engine;
+  core::ClusterConfig cluster_config = three_nodes();
+  cluster_config.host_template.memory_bytes = 256ULL << 20;  // 256 MB node
+  core::Cluster cluster{engine, cluster_config};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  const std::string control = "filter {\n"
+                              "  int i = 0;\n"
+                              "  if (input[LOADAVG].value > 2) {\n"
+                              "    output[i] = input[LOADAVG];\n"
+                              "    i = i + 1;\n"
+                              "  }\n"
+                              "  if (input[DISKUSAGE].value > 10000 &&\n"
+                              "      input[FREEMEM].value < 50e6) {\n"
+                              "    output[i] = input[DISKUSAGE];\n"
+                              "    i = i + 1;\n"
+                              "    output[i] = input[FREEMEM];\n"
+                              "    i = i + 1;\n"
+                              "  }\n"
+                              "  if (input[CACHE_MISSES].value >\n"
+                              "      input[CACHE_MISSES].last_value_sent) {\n"
+                              "    output[i] = input[CACHE_MISSES];\n"
+                              "    i = i + 1;\n"
+                              "  }\n"
+                              "}\n";
+  ASSERT_TRUE(cluster.procfs(0)
+                  .write("/proc/cluster/etna/control", control)
+                  .is_ok());
+  engine.run_until(SimTime{} + seconds(4.0));
+  ASSERT_TRUE(cluster.dmon(2)->tuning().has_filter());
+
+  // Quiet node: nothing passes; alan's view of etna freezes.
+  const core::RemoteMetric* before = cluster.dmon(0)->remote_metric(2, "freemem");
+  engine.run_until(SimTime{} + seconds(8.0));
+  const core::RemoteMetric* frozen = cluster.dmon(0)->remote_metric(2, "freemem");
+  const SimTime frozen_at = frozen ? frozen->received_at : SimTime{};
+  EXPECT_EQ(before ? before->received_at.ns() : 0, frozen_at.ns());
+
+  // Clause 2: disk writes (>10k sectors/s) + memory pressure (<50 MB free).
+  workload::MemoryHog hog{cluster.host(2),
+                          cluster.host(2).memory().free_bytes() - 40'000'000};
+  auto disk_writer = engine.schedule_periodic(milliseconds(100.0), [&] {
+    // 1 MB every 100 ms = ~20k sectors/s.
+    cluster.host(2).disk().submit(host::Disk::Op::kWrite, 1'000'000);
+  });
+  engine.run_until(SimTime{} + seconds(14.0));
+  const core::RemoteMetric* freemem = cluster.dmon(0)->remote_metric(2, "freemem");
+  ASSERT_NE(freemem, nullptr);
+  EXPECT_GT(freemem->received_at.ns(), frozen_at.ns())
+      << "disk+memory clause should have fired";
+  EXPECT_LT(freemem->value, 50e6);
+  const core::RemoteMetric* disk = cluster.dmon(0)->remote_metric(2, "diskusage");
+  ASSERT_NE(disk, nullptr);
+  EXPECT_GT(disk->value, 10'000.0);
+  disk_writer.cancel();
+
+  // Clause 1 + 3: linpack drives loadavg past 2 and cache misses upward.
+  workload::LinpackTask a{cluster.host(2)}, b{cluster.host(2)},
+      c{cluster.host(2)};
+  engine.run_until(SimTime{} + seconds(26.0));
+  const core::RemoteMetric* loadavg = cluster.dmon(0)->remote_metric(2, "loadavg");
+  ASSERT_NE(loadavg, nullptr);
+  EXPECT_GT(loadavg->value, 2.0);
+  const core::RemoteMetric* misses =
+      cluster.dmon(0)->remote_metric(2, "cache_misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GT(misses->value, 0.0);
+}
+
+TEST(Integration, PerConnectionTableRenders) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(5.0));
+  auto table = cluster.procfs(0).read("/proc/net/connections");
+  ASSERT_TRUE(table.is_ok());
+  // The kecho transports to both peers appear with measured RTTs.
+  EXPECT_NE(table.value().find("srtt_us"), std::string::npos);
+  EXPECT_GE(std::count(table.value().begin(), table.value().end(), '\n'), 3);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Engine engine;
+    core::Cluster cluster{engine, three_nodes()};
+    cluster.start_dproc();
+    workload::LinpackTask load{cluster.host(1)};
+    engine.run_until(SimTime{} + seconds(10.0));
+    const core::RemoteMetric* m = cluster.dmon(0)->remote_metric(1, "loadavg");
+    return std::pair{engine.events_processed(), m ? m->value : -1.0};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace dproc

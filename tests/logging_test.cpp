@@ -1,0 +1,75 @@
+// Logger behaviour and the umbrella header's self-containedness.
+#include <gtest/gtest.h>
+
+#include "dproc/dproc.hpp"  // must compile standalone
+
+namespace dproc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() {
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          captured.emplace_back(level, message);
+        });
+    Logger::instance().set_level(LogLevel::kTrace);
+  }
+  ~LoggingTest() override {
+    // Restore defaults so other tests are unaffected.
+    Logger::instance().set_sink([](LogLevel, const std::string&) {});
+    Logger::instance().set_level(LogLevel::kWarn);
+    Logger::instance().set_time_source({});
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LoggingTest, LevelsFilter) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  DPROC_DEBUG() << "hidden";
+  DPROC_WARN() << "visible";
+  DPROC_ERROR() << "also visible";
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].second, "visible");
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, StreamFormatting) {
+  DPROC_INFO() << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LoggingTest, DisabledLevelsSkipEvaluation) {
+  Logger::instance().set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "costly";
+  };
+  DPROC_ERROR() << expensive();
+  EXPECT_EQ(evaluations, 0) << "operands must not evaluate when filtered";
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, TimeSourcePrefixesSimTime) {
+  Logger::instance().set_time_source(
+      [] { return SimTime::zero() + seconds(1.25); });
+  DPROC_INFO() << "event";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_NE(captured[0].second.find("t=1.25"), std::string::npos);
+  EXPECT_NE(captured[0].second.find("event"), std::string::npos);
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace dproc

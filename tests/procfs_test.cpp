@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "dproc/procfs/procfs.hpp"
+
+namespace dproc::procfs {
+namespace {
+
+class ProcFsTest : public ::testing::Test {
+ protected:
+  ProcFs fs;
+};
+
+TEST_F(ProcFsTest, RegisterAndReadFile) {
+  ASSERT_TRUE(fs.register_file("/proc/loadavg", [] { return "0.42\n"; }).is_ok());
+  auto content = fs.read("/proc/loadavg");
+  ASSERT_TRUE(content.is_ok());
+  EXPECT_EQ(content.value(), "0.42\n");
+}
+
+TEST_F(ProcFsTest, IntermediateDirectoriesCreated) {
+  ASSERT_TRUE(
+      fs.register_file("/proc/cluster/alan/cpu/loadavg", [] { return "1\n"; })
+          .is_ok());
+  EXPECT_TRUE(fs.is_directory("/proc/cluster/alan/cpu"));
+  EXPECT_TRUE(fs.is_directory("/proc/cluster"));
+}
+
+TEST_F(ProcFsTest, ReadReflectsLiveState) {
+  int value = 0;
+  ASSERT_TRUE(fs.register_file("/proc/value", [&] {
+                  return std::to_string(value);
+                }).is_ok());
+  value = 7;
+  EXPECT_EQ(fs.read("/proc/value").value(), "7");
+  value = 9;
+  EXPECT_EQ(fs.read("/proc/value").value(), "9");
+}
+
+TEST_F(ProcFsTest, WriteInvokesHandler) {
+  std::string written;
+  ASSERT_TRUE(fs.register_file(
+                    "/proc/cluster/alan/control", [] { return ""; },
+                    [&](const std::string& data) {
+                      written = data;
+                      return Status::ok();
+                    })
+                  .is_ok());
+  ASSERT_TRUE(fs.write("/proc/cluster/alan/control", "period 2").is_ok());
+  EXPECT_EQ(written, "period 2");
+}
+
+TEST_F(ProcFsTest, WriteHandlerErrorsPropagate) {
+  ASSERT_TRUE(fs.register_file(
+                    "/proc/ctl", [] { return ""; },
+                    [](const std::string&) {
+                      return Status::invalid_argument("bad command");
+                    })
+                  .is_ok());
+  const Status status = fs.write("/proc/ctl", "x");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcFsTest, WriteToReadOnlyFileDenied) {
+  ASSERT_TRUE(fs.register_file("/proc/ro", [] { return "x"; }).is_ok());
+  EXPECT_EQ(fs.write("/proc/ro", "y").code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ProcFsTest, MissingPathsReported) {
+  EXPECT_EQ(fs.read("/proc/nothing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs.write("/proc/nothing", "x").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(fs.exists("/proc/nothing"));
+}
+
+TEST_F(ProcFsTest, ReadingDirectoryIsError) {
+  ASSERT_TRUE(fs.mkdir("/proc/cluster").is_ok());
+  EXPECT_EQ(fs.read("/proc/cluster").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProcFsTest, ListSortsAndMarksDirectories) {
+  ASSERT_TRUE(fs.register_file("/proc/zeta", [] { return ""; }).is_ok());
+  ASSERT_TRUE(fs.mkdir("/proc/alpha").is_ok());
+  auto entries = fs.list("/proc");
+  ASSERT_TRUE(entries.is_ok());
+  EXPECT_EQ(entries.value(), (std::vector<std::string>{"alpha/", "zeta"}));
+}
+
+TEST_F(ProcFsTest, ListFileIsError) {
+  ASSERT_TRUE(fs.register_file("/proc/x", [] { return ""; }).is_ok());
+  EXPECT_FALSE(fs.list("/proc/x").is_ok());
+}
+
+TEST_F(ProcFsTest, RemoveSubtree) {
+  ASSERT_TRUE(fs.register_file("/proc/cluster/alan/cpu/loadavg",
+                               [] { return ""; }).is_ok());
+  ASSERT_TRUE(fs.remove("/proc/cluster/alan").is_ok());
+  EXPECT_FALSE(fs.exists("/proc/cluster/alan/cpu/loadavg"));
+  EXPECT_TRUE(fs.exists("/proc/cluster"));
+  EXPECT_EQ(fs.remove("/proc/cluster/alan").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProcFsTest, RelativePathsRejected) {
+  EXPECT_FALSE(fs.register_file("proc/x", [] { return ""; }).is_ok());
+  EXPECT_FALSE(fs.read("relative").is_ok());
+}
+
+TEST_F(ProcFsTest, DotComponentsRejected) {
+  EXPECT_FALSE(fs.register_file("/proc/../etc/passwd", [] { return ""; }).is_ok());
+  EXPECT_FALSE(fs.read("/proc/./x").is_ok());
+}
+
+TEST_F(ProcFsTest, FileOverDirectoryRejected) {
+  ASSERT_TRUE(fs.mkdir("/proc/cluster").is_ok());
+  EXPECT_EQ(fs.register_file("/proc/cluster", [] { return ""; }).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProcFsTest, ReRegisterReplacesHandlers) {
+  ASSERT_TRUE(fs.register_file("/proc/x", [] { return "a"; }).is_ok());
+  ASSERT_TRUE(fs.register_file("/proc/x", [] { return "b"; }).is_ok());
+  EXPECT_EQ(fs.read("/proc/x").value(), "b");
+}
+
+TEST_F(ProcFsTest, TreeRendersHierarchy) {
+  ASSERT_TRUE(fs.register_file("/proc/cluster/alan/cpu/loadavg",
+                               [] { return ""; }).is_ok());
+  const std::string tree = fs.tree();
+  EXPECT_NE(tree.find("cluster/"), std::string::npos);
+  EXPECT_NE(tree.find("alan/"), std::string::npos);
+  EXPECT_NE(tree.find("loadavg"), std::string::npos);
+}
+
+TEST_F(ProcFsTest, DuplicateSlashesTolerated) {
+  ASSERT_TRUE(fs.register_file("//proc//x", [] { return "v"; }).is_ok());
+  EXPECT_EQ(fs.read("/proc/x").value(), "v");
+}
+
+TEST_F(ProcFsTest, NullReadHandlerYieldsEmpty) {
+  ASSERT_TRUE(fs.register_file("/proc/empty", {}).is_ok());
+  EXPECT_EQ(fs.read("/proc/empty").value(), "");
+}
+
+}  // namespace
+}  // namespace dproc::procfs

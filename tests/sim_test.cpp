@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dproc/sim/engine.hpp"
+
+namespace dproc::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), SimTime::zero());
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  engine.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  engine.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(SimTime{100}, [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine engine;
+  SimTime observed;
+  engine.schedule_after(seconds(2.0), [&] { observed = engine.now(); });
+  engine.run();
+  EXPECT_EQ(observed, SimTime::zero() + seconds(2.0));
+}
+
+TEST(Engine, ClockIsMonotoneThroughCallbacks) {
+  Engine engine;
+  SimTime last = SimTime::zero();
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(SimTime{i * 7 % 50}, [&] {
+      EXPECT_GE(engine.now(), last);
+      last = engine.now();
+    });
+  }
+  engine.run();
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(SimTime{100}, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(SimTime{50}, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_after(seconds(-1.0), [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  EventHandle handle = engine.schedule_after(seconds(1.0), [&] { fired = true; });
+  handle.cancel();
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine engine;
+  EventHandle handle = engine.schedule_after(seconds(1.0), [] {});
+  engine.run();
+  handle.cancel();
+  handle.cancel();
+}
+
+TEST(Engine, CancelledEventsDontCountAsProcessed) {
+  Engine engine;
+  EventHandle handle = engine.schedule_after(seconds(1.0), [] {});
+  engine.schedule_after(seconds(2.0), [] {});
+  handle.cancel();
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 1u);
+}
+
+TEST(Engine, PeriodicFiresAtPeriod) {
+  Engine engine;
+  std::vector<SimTime> fires;
+  EventHandle timer = engine.schedule_periodic(seconds(1.0), [&] {
+    fires.push_back(engine.now());
+  });
+  engine.run_until(SimTime::zero() + seconds(4.5));
+  timer.cancel();
+  ASSERT_EQ(fires.size(), 4u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i].ns(), seconds(static_cast<double>(i + 1)).ns());
+  }
+}
+
+TEST(Engine, PeriodicCancelStopsChain) {
+  Engine engine;
+  int count = 0;
+  EventHandle timer = engine.schedule_periodic(seconds(1.0), [&] { ++count; });
+  engine.run_until(SimTime::zero() + seconds(2.5));
+  timer.cancel();
+  engine.run_until(SimTime::zero() + seconds(10.0));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine engine;
+  int count = 0;
+  EventHandle timer;
+  timer = engine.schedule_periodic(seconds(1.0), [&] {
+    if (++count == 3) timer.cancel();
+  });
+  engine.run_until(SimTime::zero() + seconds(10.0));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, NonPositivePeriodThrows) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_periodic(SimDuration::zero(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(SimTime::zero() + seconds(5.0));
+  EXPECT_EQ(engine.now(), SimTime::zero() + seconds(5.0));
+}
+
+TEST(Engine, RunUntilDoesNotFireLaterEvents) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_after(seconds(10.0), [&] { fired = true; });
+  engine.run_until(SimTime::zero() + seconds(5.0));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, EventsScheduledFromCallbacksRun) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) engine.schedule_after(seconds(1.0), chain);
+  };
+  engine.schedule_after(seconds(1.0), chain);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(engine.now(), SimTime::zero() + seconds(5.0));
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_after(seconds(1.0), [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // no-op
+}
+
+}  // namespace
+}  // namespace dproc::sim

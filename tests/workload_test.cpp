@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/workload/iperf.hpp"
+#include "dproc/workload/linpack.hpp"
+#include "dproc/workload/md_source.hpp"
+
+namespace dproc::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    core::ClusterConfig config;
+    config.node_count = 3;
+    config.dproc_nodes.emplace();  // no dproc: pure workload testbed
+    cluster = std::make_unique<core::Cluster>(engine, config);
+  }
+
+  void run_for(double sec) { engine.run_until(engine.now() + seconds(sec)); }
+
+  sim::Engine engine;
+  std::unique_ptr<core::Cluster> cluster;
+};
+
+TEST_F(WorkloadTest, LinpackAloneAchievesPeakMflops) {
+  LinpackTask linpack{cluster->host(0)};
+  run_for(10.0);
+  EXPECT_NEAR(linpack.mflops(), 17.4, 1e-6);
+}
+
+TEST_F(WorkloadTest, TwoLinpackThreadsHalveEach) {
+  LinpackTask a{cluster->host(0)};
+  LinpackTask b{cluster->host(0)};
+  run_for(10.0);
+  EXPECT_NEAR(a.mflops(), 8.7, 1e-6);
+  EXPECT_NEAR(b.mflops(), 8.7, 1e-6);
+}
+
+TEST_F(WorkloadTest, CheckpointIsolatesWindows) {
+  LinpackTask linpack{cluster->host(0)};
+  run_for(5.0);
+  {
+    // A competitor appears for the second window only.
+    LinpackTask competitor{cluster->host(0)};
+    linpack.checkpoint();
+    run_for(5.0);
+    EXPECT_NEAR(linpack.mflops_since_checkpoint(), 8.7, 1e-6);
+  }
+  EXPECT_NEAR(linpack.mflops(), 17.4 * 0.75, 1e-6);  // lifetime average
+}
+
+TEST_F(WorkloadTest, LinpackFeedsPmcCounters) {
+  LinpackTask linpack{cluster->host(0)};
+  run_for(10.0);
+  (void)linpack.mflops();
+  const std::uint64_t flops = cluster->host(0).pmc().read(host::Pmc::kFlops);
+  EXPECT_NEAR(static_cast<double>(flops), 17.4e6 * 10, 17.4e6 * 0.01);
+  EXPECT_GT(cluster->host(0).pmc().read(host::Pmc::kCacheMisses), 0u);
+}
+
+TEST_F(WorkloadTest, IperfReachesExpectedGoodput) {
+  IperfConfig config;
+  config.rate_bps = 50e6;  // below line rate: no drops
+  IperfReceiver receiver{cluster->nic(1), config.port};
+  IperfSender sender{cluster->nic(0), 1, config};
+  sender.start();
+  run_for(2.0);
+  receiver.checkpoint();
+  run_for(10.0);
+  EXPECT_NEAR(receiver.goodput_bps_since_checkpoint(), 50e6, 1e6);
+  EXPECT_EQ(cluster->nic(1).stats().datagrams_lost, 0u);
+}
+
+TEST_F(WorkloadTest, IperfSaturationCapsNear96Mbps) {
+  IperfConfig config;
+  config.rate_bps = 100e6;  // offered at line rate: framing caps goodput
+  IperfReceiver receiver{cluster->nic(1), config.port};
+  IperfSender sender{cluster->nic(0), 1, config};
+  sender.start();
+  run_for(5.0);
+  receiver.checkpoint();
+  run_for(20.0);
+  const double goodput = receiver.goodput_bps_since_checkpoint();
+  // The paper's testbed measures ~96 Mbps of the nominal 100.
+  EXPECT_GT(goodput, 94e6);
+  EXPECT_LT(goodput, 97e6);
+}
+
+TEST_F(WorkloadTest, IperfStopHaltsTraffic) {
+  IperfConfig config;
+  IperfReceiver receiver{cluster->nic(1), config.port};
+  IperfSender sender{cluster->nic(0), 1, config};
+  sender.start();
+  run_for(1.0);
+  sender.stop();
+  const std::uint64_t count = sender.datagrams_sent();
+  run_for(1.0);
+  EXPECT_EQ(sender.datagrams_sent(), count);
+}
+
+TEST_F(WorkloadTest, IperfSetRateTakesEffect) {
+  IperfConfig config;
+  config.rate_bps = 10e6;
+  IperfReceiver receiver{cluster->nic(1), config.port};
+  IperfSender sender{cluster->nic(0), 1, config};
+  sender.start();
+  run_for(5.0);
+  sender.set_rate(40e6);
+  run_for(1.0);
+  receiver.checkpoint();
+  run_for(5.0);
+  EXPECT_NEAR(receiver.goodput_bps_since_checkpoint(), 40e6, 2e6);
+}
+
+TEST(MdSource, FrameNumbersMonotone) {
+  MdFrameSource source{1000};
+  EXPECT_EQ(source.next_frame(SimTime{}).frame_number, 0u);
+  EXPECT_EQ(source.next_frame(SimTime{}).frame_number, 1u);
+  EXPECT_EQ(source.atom_count(), 1000u);
+  EXPECT_EQ(source.full_frame_bytes(), 1000u * MdLayout::kFullBytesPerAtom);
+}
+
+TEST(MdSource, InvalidIperfConfigRejected) {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  const net::NodeId a = fabric.add_node("a");
+  net::Nic nic{fabric, a};
+  IperfConfig bad;
+  bad.rate_bps = 0;
+  EXPECT_THROW((IperfSender{nic, a, bad}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dproc::workload

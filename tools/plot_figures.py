@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the bench binaries' CSV output.
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 tools/plot_figures.py bench_output.txt out/
+
+Each bench prints rows of the form `csv,<series-name>,<x>,<y1>,<y2>,...`;
+this script groups them by series name and renders one PNG per series
+(matplotlib required; falls back to writing per-series .tsv files when
+matplotlib is unavailable).
+"""
+import collections
+import os
+import sys
+
+SERIES_COLUMNS = {
+    "fig4_linpack_mflops_vs_dproc_nodes":
+        ("dproc nodes", "Mflops", ["1s period", "2s period", "differential"]),
+    "fig5_iperf_goodput_mbps_vs_dproc_nodes":
+        ("dproc nodes", "Mbps", ["1s period", "2s period", "differential"]),
+    "fig6_submit_overhead_us_vs_nodes":
+        ("nodes", "us/poll", ["1s period", "2s period", "differential"]),
+    "fig7_submit_overhead_us_5kb_events":
+        ("nodes", "us/poll", ["1s period", "2s period", "differential"]),
+    "fig8_receive_overhead_us_vs_nodes":
+        ("nodes", "us/poll", ["1s period", "2s period", "differential"]),
+    "fig9a_latency_vs_time_cpu_loaded":
+        ("time (s)", "lag (s)", ["no filter", "static", "dynamic"]),
+    "fig9b_event_rate_vs_linpack_threads":
+        ("linpack threads", "events/s", ["no filter", "static", "dynamic"]),
+    "fig10_latency_vs_network_perturbation":
+        ("perturbation (Mbps)", "lag (s)", ["no filter", "static", "dynamic"]),
+    "fig11_latency_vs_combined_perturbation":
+        ("k (threads, x10 Mbps)", "lag (s)", ["cpu only", "net only", "hybrid"]),
+}
+
+
+def parse(path):
+    series = collections.defaultdict(list)
+    with open(path) as handle:
+        for line in handle:
+            if not line.startswith("csv,"):
+                continue
+            parts = line.strip().split(",")
+            name = parts[1]
+            try:
+                values = [float(v) for v in parts[2:]]
+            except ValueError:
+                continue
+            series[name].append(values)
+    return series
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    rows_by_series = parse(sys.argv[1])
+    out_dir = sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib not available; writing .tsv files instead")
+
+    for name, rows in sorted(rows_by_series.items()):
+        rows.sort(key=lambda r: r[0])
+        xlabel, ylabel, labels = SERIES_COLUMNS.get(
+            name, ("x", "y", [f"y{i}" for i in range(len(rows[0]) - 1)]))
+        if not have_mpl:
+            with open(os.path.join(out_dir, name + ".tsv"), "w") as out:
+                out.write("\t".join([xlabel] + list(labels)) + "\n")
+                for row in rows:
+                    out.write("\t".join(str(v) for v in row) + "\n")
+            continue
+        plt.figure(figsize=(6, 4))
+        xs = [row[0] for row in rows]
+        for column, label in enumerate(labels, start=1):
+            ys = [row[column] for row in rows if column < len(row)]
+            plt.plot(xs[: len(ys)], ys, marker="o", label=label)
+        plt.xlabel(xlabel)
+        plt.ylabel(ylabel)
+        plt.title(name)
+        if name.startswith(("fig9a", "fig10", "fig11")):
+            plt.yscale("log")
+        plt.legend()
+        plt.grid(True, alpha=0.3)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, name + ".png"), dpi=120)
+        plt.close()
+        print("wrote", os.path.join(out_dir, name + ".png"))
+
+
+if __name__ == "__main__":
+    main()
