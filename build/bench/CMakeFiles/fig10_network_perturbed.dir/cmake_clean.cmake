@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_network_perturbed.dir/fig10_network_perturbed.cpp.o"
+  "CMakeFiles/fig10_network_perturbed.dir/fig10_network_perturbed.cpp.o.d"
+  "fig10_network_perturbed"
+  "fig10_network_perturbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_network_perturbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hybrid_client.dir/fig11_hybrid_client.cpp.o"
+  "CMakeFiles/fig11_hybrid_client.dir/fig11_hybrid_client.cpp.o.d"
+  "fig11_hybrid_client"
+  "fig11_hybrid_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hybrid_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

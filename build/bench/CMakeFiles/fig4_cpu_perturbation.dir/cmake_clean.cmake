@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cpu_perturbation.dir/fig4_cpu_perturbation.cpp.o"
+  "CMakeFiles/fig4_cpu_perturbation.dir/fig4_cpu_perturbation.cpp.o.d"
+  "fig4_cpu_perturbation"
+  "fig4_cpu_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cpu_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

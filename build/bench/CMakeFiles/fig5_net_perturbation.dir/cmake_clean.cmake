@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_net_perturbation.dir/fig5_net_perturbation.cpp.o"
+  "CMakeFiles/fig5_net_perturbation.dir/fig5_net_perturbation.cpp.o.d"
+  "fig5_net_perturbation"
+  "fig5_net_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_net_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

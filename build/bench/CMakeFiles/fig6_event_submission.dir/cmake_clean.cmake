@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_event_submission.dir/fig6_event_submission.cpp.o"
+  "CMakeFiles/fig6_event_submission.dir/fig6_event_submission.cpp.o.d"
+  "fig6_event_submission"
+  "fig6_event_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_event_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

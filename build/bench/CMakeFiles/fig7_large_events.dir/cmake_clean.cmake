@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_large_events.dir/fig7_large_events.cpp.o"
+  "CMakeFiles/fig7_large_events.dir/fig7_large_events.cpp.o.d"
+  "fig7_large_events"
+  "fig7_large_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_large_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

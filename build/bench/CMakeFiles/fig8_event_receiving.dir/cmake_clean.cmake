@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_event_receiving.dir/fig8_event_receiving.cpp.o"
+  "CMakeFiles/fig8_event_receiving.dir/fig8_event_receiving.cpp.o.d"
+  "fig8_event_receiving"
+  "fig8_event_receiving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_event_receiving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cpu_loaded_client.dir/fig9_cpu_loaded_client.cpp.o"
+  "CMakeFiles/fig9_cpu_loaded_client.dir/fig9_cpu_loaded_client.cpp.o.d"
+  "fig9_cpu_loaded_client"
+  "fig9_cpu_loaded_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cpu_loaded_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_cpu_loaded_client.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ecode.dir/micro_ecode.cpp.o"
+  "CMakeFiles/micro_ecode.dir/micro_ecode.cpp.o.d"
+  "micro_ecode"
+  "micro_ecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kecho.dir/micro_kecho.cpp.o"
+  "CMakeFiles/micro_kecho.dir/micro_kecho.cpp.o.d"
+  "micro_kecho"
+  "micro_kecho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kecho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

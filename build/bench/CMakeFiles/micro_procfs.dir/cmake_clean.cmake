@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_procfs.dir/micro_procfs.cpp.o"
+  "CMakeFiles/micro_procfs.dir/micro_procfs.cpp.o.d"
+  "micro_procfs"
+  "micro_procfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_load_balance.dir/motivation_load_balance.cpp.o"
+  "CMakeFiles/motivation_load_balance.dir/motivation_load_balance.cpp.o.d"
+  "motivation_load_balance"
+  "motivation_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

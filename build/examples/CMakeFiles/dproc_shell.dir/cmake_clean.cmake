@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_shell.dir/dproc_shell.cpp.o"
+  "CMakeFiles/dproc_shell.dir/dproc_shell.cpp.o.d"
+  "dproc_shell"
+  "dproc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

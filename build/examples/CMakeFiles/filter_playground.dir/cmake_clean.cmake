@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_playground.dir/filter_playground.cpp.o"
+  "CMakeFiles/filter_playground.dir/filter_playground.cpp.o.d"
+  "filter_playground"
+  "filter_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

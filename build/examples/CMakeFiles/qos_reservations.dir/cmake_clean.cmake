@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_reservations.dir/qos_reservations.cpp.o"
+  "CMakeFiles/qos_reservations.dir/qos_reservations.cpp.o.d"
+  "qos_reservations"
+  "qos_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartpointer_viz.dir/smartpointer_viz.cpp.o"
+  "CMakeFiles/smartpointer_viz.dir/smartpointer_viz.cpp.o.d"
+  "smartpointer_viz"
+  "smartpointer_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartpointer_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("host")
+subdirs("net")
+subdirs("workload")
+subdirs("ecode")
+subdirs("kecho")
+subdirs("procfs")
+subdirs("qos")
+subdirs("core")
+subdirs("smartpointer")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_apps.dir/workqueue.cpp.o"
+  "CMakeFiles/dproc_apps.dir/workqueue.cpp.o.d"
+  "libdproc_apps.a"
+  "libdproc_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/core/CMakeFiles/dproc_core.dir/aggregate.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/aggregate.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/dproc_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/dproc_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/control.cpp.o.d"
+  "/root/repo/src/core/dmon.cpp" "src/core/CMakeFiles/dproc_core.dir/dmon.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/dmon.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/dproc_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/monitors.cpp" "src/core/CMakeFiles/dproc_core.dir/monitors.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/monitors.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/dproc_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/dproc_core.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kecho/CMakeFiles/dproc_kecho.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfs/CMakeFiles/dproc_procfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecode/CMakeFiles/dproc_ecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dproc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dproc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dproc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dproc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dproc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

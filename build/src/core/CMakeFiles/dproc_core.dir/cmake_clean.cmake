@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_core.dir/aggregate.cpp.o"
+  "CMakeFiles/dproc_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/cluster.cpp.o"
+  "CMakeFiles/dproc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/control.cpp.o"
+  "CMakeFiles/dproc_core.dir/control.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/dmon.cpp.o"
+  "CMakeFiles/dproc_core.dir/dmon.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/history.cpp.o"
+  "CMakeFiles/dproc_core.dir/history.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/monitors.cpp.o"
+  "CMakeFiles/dproc_core.dir/monitors.cpp.o.d"
+  "CMakeFiles/dproc_core.dir/tuning.cpp.o"
+  "CMakeFiles/dproc_core.dir/tuning.cpp.o.d"
+  "libdproc_core.a"
+  "libdproc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecode/compiler.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/compiler.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/compiler.cpp.o.d"
+  "/root/repo/src/ecode/ecode.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/ecode.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/ecode.cpp.o.d"
+  "/root/repo/src/ecode/fold.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/fold.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/fold.cpp.o.d"
+  "/root/repo/src/ecode/lexer.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/lexer.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/lexer.cpp.o.d"
+  "/root/repo/src/ecode/parser.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/parser.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/parser.cpp.o.d"
+  "/root/repo/src/ecode/printer.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/printer.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/printer.cpp.o.d"
+  "/root/repo/src/ecode/sema.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/sema.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/sema.cpp.o.d"
+  "/root/repo/src/ecode/vm.cpp" "src/ecode/CMakeFiles/dproc_ecode.dir/vm.cpp.o" "gcc" "src/ecode/CMakeFiles/dproc_ecode.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dproc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

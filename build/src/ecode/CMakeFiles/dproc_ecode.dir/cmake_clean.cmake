@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_ecode.dir/compiler.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/compiler.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/ecode.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/ecode.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/fold.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/fold.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/lexer.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/lexer.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/parser.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/parser.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/printer.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/printer.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/sema.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/sema.cpp.o.d"
+  "CMakeFiles/dproc_ecode.dir/vm.cpp.o"
+  "CMakeFiles/dproc_ecode.dir/vm.cpp.o.d"
+  "libdproc_ecode.a"
+  "libdproc_ecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_ecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

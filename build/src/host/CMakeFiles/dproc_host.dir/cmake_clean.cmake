@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_host.dir/battery.cpp.o"
+  "CMakeFiles/dproc_host.dir/battery.cpp.o.d"
+  "CMakeFiles/dproc_host.dir/cpu.cpp.o"
+  "CMakeFiles/dproc_host.dir/cpu.cpp.o.d"
+  "CMakeFiles/dproc_host.dir/disk.cpp.o"
+  "CMakeFiles/dproc_host.dir/disk.cpp.o.d"
+  "libdproc_host.a"
+  "libdproc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

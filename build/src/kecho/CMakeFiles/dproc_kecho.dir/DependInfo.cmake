@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kecho/node.cpp" "src/kecho/CMakeFiles/dproc_kecho.dir/node.cpp.o" "gcc" "src/kecho/CMakeFiles/dproc_kecho.dir/node.cpp.o.d"
+  "/root/repo/src/kecho/registry.cpp" "src/kecho/CMakeFiles/dproc_kecho.dir/registry.cpp.o" "gcc" "src/kecho/CMakeFiles/dproc_kecho.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/dproc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dproc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dproc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dproc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_kecho.dir/node.cpp.o"
+  "CMakeFiles/dproc_kecho.dir/node.cpp.o.d"
+  "CMakeFiles/dproc_kecho.dir/registry.cpp.o"
+  "CMakeFiles/dproc_kecho.dir/registry.cpp.o.d"
+  "libdproc_kecho.a"
+  "libdproc_kecho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_kecho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

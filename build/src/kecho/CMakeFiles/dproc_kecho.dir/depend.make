@@ -1,0 +1,2 @@
+# Empty dependencies file for dproc_kecho.
+# This may be replaced when dependencies are built.

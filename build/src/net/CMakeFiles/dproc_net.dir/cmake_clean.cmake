@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_net.dir/fabric.cpp.o"
+  "CMakeFiles/dproc_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/dproc_net.dir/nic.cpp.o"
+  "CMakeFiles/dproc_net.dir/nic.cpp.o.d"
+  "CMakeFiles/dproc_net.dir/tcp.cpp.o"
+  "CMakeFiles/dproc_net.dir/tcp.cpp.o.d"
+  "libdproc_net.a"
+  "libdproc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_procfs.dir/procfs.cpp.o"
+  "CMakeFiles/dproc_procfs.dir/procfs.cpp.o.d"
+  "libdproc_procfs.a"
+  "libdproc_procfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

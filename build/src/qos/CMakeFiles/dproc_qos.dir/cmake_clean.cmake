@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_qos.dir/manager.cpp.o"
+  "CMakeFiles/dproc_qos.dir/manager.cpp.o.d"
+  "libdproc_qos.a"
+  "libdproc_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_sim.dir/engine.cpp.o"
+  "CMakeFiles/dproc_sim.dir/engine.cpp.o.d"
+  "libdproc_sim.a"
+  "libdproc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

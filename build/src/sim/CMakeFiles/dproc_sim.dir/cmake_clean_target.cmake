@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdproc_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_smartpointer.dir/client.cpp.o"
+  "CMakeFiles/dproc_smartpointer.dir/client.cpp.o.d"
+  "CMakeFiles/dproc_smartpointer.dir/server.cpp.o"
+  "CMakeFiles/dproc_smartpointer.dir/server.cpp.o.d"
+  "CMakeFiles/dproc_smartpointer.dir/stream.cpp.o"
+  "CMakeFiles/dproc_smartpointer.dir/stream.cpp.o.d"
+  "CMakeFiles/dproc_smartpointer.dir/sync.cpp.o"
+  "CMakeFiles/dproc_smartpointer.dir/sync.cpp.o.d"
+  "libdproc_smartpointer.a"
+  "libdproc_smartpointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_smartpointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

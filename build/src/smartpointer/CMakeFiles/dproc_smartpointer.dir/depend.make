@@ -1,0 +1,2 @@
+# Empty dependencies file for dproc_smartpointer.
+# This may be replaced when dependencies are built.

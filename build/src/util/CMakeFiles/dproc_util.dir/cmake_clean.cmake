@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_util.dir/logging.cpp.o"
+  "CMakeFiles/dproc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dproc_util.dir/stats.cpp.o"
+  "CMakeFiles/dproc_util.dir/stats.cpp.o.d"
+  "libdproc_util.a"
+  "libdproc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

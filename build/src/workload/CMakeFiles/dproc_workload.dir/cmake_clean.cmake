@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dproc_workload.dir/iperf.cpp.o"
+  "CMakeFiles/dproc_workload.dir/iperf.cpp.o.d"
+  "CMakeFiles/dproc_workload.dir/linpack.cpp.o"
+  "CMakeFiles/dproc_workload.dir/linpack.cpp.o.d"
+  "libdproc_workload.a"
+  "libdproc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dproc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

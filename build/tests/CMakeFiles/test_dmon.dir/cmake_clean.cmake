@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmon.dir/dmon_test.cpp.o"
+  "CMakeFiles/test_dmon.dir/dmon_test.cpp.o.d"
+  "test_dmon"
+  "test_dmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecode_fold_test.cpp" "tests/CMakeFiles/test_ecode_fold.dir/ecode_fold_test.cpp.o" "gcc" "tests/CMakeFiles/test_ecode_fold.dir/ecode_fold_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dproc_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartpointer/CMakeFiles/dproc_smartpointer.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dproc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qos/CMakeFiles/dproc_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/kecho/CMakeFiles/dproc_kecho.dir/DependInfo.cmake"
+  "/root/repo/build/src/procfs/CMakeFiles/dproc_procfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecode/CMakeFiles/dproc_ecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dproc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dproc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dproc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dproc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dproc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecode_fold.dir/ecode_fold_test.cpp.o"
+  "CMakeFiles/test_ecode_fold.dir/ecode_fold_test.cpp.o.d"
+  "test_ecode_fold"
+  "test_ecode_fold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecode_fold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecode_frontend.dir/ecode_frontend_test.cpp.o"
+  "CMakeFiles/test_ecode_frontend.dir/ecode_frontend_test.cpp.o.d"
+  "test_ecode_frontend"
+  "test_ecode_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecode_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

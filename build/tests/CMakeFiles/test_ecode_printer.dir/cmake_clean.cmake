@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecode_printer.dir/ecode_printer_test.cpp.o"
+  "CMakeFiles/test_ecode_printer.dir/ecode_printer_test.cpp.o.d"
+  "test_ecode_printer"
+  "test_ecode_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecode_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecode_vm.dir/ecode_vm_test.cpp.o"
+  "CMakeFiles/test_ecode_vm.dir/ecode_vm_test.cpp.o.d"
+  "test_ecode_vm"
+  "test_ecode_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecode_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kecho.dir/kecho_test.cpp.o"
+  "CMakeFiles/test_kecho.dir/kecho_test.cpp.o.d"
+  "test_kecho"
+  "test_kecho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kecho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

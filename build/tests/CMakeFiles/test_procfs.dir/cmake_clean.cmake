@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procfs.dir/procfs_test.cpp.o"
+  "CMakeFiles/test_procfs.dir/procfs_test.cpp.o.d"
+  "test_procfs"
+  "test_procfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

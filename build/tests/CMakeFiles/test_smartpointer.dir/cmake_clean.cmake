@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smartpointer.dir/smartpointer_test.cpp.o"
+  "CMakeFiles/test_smartpointer.dir/smartpointer_test.cpp.o.d"
+  "test_smartpointer"
+  "test_smartpointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smartpointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_property.dir/system_property_test.cpp.o"
+  "CMakeFiles/test_system_property.dir/system_property_test.cpp.o.d"
+  "test_system_property"
+  "test_system_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

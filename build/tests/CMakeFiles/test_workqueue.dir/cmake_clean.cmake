@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workqueue.dir/workqueue_test.cpp.o"
+  "CMakeFiles/test_workqueue.dir/workqueue_test.cpp.o.d"
+  "test_workqueue"
+  "test_workqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
