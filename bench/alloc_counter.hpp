@@ -1,0 +1,17 @@
+// Process-global heap allocation counter.
+//
+// Linking alloc_counter.cpp into a binary replaces the global operator
+// new/delete pair with counting versions; alloc_count() then reads the
+// number of allocations performed so far. Used by the microbenchmarks to
+// report allocs/event and by the perf regression tests to pin the hot
+// paths at zero steady-state allocations.
+#pragma once
+
+#include <cstdint>
+
+namespace dproc::bench {
+
+/// Allocations (operator new calls) since process start.
+std::uint64_t alloc_count();
+
+}  // namespace dproc::bench

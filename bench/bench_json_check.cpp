@@ -1,0 +1,261 @@
+// Validates BENCH_*.json files emitted by the microbenchmarks.
+//
+// Run by the bench-smoke CTest target after the smoke benches: parses each
+// file with a strict little JSON parser and checks the schema documented in
+// bench_json.hpp — a "bench" string and a non-empty "benchmarks" array whose
+// entries carry a name plus positive ops_per_sec / ns_per_event and a
+// non-negative allocs_per_event. Exits non-zero on any parse or schema
+// error so a rotten harness fails the suite instead of rotting silently.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out)) {
+      error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing data at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+  bool literal(const char* word, JsonValue& out, JsonValue::Kind kind,
+               bool boolean) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return fail("bad literal");
+    }
+    out.kind = kind;
+    out.boolean = boolean;
+    return true;
+  }
+  bool string_token(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        switch (text_[pos_++]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') return literal("null", out, JsonValue::Kind::kNull, false);
+    if (c == 't') return literal("true", out, JsonValue::Kind::kBool, true);
+    if (c == 'f') return literal("false", out, JsonValue::Kind::kBool, false);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string_token(out.string);
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue element;
+        if (!value(element)) return false;
+        out.array.push_back(std::move(element));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string_token(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return fail("expected ':'");
+        }
+        ++pos_;
+        JsonValue element;
+        if (!value(element)) return false;
+        out.object.emplace(std::move(key), std::move(element));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // number
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    try {
+      out.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool check_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParser{buffer.str()}.parse(root, error)) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  const auto schema_error = [&](const std::string& why) {
+    std::fprintf(stderr, "%s: schema error: %s\n", path.c_str(), why.c_str());
+    return false;
+  };
+  if (root.kind != JsonValue::Kind::kObject) {
+    return schema_error("top level is not an object");
+  }
+  const auto bench = root.object.find("bench");
+  if (bench == root.object.end() ||
+      bench->second.kind != JsonValue::Kind::kString ||
+      bench->second.string.empty()) {
+    return schema_error("missing or empty \"bench\" string");
+  }
+  const auto benchmarks = root.object.find("benchmarks");
+  if (benchmarks == root.object.end() ||
+      benchmarks->second.kind != JsonValue::Kind::kArray ||
+      benchmarks->second.array.empty()) {
+    return schema_error("missing or empty \"benchmarks\" array");
+  }
+  for (const JsonValue& entry : benchmarks->second.array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return schema_error("benchmark entry is not an object");
+    }
+    const auto field = [&](const char* key, JsonValue::Kind kind,
+                           const JsonValue** out) {
+      const auto it = entry.object.find(key);
+      if (it == entry.object.end() || it->second.kind != kind) return false;
+      *out = &it->second;
+      return true;
+    };
+    const JsonValue* v = nullptr;
+    if (!field("name", JsonValue::Kind::kString, &v) || v->string.empty()) {
+      return schema_error("entry missing \"name\"");
+    }
+    const std::string name = v->string;
+    if (!field("ops_per_sec", JsonValue::Kind::kNumber, &v) || v->number <= 0) {
+      return schema_error(name + ": ops_per_sec missing or not positive");
+    }
+    if (!field("ns_per_event", JsonValue::Kind::kNumber, &v) || v->number <= 0) {
+      return schema_error(name + ": ns_per_event missing or not positive");
+    }
+    if (!field("allocs_per_event", JsonValue::Kind::kNumber, &v) ||
+        v->number < 0) {
+      return schema_error(name + ": allocs_per_event missing or negative");
+    }
+  }
+  std::printf("%s: ok (%zu benchmark entries)\n", path.c_str(),
+              benchmarks->second.array.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_check <BENCH_*.json>...\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = check_file(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

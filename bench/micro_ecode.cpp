@@ -6,6 +6,10 @@
 // either.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "alloc_counter.hpp"
+#include "bench_json.hpp"
 #include "dproc/core/tuning.hpp"
 #include "dproc/ecode/ecode.hpp"
 
@@ -138,6 +142,84 @@ void BM_FilterDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterDecision);
 
+// --- BENCH_micro_ecode.json: the perf-trajectory numbers -------------------
+// Measured with plain chrono timing (not google-benchmark) so the loop is
+// exactly the steady-state d-mon pattern: one persistent Vm, one reused
+// FilterResult, one filter evaluation per "poll".
+
+dproc::bench::JsonBenchEntry measure_steady_state(std::uint64_t iters) {
+  using Clock = std::chrono::steady_clock;
+  auto filter = Filter::compile(kFigure3Filter, paper_env()).value();
+  const auto input = paper_input();
+
+  dproc::ecode::Vm vm;
+  dproc::ecode::FilterResult result;
+  for (int i = 0; i < 1000; ++i) {  // warm the scratch arenas
+    (void)vm.run(filter.bytecode(), input, result);
+  }
+
+  const std::uint64_t allocs_before = dproc::bench::alloc_count();
+  const Clock::time_point start = Clock::now();
+  std::uint64_t insns = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    (void)vm.run(filter.bytecode(), input, result);
+    insns += result.instructions_executed;
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+  const std::uint64_t allocs = dproc::bench::alloc_count() - allocs_before;
+  benchmark::DoNotOptimize(insns);
+
+  dproc::bench::JsonBenchEntry entry;
+  entry.name = "filter_eval_steady_state";
+  entry.iterations = iters;
+  entry.ns_per_event = ns / static_cast<double>(iters);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(iters);
+  return entry;
+}
+
+dproc::bench::JsonBenchEntry measure_per_call(std::uint64_t iters) {
+  // The compatibility path (fresh result per call), for comparison.
+  using Clock = std::chrono::steady_clock;
+  auto filter = Filter::compile(kFigure3Filter, paper_env()).value();
+  const auto input = paper_input();
+
+  const std::uint64_t allocs_before = dproc::bench::alloc_count();
+  const Clock::time_point start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto result = filter.run(input);
+    benchmark::DoNotOptimize(result);
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+  const std::uint64_t allocs = dproc::bench::alloc_count() - allocs_before;
+
+  dproc::bench::JsonBenchEntry entry;
+  entry.name = "filter_eval_fresh_vm";
+  entry.iterations = iters;
+  entry.ns_per_event = ns / static_cast<double>(iters);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(iters);
+  return entry;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::uint64_t iters = dproc::bench::bench_iterations(2'000'000);
+  const bool ok = dproc::bench::write_bench_json(
+      "micro_ecode", {measure_steady_state(iters), measure_per_call(iters)});
+  return ok ? 0 : 1;
+}

@@ -10,9 +10,15 @@
 // scaled per competitor) and then competes for CPU with linpack threads,
 // while the kernel-level variant's processing runs at interrupt priority —
 // reproducing the variance gap from first principles.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "alloc_counter.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "dproc/kecho/registry.hpp"
+#include "dproc/net/wire.hpp"
 #include "dproc/workload/linpack.hpp"
 
 namespace dproc::bench {
@@ -102,13 +108,93 @@ LatencyStats measure(bool user_level, int count) {
   return LatencyStats{stats.mean(), stats.stddev(), stats.max()};
 }
 
+/// Wall-clock cost of the KECho hot path itself: encode + fan-out submit on
+/// a 4-member channel, delivery through the fabric, zero-copy decode and
+/// poll drain on every subscriber. Reported per submitted event.
+JsonBenchEntry measure_submit_fanout(std::uint64_t events) {
+  using Clock = std::chrono::steady_clock;
+  constexpr std::size_t kNodes = 4;
+
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  std::vector<net::NodeId> ids;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ids.push_back(fabric.add_node("n" + std::to_string(i)));
+  }
+  fabric.build_star(ids, net::LinkConfig{});
+  Rng master{99};
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    host::HostConfig config;
+    config.name = "n" + std::to_string(i);
+    hosts.push_back(std::make_unique<host::Host>(
+        engine, static_cast<host::HostId>(i), config, master.split()));
+    nics.push_back(std::make_unique<net::Nic>(fabric, ids[i]));
+  }
+  kecho::RegistryServer registry{*nics[0]};
+  std::vector<std::unique_ptr<kecho::Node>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<kecho::Node>(*hosts[i], *nics[i], ids[0]));
+  }
+  std::vector<kecho::Channel*> channels;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    channels.push_back(&nodes[i]->join("monitor"));
+  }
+  engine.run_until(engine.now() + seconds(2.0));
+
+  // A paper-sized (~84 byte) monitoring event, reused across submissions.
+  net::ByteWriter w;
+  for (int i = 0; i < 10; ++i) w.f64(1.5 * i);
+  const net::MessagePtr payload = net::make_message(w.take(), 0);
+
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 1; i < kNodes; ++i) {
+    channels[i]->set_handler([&](const kecho::Event&) { ++delivered; });
+  }
+  // Warm-up pass so steady state excludes TCP connection setup.
+  const auto drive = [&](std::uint64_t count) {
+    for (std::uint64_t e = 0; e < count; ++e) {
+      channels[0]->submit(payload);
+      engine.run_until(engine.now() + milliseconds(5.0));
+      for (std::size_t i = 1; i < kNodes; ++i) (void)nodes[i]->poll();
+    }
+  };
+  drive(64);
+
+  const std::uint64_t allocs_before = alloc_count();
+  const Clock::time_point start = Clock::now();
+  drive(events);
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+  const std::uint64_t allocs = alloc_count() - allocs_before;
+  if (delivered == 0) std::abort();  // harness wired wrong
+
+  JsonBenchEntry entry;
+  entry.name = "submit_fanout_4node_roundtrip";
+  entry.iterations = events;
+  entry.ns_per_event = ns / static_cast<double>(events);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(events);
+  return entry;
+}
+
 }  // namespace
 }  // namespace dproc::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dproc::bench;
-  const LatencyStats kernel = measure(/*user_level=*/false, 2000);
-  const LatencyStats user = measure(/*user_level=*/true, 2000);
+  // argv[1] overrides the RTT round-trip count (the smoke test runs small).
+  int rtt_count = 2000;
+  if (argc > 1) {
+    const int v = std::atoi(argv[1]);
+    if (v > 0) rtt_count = v;
+  }
+  const LatencyStats kernel = measure(/*user_level=*/false, rtt_count);
+  const LatencyStats user = measure(/*user_level=*/true, rtt_count);
 
   Table table({"level(0=kernel,1=user)", "mean_rtt_us", "stddev_us", "max_us"});
   table.add_row({0, kernel.mean_us, kernel.stddev_us, kernel.max_us});
@@ -121,5 +207,8 @@ int main() {
       "endpoints wait on the CPU scheduler behind application load.\n"
       "variance ratio (user/kernel stddev): %.1fx\n",
       user.stddev_us / (kernel.stddev_us > 0 ? kernel.stddev_us : 1.0));
-  return 0;
+
+  const std::uint64_t events = bench_iterations(20'000);
+  const bool ok = write_bench_json("micro_kecho", {measure_submit_fanout(events)});
+  return ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,7 +72,7 @@ Result<TuningConfig> parse_control_commands(const std::string& text);
 
 /// Wire codec for control-channel tuning events.
 std::vector<std::uint8_t> encode_tuning(const TuningConfig& config);
-Result<TuningConfig> decode_tuning(const std::vector<std::uint8_t>& bytes);
+Result<TuningConfig> decode_tuning(std::span<const std::uint8_t> bytes);
 
 /// What a publication decision costs and contains.
 struct Decision {
@@ -141,6 +142,12 @@ class PublisherTuning {
   std::map<MetricId, std::vector<ResolvedThreshold>> thresholds_;
   std::optional<double> differential_pct_;
   std::optional<ecode::Filter> filter_;
+
+  // Reused across decide() calls so the per-poll filter path is
+  // allocation-free in steady state.
+  ecode::Vm vm_;
+  ecode::FilterResult filter_result_;
+  std::vector<ecode::Sample> filter_input_;
 
   std::vector<SentState> sent_;  // indexed by metric id
 };

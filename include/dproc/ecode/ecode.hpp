@@ -27,6 +27,9 @@ struct CompileOptions {
   /// Constant folding (on by default). Exposed for tooling and for the
   /// optimizer-equivalence property tests.
   bool fold_constants = true;
+  /// Bytecode superinstruction fusion (on by default). Fuel-neutral: fused
+  /// instructions carry the weight of the sequence they replace.
+  bool peephole = true;
 };
 
 class Filter {

@@ -1,0 +1,19 @@
+// Bytecode peephole optimizer.
+//
+// Fuses common instruction sequences the compiler emits — constant pushes
+// feeding loads, compare-and-branch pairs, store-then-discard — into the
+// superinstructions declared in bytecode.hpp. Runs after constant folding;
+// purely a bytecode-to-bytecode rewrite. Each superinstruction records the
+// number of plain instructions it replaced in Insn::width, so the VM's fuel
+// accounting (and therefore every instruction-count-derived overhead figure)
+// is identical to unoptimized execution. Fusion windows never span a jump
+// target: an instruction some branch lands on keeps its own program point.
+#pragma once
+
+#include "dproc/ecode/bytecode.hpp"
+
+namespace dproc::ecode {
+
+void peephole_optimize(Bytecode& code);
+
+}  // namespace dproc::ecode

@@ -5,6 +5,19 @@
 // guarantee the paper's native-code generator would have needed too. Runtime
 // errors (division by zero, out-of-range input index, fuel exhaustion)
 // surface as Status and cause d-mon to fall back to unfiltered publication.
+//
+// The VM is built for steady-state speed: the operand stack, the locals
+// frame and the output slots are reusable per-Vm scratch arenas, so a d-mon
+// evaluating the same filter once per polling period performs zero heap
+// allocations after the first (warm-up) run. Outputs live in a flat dense
+// array indexed by slot (bounded by VmLimits::max_output_index) instead of
+// an ordered map; a small touched-list remembers which slots were written
+// so clearing between runs is O(written), not O(max_output_index). Fuel is
+// accounted per instruction (superinstructions emitted by the bytecode
+// peephole pass carry the weight of the sequence they replaced, keeping
+// instructions_executed identical to unoptimized execution) but the limit
+// is only *checked* at control-flow edges — straight-line code cannot loop,
+// so checking at jumps and returns bounds execution all the same.
 #pragma once
 
 #include <cstdint>
@@ -46,11 +59,44 @@ class Vm {
  public:
   explicit Vm(VmLimits limits = {}) : limits_(limits) {}
 
-  /// Executes `code` against the input samples.
+  /// Executes `code` against the input samples into a fresh result.
   Result<FilterResult> run(const Bytecode& code, std::span<const Sample> input);
 
+  /// Steady-state entry point: executes `code` and fills `result`, reusing
+  /// the VM's scratch arenas and the capacity already held by `result`.
+  /// After one warm-up run of the same program this allocates nothing.
+  Status run(const Bytecode& code, std::span<const Sample> input,
+             FilterResult& result);
+
  private:
+  /// Compact tagged runtime value: an int, a double, or a sample. The
+  /// payload is a union, so an int-valued entry no longer drags a full
+  /// Sample through every stack push.
+  struct Value {
+    enum class Kind : std::uint8_t { kInt, kDouble, kSample };
+    // Sample's default constructor is non-trivial, so the union (and with
+    // it Value) needs an explicit default constructor. All members are
+    // trivially copyable, so Value still copies as raw bytes.
+    Value() : kind(Kind::kInt), i(0) {}
+    Kind kind;
+    union {
+      std::int64_t i;
+      double d;
+      Sample s;
+    };
+  };
+
+  /// Grows the dense output arrays to cover `idx` (cold path).
+  void ensure_output_slot(std::size_t idx);
+
   VmLimits limits_;
+
+  // Scratch arenas, reused across runs.
+  std::vector<Value> stack_;
+  std::vector<Value> locals_;
+  std::vector<Sample> out_samples_;       // dense, indexed by output slot
+  std::vector<std::uint8_t> out_written_; // parallel written flags
+  std::vector<std::int32_t> out_touched_; // slots written this run, any order
 };
 
 }  // namespace dproc::ecode

@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "dproc/host/host.hpp"
@@ -41,11 +42,30 @@ struct KechoCosts {
 /// retransmitting stale values.
 enum class ChannelTransport : std::uint8_t { kReliable, kDatagram };
 
+/// A delivered channel event. The payload is a zero-copy view into the
+/// wire frame: `frame` is shared with the sender and every other receiver
+/// of the same submission, and `payload_offset` marks where the
+/// application's encoded header starts inside it. Nothing is copied out on
+/// receive — decode is a bounds check plus an offset.
 struct Event {
   ChannelId channel = 0;
   net::NodeId source = 0;
-  net::MessagePtr payload;
   SimTime submitted_at;
+  net::MessagePtr frame;
+  std::size_t payload_offset = 0;
+
+  /// The application payload's encoded header bytes.
+  [[nodiscard]] std::span<const std::uint8_t> payload_header() const {
+    return std::span<const std::uint8_t>{frame->header}.subspan(payload_offset);
+  }
+  /// Simulated bulk bytes riding behind the header.
+  [[nodiscard]] std::uint64_t payload_body_bytes() const {
+    return frame->body_bytes;
+  }
+  /// Total payload size (header view + bulk), as the receiver is charged.
+  [[nodiscard]] std::uint64_t payload_size() const {
+    return payload_header().size() + frame->body_bytes;
+  }
 };
 
 class Node;
@@ -134,7 +154,12 @@ class Node {
   KechoCosts costs_;
 
   std::map<std::string, std::unique_ptr<Channel>> channels_by_name_;
-  std::map<ChannelId, Channel*> channels_by_id_;
+  /// Poll drain order, kept sorted by channel name (matching the name-map
+  /// walk it replaced — drain order is part of the deterministic trace).
+  std::vector<Channel*> poll_list_;
+  /// Dense id → channel lookup; the registry hands out small sequential
+  /// ids, so the receive path indexes instead of tree-walking.
+  std::vector<Channel*> channels_by_id_;
   std::map<net::NodeId, net::TcpConnection::Ptr> transports_;
   std::unique_ptr<net::TcpListener> listener_;
   std::vector<net::TcpConnection::Ptr> accepted_;

@@ -33,6 +33,13 @@ class ByteWriter {
     u32(static_cast<std::uint32_t>(s.size()));
     raw(s.data(), s.size());
   }
+  void bytes(std::span<const std::uint8_t> data) {
+    raw(data.data(), data.size());
+  }
+
+  /// Pre-sizes the buffer; an exactly-sized reserve makes a whole frame
+  /// encode with a single allocation.
+  void reserve(std::size_t n) { buffer_.reserve(buffer_.size() + n); }
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buffer_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }

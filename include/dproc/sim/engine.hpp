@@ -5,12 +5,19 @@
 // broken by scheduling order (FIFO), which makes runs fully deterministic:
 // the same seed and the same program produce the same trace, a property the
 // test suite asserts.
+//
+// The scheduling hot path is allocation-lean: the queue is a vector-backed
+// binary heap whose storage is reused across the run (pop moves the node
+// out instead of copying its std::function), and the shared cancellation
+// flag behind EventHandle is only allocated when a caller actually keeps a
+// handle — fire-and-forget scheduling, the overwhelmingly common case,
+// allocates no flag at all (see PendingEvent).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "dproc/util/time.hpp"
@@ -31,8 +38,51 @@ class EventHandle {
 
  private:
   friend class Engine;
+  friend class PendingEvent;
   explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
   std::shared_ptr<bool> cancelled_;
+};
+
+class Engine;
+
+/// Move-only token for a just-scheduled event, returned by schedule_at and
+/// schedule_after. Discarding it costs nothing; converting it to an
+/// EventHandle (the usual `handle_member_ = engine.schedule_after(...)`
+/// pattern) materializes the shared cancellation flag on the queued event
+/// at that moment. Convert or drop it before the engine outlives you; the
+/// token refers into the engine's live queue.
+class PendingEvent {
+ public:
+  PendingEvent() = default;
+  PendingEvent(PendingEvent&& other) noexcept
+      : engine_(std::exchange(other.engine_, nullptr)),
+        seq_(other.seq_),
+        hint_(other.hint_) {}
+  PendingEvent& operator=(PendingEvent&& other) noexcept {
+    engine_ = std::exchange(other.engine_, nullptr);
+    seq_ = other.seq_;
+    hint_ = other.hint_;
+    return *this;
+  }
+  PendingEvent(const PendingEvent&) = delete;
+  PendingEvent& operator=(const PendingEvent&) = delete;
+
+  /// Materializes a cancellation handle for the event (allocating the
+  /// shared flag on first request; a no-op handle if it already fired).
+  [[nodiscard]] EventHandle handle();
+  operator EventHandle() { return handle(); }
+
+  /// Cancels the event directly.
+  void cancel() { handle().cancel(); }
+
+ private:
+  friend class Engine;
+  PendingEvent(Engine* engine, std::uint64_t seq, std::size_t hint)
+      : engine_(engine), seq_(seq), hint_(hint) {}
+
+  Engine* engine_ = nullptr;
+  std::uint64_t seq_ = 0;
+  std::size_t hint_ = 0;  // heap position right after the push
 };
 
 class Engine {
@@ -46,13 +96,14 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `when`; `when` must be >= now().
-  EventHandle schedule_at(SimTime when, Callback fn);
+  PendingEvent schedule_at(SimTime when, Callback fn);
 
   /// Schedules `fn` after `delay` (clamped to >= 0) from now.
-  EventHandle schedule_after(SimDuration delay, Callback fn);
+  PendingEvent schedule_after(SimDuration delay, Callback fn);
 
   /// Schedules `fn` every `period`, first firing after one period. The
-  /// callback keeps rescheduling itself until the handle is cancelled.
+  /// callback keeps rescheduling itself until the handle is cancelled, so
+  /// periodic timers always materialize their flag — the chain needs it.
   EventHandle schedule_periodic(SimDuration period, Callback fn);
 
   /// Runs events until the queue is empty or `deadline` is reached; the
@@ -67,30 +118,54 @@ class Engine {
   /// Processes a single event if one is pending; returns false when empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  /// Number of cancellation flags allocated so far — one per event whose
+  /// handle was actually retained (plus one per periodic timer). The perf
+  /// regression test pins fire-and-forget scheduling to zero.
+  [[nodiscard]] std::uint64_t cancel_flags_allocated() const {
+    return flag_allocs_;
+  }
+
  private:
+  friend class PendingEvent;
+
   struct Scheduled {
     SimTime when;
     std::uint64_t seq;
-    // Shared with EventHandle; the queue entry stays but is skipped if set.
+    // Null until an EventHandle is materialized for this event; the queue
+    // entry stays but is skipped at fire time if set.
     std::shared_ptr<bool> cancelled;
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+
+  // (when, seq) min-heap over heap_, maintained manually so pushes and
+  // pops move nodes instead of copying their std::function.
+  [[nodiscard]] bool before(const Scheduled& a, const Scheduled& b) const {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  std::size_t heap_push(Scheduled&& ev);
+  Scheduled heap_pop();
+
+  /// Finds the queued event `seq` (trying `hint` first) and returns a
+  /// handle sharing its flag — or a handle to a fresh dead-end flag if the
+  /// event already fired (cancelling is then a harmless no-op).
+  EventHandle materialize(std::uint64_t seq, std::size_t hint);
 
   void fire(Scheduled&& ev);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::uint64_t flag_allocs_ = 0;
+  std::vector<Scheduled> heap_;
 };
+
+inline EventHandle PendingEvent::handle() {
+  if (engine_ == nullptr) return EventHandle{};
+  return engine_->materialize(seq_, hint_);
+}
 
 }  // namespace dproc::sim

@@ -216,7 +216,7 @@ std::vector<std::uint8_t> encode_tuning(const TuningConfig& config) {
   return w.take();
 }
 
-Result<TuningConfig> decode_tuning(const std::vector<std::uint8_t>& bytes) {
+Result<TuningConfig> decode_tuning(std::span<const std::uint8_t> bytes) {
   net::ByteReader r{bytes};
   TuningConfig config;
   config.clear = r.u8() != 0;

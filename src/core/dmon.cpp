@@ -244,7 +244,7 @@ Status DMon::send_tuning(net::NodeId target, const TuningConfig& config) {
 }
 
 void DMon::on_monitor_event(const kecho::Event& event) {
-  net::ByteReader r{event.payload->header};
+  net::ByteReader r{event.payload_header()};
   if (r.u8() != kOpMonitor) return;
   const std::uint32_t count = r.u32();
 
@@ -271,7 +271,8 @@ void DMon::on_monitor_event(const kecho::Event& event) {
 }
 
 void DMon::on_control_event(const kecho::Event& event) {
-  net::ByteReader r{event.payload->header};
+  const std::span<const std::uint8_t> header = event.payload_header();
+  net::ByteReader r{header};
   if (r.u8() != kOpControl) return;
   const net::NodeId target = r.u32();
   if (target != nic_.node()) return;
@@ -280,9 +281,7 @@ void DMon::on_control_event(const kecho::Event& event) {
     DPROC_WARN() << "dmon " << nic_.node() << ": malformed control event";
     return;
   }
-  std::vector<std::uint8_t> body{event.payload->header.end() - body_size,
-                                 event.payload->header.end()};
-  auto config = decode_tuning(body);
+  auto config = decode_tuning(header.subspan(header.size() - body_size));
   if (!config) {
     DPROC_WARN() << "dmon " << nic_.node()
                  << ": bad tuning payload: " << config.status().to_string();

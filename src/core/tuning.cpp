@@ -170,19 +170,22 @@ Decision PublisherTuning::decide(const std::vector<MetricSample>& samples,
   Decision decision;
 
   if (filter_) {
-    // Dynamic filter path: the E-code program is the whole policy.
-    std::vector<ecode::Sample> input;
-    input.reserve(samples.size());
+    // Dynamic filter path: the E-code program is the whole policy. The
+    // input vector, the VM and the result are all publisher-persistent
+    // scratch, so the once-per-poll steady state allocates nothing.
+    filter_input_.clear();
+    filter_input_.reserve(samples.size());
     for (const MetricSample& s : samples) {
       const SentState& state = s.id < sent_.size() ? sent_[s.id] : SentState{};
-      input.push_back(ecode::Sample{static_cast<std::int64_t>(s.id), s.value,
-                                    state.sent ? state.last_value : 0.0,
-                                    s.sampled_at.ns()});
+      filter_input_.push_back(
+          ecode::Sample{static_cast<std::int64_t>(s.id), s.value,
+                        state.sent ? state.last_value : 0.0,
+                        s.sampled_at.ns()});
     }
-    auto run = filter_->run(input);
+    Status run = vm_.run(filter_->bytecode(), filter_input_, filter_result_);
     if (run) {
-      decision.filter_instructions = run.value().instructions_executed;
-      for (const auto& [slot, out] : run.value().outputs) {
+      decision.filter_instructions = filter_result_.instructions_executed;
+      for (const auto& [slot, out] : filter_result_.outputs) {
         const auto id = static_cast<MetricId>(out.id);
         if (id >= samples.size()) continue;  // filter emitted a bogus id
         decision.to_send.push_back(
@@ -191,7 +194,7 @@ Decision PublisherTuning::decide(const std::vector<MetricSample>& samples,
     } else {
       // Runtime failure: fail open. Losing monitoring data would hide the
       // failure; publishing everything keeps the cluster observable.
-      DPROC_WARN() << "filter runtime error: " << run.status().to_string()
+      DPROC_WARN() << "filter runtime error: " << run.to_string()
                    << "; publishing unfiltered";
       decision.filter_error = true;
       decision.to_send = samples;

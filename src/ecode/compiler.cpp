@@ -15,18 +15,18 @@ Bytecode Compiler::compile(const Program& program) {
 }
 
 std::size_t Compiler::emit(Op op, std::int32_t arg, std::int32_t arg2) {
-  code_.insns.push_back(Insn{op, arg, arg2, 0, 0.0});
+  code_.insns.push_back(Insn{.op = op, .arg = arg, .arg2 = arg2});
   return code_.insns.size() - 1;
 }
 
 std::size_t Compiler::emit_push_int(std::int64_t value) {
-  Insn insn{Op::kPushInt, 0, 0, value, 0.0};
+  Insn insn{.op = Op::kPushInt, .imm_i = value};
   code_.insns.push_back(insn);
   return code_.insns.size() - 1;
 }
 
 std::size_t Compiler::emit_push_float(double value) {
-  Insn insn{Op::kPushFloat, 0, 0, 0, value};
+  Insn insn{.op = Op::kPushFloat, .imm_f = value};
   code_.insns.push_back(insn);
   return code_.insns.size() - 1;
 }

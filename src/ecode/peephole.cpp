@@ -1,0 +1,178 @@
+#include "dproc/ecode/peephole.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace dproc::ecode {
+
+namespace {
+
+bool is_compare(Op op) { return op >= Op::kLt && op <= Op::kNe; }
+
+bool is_cond_jump(Op op) {
+  return op == Op::kJmpIfFalse || op == Op::kJmpIfTrue;
+}
+
+std::int32_t predicate_of(Op cmp) {
+  return static_cast<std::int32_t>(cmp) - static_cast<std::int32_t>(Op::kLt);
+}
+
+}  // namespace
+
+void peephole_optimize(Bytecode& code) {
+  const std::vector<Insn>& in = code.insns;
+  const std::size_t n = in.size();
+
+  // A fusion window must not contain an interior jump target: every
+  // instruction a branch can land on keeps its own program point. Targets
+  // may legally be insns.size() (a jump to end), hence n + 1 slots.
+  std::vector<std::uint8_t> is_target(n + 1, 0);
+  for (const Insn& insn : in) {
+    switch (insn.op) {
+      case Op::kJmp:
+      case Op::kJmpIfFalse:
+      case Op::kJmpIfTrue:
+        is_target[static_cast<std::size_t>(insn.arg)] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  // True when [i+1, i+len) holds no jump target.
+  const auto window_clear = [&](std::size_t i, std::size_t len) {
+    for (std::size_t k = 1; k < len; ++k) {
+      if (is_target[i + k]) return false;
+    }
+    return true;
+  };
+
+  std::vector<Insn> out;
+  out.reserve(n);
+  std::vector<std::size_t> old_to_new(n + 1, 0);
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Insn& a = in[i];
+    const Insn* b = i + 1 < n ? &in[i + 1] : nullptr;
+    const Insn* c = i + 2 < n ? &in[i + 2] : nullptr;
+    old_to_new[i] = out.size();
+
+    // --- five-wide fusions: whole publication statements --------------------
+    if (i + 4 < n && window_clear(i, 5) && a.op == Op::kLoadLocal) {
+      // [load_local a][push_int k][add][store_local a][pop]: `a = a + k`
+      if (in[i + 1].op == Op::kPushInt && in[i + 2].op == Op::kAdd &&
+          in[i + 3].op == Op::kStoreLocal && in[i + 3].arg == a.arg &&
+          in[i + 4].op == Op::kPop) {
+        out.push_back(Insn{.op = Op::kLocalAddImm,
+                           .width = 5,
+                           .arg = a.arg,
+                           .imm_i = in[i + 1].imm_i});
+        for (std::size_t k = 1; k < 5; ++k) old_to_new[i + k] = out.size() - 1;
+        i += 5;
+        continue;
+      }
+      // [load_local a][push_int k][load_input][store_output][pop]:
+      // `output[a] = input[k]`, the filter's publication statement.
+      if (in[i + 1].op == Op::kPushInt && in[i + 2].op == Op::kLoadInput &&
+          in[i + 3].op == Op::kStoreOutput && in[i + 4].op == Op::kPop) {
+        out.push_back(Insn{.op = Op::kCopyInputToOutput,
+                           .width = 5,
+                           .arg = a.arg,
+                           .imm_i = in[i + 1].imm_i});
+        for (std::size_t k = 1; k < 5; ++k) old_to_new[i + k] = out.size() - 1;
+        i += 5;
+        continue;
+      }
+    }
+
+    // --- three-wide fusions ------------------------------------------------
+    if (c != nullptr && window_clear(i, 3)) {
+      // [push_int idx][load_input][field_get f] -> load_input_field_imm
+      if (a.op == Op::kPushInt && b->op == Op::kLoadInput &&
+          c->op == Op::kFieldGet) {
+        out.push_back(Insn{.op = Op::kLoadInputFieldImm,
+                           .width = 3,
+                           .arg = c->arg,
+                           .imm_i = a.imm_i});
+        old_to_new[i + 1] = old_to_new[i + 2] = out.size() - 1;
+        i += 3;
+        continue;
+      }
+      // [push imm][cmp][jmp_if_*] -> cmp_imm_jmp_if_*
+      if ((a.op == Op::kPushInt || a.op == Op::kPushFloat) &&
+          is_compare(b->op) && is_cond_jump(c->op)) {
+        const bool floats = a.op == Op::kPushFloat;
+        out.push_back(Insn{.op = c->op == Op::kJmpIfFalse
+                               ? Op::kCmpImmJmpIfFalse
+                               : Op::kCmpImmJmpIfTrue,
+                           .width = 3,
+                           .arg = c->arg,
+                           .arg2 = predicate_of(b->op) |
+                                   (floats ? kCmpImmFloatBit : 0),
+                           .imm_i = a.imm_i,
+                           .imm_f = a.imm_f});
+        old_to_new[i + 1] = old_to_new[i + 2] = out.size() - 1;
+        i += 3;
+        continue;
+      }
+    }
+
+    // --- two-wide fusions --------------------------------------------------
+    if (b != nullptr && window_clear(i, 2)) {
+      bool fused = true;
+      if (a.op == Op::kPushInt && b->op == Op::kLoadInput) {
+        out.push_back(
+            Insn{.op = Op::kLoadInputImm, .width = 2, .imm_i = a.imm_i});
+      } else if (a.op == Op::kLoadInput && b->op == Op::kFieldGet) {
+        out.push_back(
+            Insn{.op = Op::kLoadInputField, .width = 2, .arg = b->arg});
+      } else if (is_compare(a.op) && is_cond_jump(b->op)) {
+        out.push_back(Insn{.op = b->op == Op::kJmpIfFalse
+                               ? Op::kCmpJmpIfFalse
+                               : Op::kCmpJmpIfTrue,
+                           .width = 2,
+                           .arg = b->arg,
+                           .arg2 = predicate_of(a.op)});
+      } else if (a.op == Op::kPushInt && b->op == Op::kAdd) {
+        out.push_back(Insn{.op = Op::kAddImmI, .width = 2, .imm_i = a.imm_i});
+      } else if (a.op == Op::kStoreLocal && b->op == Op::kPop) {
+        out.push_back(Insn{.op = Op::kStoreLocalPop, .width = 2, .arg = a.arg});
+      } else if (a.op == Op::kStoreOutput && b->op == Op::kPop) {
+        out.push_back(Insn{.op = Op::kStoreOutputPop, .width = 2});
+      } else {
+        fused = false;
+      }
+      if (fused) {
+        old_to_new[i + 1] = out.size() - 1;
+        i += 2;
+        continue;
+      }
+    }
+
+    out.push_back(a);
+    ++i;
+  }
+  old_to_new[n] = out.size();
+
+  // Jump args still hold pre-fusion indices; remap them.
+  for (Insn& insn : out) {
+    switch (insn.op) {
+      case Op::kJmp:
+      case Op::kJmpIfFalse:
+      case Op::kJmpIfTrue:
+      case Op::kCmpJmpIfFalse:
+      case Op::kCmpJmpIfTrue:
+      case Op::kCmpImmJmpIfFalse:
+      case Op::kCmpImmJmpIfTrue:
+        insn.arg = static_cast<std::int32_t>(
+            old_to_new[static_cast<std::size_t>(insn.arg)]);
+        break;
+      default:
+        break;
+    }
+  }
+
+  code.insns = std::move(out);
+}
+
+}  // namespace dproc::ecode

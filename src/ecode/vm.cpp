@@ -2,50 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <sstream>
 
 namespace dproc::ecode {
 
 namespace {
-
-/// Runtime value: an int, a double, or a sample.
-struct Value {
-  enum class Kind : std::uint8_t { kInt, kDouble, kSample } kind = Kind::kInt;
-  std::int64_t i = 0;
-  double d = 0.0;
-  Sample s{};
-
-  static Value from_int(std::int64_t v) {
-    Value x;
-    x.kind = Kind::kInt;
-    x.i = v;
-    return x;
-  }
-  static Value from_double(double v) {
-    Value x;
-    x.kind = Kind::kDouble;
-    x.d = v;
-    return x;
-  }
-  static Value from_sample(const Sample& v) {
-    Value x;
-    x.kind = Kind::kSample;
-    x.s = v;
-    return x;
-  }
-
-  [[nodiscard]] bool is_numeric() const { return kind != Kind::kSample; }
-  [[nodiscard]] double as_double() const {
-    return kind == Kind::kDouble ? d : static_cast<double>(i);
-  }
-  [[nodiscard]] std::int64_t as_int() const {
-    return kind == Kind::kInt ? i : static_cast<std::int64_t>(d);
-  }
-  [[nodiscard]] bool truthy() const {
-    return kind == Kind::kDouble ? d != 0.0 : i != 0;
-  }
-};
 
 std::string at_pc(std::size_t pc) {
   return " (pc=" + std::to_string(pc) + ")";
@@ -53,144 +13,313 @@ std::string at_pc(std::size_t pc) {
 
 }  // namespace
 
+void Vm::ensure_output_slot(std::size_t idx) {
+  const std::size_t needed = idx + 1;
+  if (out_samples_.size() >= needed) return;
+  std::size_t grown = std::max(needed, out_samples_.size() * 2);
+  grown = std::min(grown,
+                   static_cast<std::size_t>(limits_.max_output_index) + 1);
+  out_samples_.resize(grown);
+  out_written_.resize(grown, 0);
+}
+
 Result<FilterResult> Vm::run(const Bytecode& code,
                              std::span<const Sample> input) {
-  std::vector<Value> stack;
-  stack.reserve(16);
-  std::vector<Value> locals(code.local_slot_count);
-  std::map<std::int64_t, Sample> outputs;
-
   FilterResult result;
+  if (Status status = run(code, input, result); !status) return status;
+  return result;
+}
+
+Status Vm::run(const Bytecode& code, std::span<const Sample> input,
+               FilterResult& result) {
+  using Kind = Value::Kind;
+
+  const auto as_double = [](const Value& v) -> double {
+    switch (v.kind) {
+      case Kind::kInt: return static_cast<double>(v.i);
+      case Kind::kDouble: return v.d;
+      case Kind::kSample: break;
+    }
+    return 0.0;
+  };
+  const auto as_int = [](const Value& v) -> std::int64_t {
+    switch (v.kind) {
+      case Kind::kInt: return v.i;
+      case Kind::kDouble: return static_cast<std::int64_t>(v.d);
+      case Kind::kSample: break;
+    }
+    return 0;
+  };
+  const auto truthy = [](const Value& v) -> bool {
+    return v.kind == Kind::kDouble ? v.d != 0.0
+                                   : (v.kind == Kind::kInt ? v.i != 0 : false);
+  };
+  const auto from_int = [](std::int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  };
+  const auto from_double = [](double v) {
+    Value x;
+    x.kind = Kind::kDouble;
+    x.d = v;
+    return x;
+  };
+  const auto from_sample = [](const Sample& v) {
+    Value x;
+    x.kind = Kind::kSample;
+    x.s = v;
+    return x;
+  };
+  // Comparison predicate for both the plain kLt..kNe block and the fused
+  // compare-and-branch superinstructions; `which` is the offset from kLt.
+  const auto compare = [](int which, bool floating, double fx, double fy,
+                          std::int64_t ix, std::int64_t iy) -> bool {
+    if (floating) {
+      switch (which) {
+        case 0: return fx < fy;
+        case 1: return fx <= fy;
+        case 2: return fx > fy;
+        case 3: return fx >= fy;
+        case 4: return fx == fy;
+        case 5: return fx != fy;
+        default: return false;
+      }
+    }
+    switch (which) {
+      case 0: return ix < iy;
+      case 1: return ix <= iy;
+      case 2: return ix > iy;
+      case 3: return ix >= iy;
+      case 4: return ix == iy;
+      case 5: return ix != iy;
+      default: return false;
+    }
+  };
+
+  // --- reset the scratch arenas (allocation-free once warm) ---------------
+  // Every instruction pushes at most one value, so the program length bounds
+  // the operand-stack depth; sizing to it up front lets the dispatch loop
+  // run on a raw pointer with no per-push capacity checks.
+  if (stack_.size() < code.insns.size() + 8) {
+    stack_.resize(code.insns.size() + 8);
+  }
+  locals_.assign(code.local_slot_count, Value{});
+  for (const std::int32_t idx : out_touched_) {
+    out_written_[static_cast<std::size_t>(idx)] = 0;
+  }
+  out_touched_.clear();
+  result.outputs.clear();
+  result.return_value.reset();
+  result.instructions_executed = 0;
+
+  // Marks `idx` written this run, zeroing the slot on first touch (the
+  // dense array may hold stale samples from the previous run).
+  const auto touch_output = [&](std::int64_t idx) -> Sample& {
+    const auto u = static_cast<std::size_t>(idx);
+    ensure_output_slot(u);
+    Sample& slot = out_samples_[u];
+    if (!out_written_[u]) {
+      out_written_[u] = 1;
+      out_touched_.push_back(static_cast<std::int32_t>(idx));
+      slot = Sample{};
+    }
+    return slot;
+  };
+
   std::uint64_t fuel = 0;
   std::size_t pc = 0;
 
-  auto pop = [&]() {
-    Value v = stack.back();
-    stack.pop_back();
-    return v;
+  Value* sp = stack_.data();  // one past the top of the operand stack
+  const auto push = [&](const Value& v) { *sp++ = v; };
+  const auto pop = [&]() -> Value { return *--sp; };
+  // The fuel *limit* is enforced at control-flow edges only: straight-line
+  // code cannot loop, so any runaway program hits a jump check. The
+  // counter itself stays exact (superinstruction widths included).
+  const auto out_of_fuel = [&]() { return fuel > limits_.max_instructions; };
+  const auto fuel_error = [&]() {
+    return Status{StatusCode::kResourceExhausted,
+                  "filter exceeded instruction limit (" +
+                      std::to_string(limits_.max_instructions) + ")"};
   };
 
-  while (pc < code.insns.size()) {
-    if (++fuel > limits_.max_instructions) {
-      return Status{StatusCode::kResourceExhausted,
-                    "filter exceeded instruction limit (" +
-                        std::to_string(limits_.max_instructions) + ")"};
-    }
+  const std::size_t end = code.insns.size();
+  while (pc < end) {
     const Insn& insn = code.insns[pc];
+    fuel += insn.width;
     switch (insn.op) {
       case Op::kPushInt:
-        stack.push_back(Value::from_int(insn.imm_i));
+        push(from_int(insn.imm_i));
         break;
       case Op::kPushFloat:
-        stack.push_back(Value::from_double(insn.imm_f));
+        push(from_double(insn.imm_f));
         break;
       case Op::kPushZeroSample:
-        stack.push_back(Value::from_sample(Sample{}));
+        push(from_sample(Sample{}));
         break;
       case Op::kLoadLocal:
-        stack.push_back(locals[static_cast<std::size_t>(insn.arg)]);
+        push(locals_[static_cast<std::size_t>(insn.arg)]);
         break;
       case Op::kStoreLocal:
-        locals[static_cast<std::size_t>(insn.arg)] = stack.back();
+        locals_[static_cast<std::size_t>(insn.arg)] = sp[-1];
+        break;
+      case Op::kStoreLocalPop:
+        locals_[static_cast<std::size_t>(insn.arg)] = sp[-1];
+        --sp;
         break;
       case Op::kDup:
-        stack.push_back(stack.back());
+        push(sp[-1]);
         break;
       case Op::kPop:
-        stack.pop_back();
+        --sp;
         break;
       case Op::kSwap:
-        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        std::swap(sp[-1], sp[-2]);
         break;
 
       case Op::kLoadInput: {
-        const std::int64_t idx = pop().as_int();
+        const std::int64_t idx = as_int(pop());
         if (idx < 0 || static_cast<std::size_t>(idx) >= input.size()) {
           return Status::invalid_argument(
               "input index " + std::to_string(idx) + " out of range [0, " +
               std::to_string(input.size()) + ")" + at_pc(pc));
         }
-        stack.push_back(Value::from_sample(input[static_cast<std::size_t>(idx)]));
+        push(from_sample(input[static_cast<std::size_t>(idx)]));
+        break;
+      }
+      case Op::kLoadInputImm: {
+        const std::int64_t idx = insn.imm_i;
+        if (idx < 0 || static_cast<std::size_t>(idx) >= input.size()) {
+          return Status::invalid_argument(
+              "input index " + std::to_string(idx) + " out of range [0, " +
+              std::to_string(input.size()) + ")" + at_pc(pc));
+        }
+        push(from_sample(input[static_cast<std::size_t>(idx)]));
         break;
       }
       case Op::kLoadOutput: {
-        const std::int64_t idx = pop().as_int();
+        const std::int64_t idx = as_int(pop());
         if (idx < 0 || idx > limits_.max_output_index) {
           return Status::invalid_argument("output index " + std::to_string(idx) +
                                           " out of range" + at_pc(pc));
         }
-        auto it = outputs.find(idx);
-        stack.push_back(
-            Value::from_sample(it == outputs.end() ? Sample{} : it->second));
+        const auto u = static_cast<std::size_t>(idx);
+        push(from_sample(u < out_samples_.size() && out_written_[u]
+                                         ? out_samples_[u]
+                                         : Sample{}));
         break;
       }
       case Op::kStoreOutput: {
         const Value value = pop();
-        const std::int64_t idx = pop().as_int();
+        const std::int64_t idx = as_int(pop());
         if (idx < 0 || idx > limits_.max_output_index) {
           return Status::invalid_argument("output index " + std::to_string(idx) +
                                           " out of range" + at_pc(pc));
         }
-        if (value.kind != Value::Kind::kSample) {
+        if (value.kind != Kind::kSample) {
           return Status::internal("store of non-sample into output" + at_pc(pc));
         }
-        outputs[idx] = value.s;
-        stack.push_back(value);
+        touch_output(idx) = value.s;
+        push(value);
+        break;
+      }
+      case Op::kStoreOutputPop: {
+        const Value value = pop();
+        const std::int64_t idx = as_int(pop());
+        if (idx < 0 || idx > limits_.max_output_index) {
+          return Status::invalid_argument("output index " + std::to_string(idx) +
+                                          " out of range" + at_pc(pc));
+        }
+        if (value.kind != Kind::kSample) {
+          return Status::internal("store of non-sample into output" + at_pc(pc));
+        }
+        touch_output(idx) = value.s;
         break;
       }
       case Op::kFieldGet: {
         const Value base = pop();
-        if (base.kind != Value::Kind::kSample) {
+        if (base.kind != Kind::kSample) {
           return Status::internal("field access on non-sample" + at_pc(pc));
         }
         switch (static_cast<SampleField>(insn.arg)) {
           case SampleField::kValue:
-            stack.push_back(Value::from_double(base.s.value));
+            push(from_double(base.s.value));
             break;
           case SampleField::kLastValueSent:
-            stack.push_back(Value::from_double(base.s.last_value_sent));
+            push(from_double(base.s.last_value_sent));
             break;
           case SampleField::kId:
-            stack.push_back(Value::from_int(base.s.id));
+            push(from_int(base.s.id));
             break;
           case SampleField::kTimestamp:
-            stack.push_back(Value::from_int(base.s.timestamp_ns));
+            push(from_int(base.s.timestamp_ns));
+            break;
+        }
+        break;
+      }
+      case Op::kLoadInputField:
+      case Op::kLoadInputFieldImm: {
+        std::int64_t idx;
+        if (insn.op == Op::kLoadInputFieldImm) {
+          idx = insn.imm_i;
+        } else {
+          idx = as_int(pop());
+        }
+        if (idx < 0 || static_cast<std::size_t>(idx) >= input.size()) {
+          return Status::invalid_argument(
+              "input index " + std::to_string(idx) + " out of range [0, " +
+              std::to_string(input.size()) + ")" + at_pc(pc));
+        }
+        const Sample& s = input[static_cast<std::size_t>(idx)];
+        switch (static_cast<SampleField>(insn.arg)) {
+          case SampleField::kValue: push(from_double(s.value)); break;
+          case SampleField::kLastValueSent:
+            push(from_double(s.last_value_sent));
+            break;
+          case SampleField::kId: push(from_int(s.id)); break;
+          case SampleField::kTimestamp:
+            push(from_int(s.timestamp_ns));
             break;
         }
         break;
       }
       case Op::kOutputFieldSet: {
         const Value value = pop();
-        const std::int64_t idx = pop().as_int();
+        const std::int64_t idx = as_int(pop());
         if (idx < 0 || idx > limits_.max_output_index) {
           return Status::invalid_argument("output index " + std::to_string(idx) +
                                           " out of range" + at_pc(pc));
         }
-        Sample& sample = outputs[idx];
+        Sample& sample = touch_output(idx);
         switch (static_cast<SampleField>(insn.arg)) {
-          case SampleField::kValue: sample.value = value.as_double(); break;
+          case SampleField::kValue: sample.value = as_double(value); break;
           case SampleField::kLastValueSent:
-            sample.last_value_sent = value.as_double();
+            sample.last_value_sent = as_double(value);
             break;
-          case SampleField::kId: sample.id = value.as_int(); break;
-          case SampleField::kTimestamp: sample.timestamp_ns = value.as_int(); break;
+          case SampleField::kId: sample.id = as_int(value); break;
+          case SampleField::kTimestamp: sample.timestamp_ns = as_int(value); break;
         }
-        stack.push_back(value);
+        push(value);
         break;
       }
       case Op::kLocalFieldSet: {
         const Value value = pop();
-        Sample& sample = locals[static_cast<std::size_t>(insn.arg)].s;
-        locals[static_cast<std::size_t>(insn.arg)].kind = Value::Kind::kSample;
-        switch (static_cast<SampleField>(insn.arg2)) {
-          case SampleField::kValue: sample.value = value.as_double(); break;
-          case SampleField::kLastValueSent:
-            sample.last_value_sent = value.as_double();
-            break;
-          case SampleField::kId: sample.id = value.as_int(); break;
-          case SampleField::kTimestamp: sample.timestamp_ns = value.as_int(); break;
+        Value& local = locals_[static_cast<std::size_t>(insn.arg)];
+        if (local.kind != Kind::kSample) {
+          local.kind = Kind::kSample;
+          local.s = Sample{};
         }
-        stack.push_back(value);
+        Sample& sample = local.s;
+        switch (static_cast<SampleField>(insn.arg2)) {
+          case SampleField::kValue: sample.value = as_double(value); break;
+          case SampleField::kLastValueSent:
+            sample.last_value_sent = as_double(value);
+            break;
+          case SampleField::kId: sample.id = as_int(value); break;
+          case SampleField::kTimestamp: sample.timestamp_ns = as_int(value); break;
+        }
+        push(value);
         break;
       }
 
@@ -200,8 +329,8 @@ Result<FilterResult> Vm::run(const Bytecode& code,
       case Op::kDiv: {
         const Value b = pop();
         const Value a = pop();
-        if (a.kind == Value::Kind::kDouble || b.kind == Value::Kind::kDouble) {
-          const double x = a.as_double(), y = b.as_double();
+        if (a.kind == Kind::kDouble || b.kind == Kind::kDouble) {
+          const double x = as_double(a), y = as_double(b);
           double r = 0;
           switch (insn.op) {
             case Op::kAdd: r = x + y; break;
@@ -215,9 +344,9 @@ Result<FilterResult> Vm::run(const Bytecode& code,
               break;
             default: break;
           }
-          stack.push_back(Value::from_double(r));
+          push(from_double(r));
         } else {
-          const std::int64_t x = a.i, y = b.i;
+          const std::int64_t x = as_int(a), y = as_int(b);
           std::int64_t r = 0;
           switch (insn.op) {
             case Op::kAdd: r = x + y; break;
@@ -231,62 +360,96 @@ Result<FilterResult> Vm::run(const Bytecode& code,
               break;
             default: break;
           }
-          stack.push_back(Value::from_int(r));
+          push(from_int(r));
         }
         break;
       }
+      case Op::kAddImmI: {
+        Value& top = sp[-1];
+        if (top.kind == Kind::kDouble) {
+          top.d += static_cast<double>(insn.imm_i);
+        } else {
+          top = from_int(as_int(top) + insn.imm_i);
+        }
+        break;
+      }
+      case Op::kLocalAddImm: {
+        Value& local = locals_[static_cast<std::size_t>(insn.arg)];
+        if (local.kind == Kind::kDouble) {
+          local.d += static_cast<double>(insn.imm_i);
+        } else {
+          local = from_int(as_int(local) + insn.imm_i);
+        }
+        break;
+      }
+      case Op::kCopyInputToOutput: {
+        const std::int64_t in_idx = insn.imm_i;
+        if (in_idx < 0 || static_cast<std::size_t>(in_idx) >= input.size()) {
+          return Status::invalid_argument(
+              "input index " + std::to_string(in_idx) + " out of range [0, " +
+              std::to_string(input.size()) + ")" + at_pc(pc));
+        }
+        const std::int64_t out_idx =
+            as_int(locals_[static_cast<std::size_t>(insn.arg)]);
+        if (out_idx < 0 || out_idx > limits_.max_output_index) {
+          return Status::invalid_argument("output index " +
+                                          std::to_string(out_idx) +
+                                          " out of range" + at_pc(pc));
+        }
+        touch_output(out_idx) = input[static_cast<std::size_t>(in_idx)];
+        break;
+      }
       case Op::kMod: {
-        const std::int64_t y = pop().as_int();
-        const std::int64_t x = pop().as_int();
+        const std::int64_t y = as_int(pop());
+        const std::int64_t x = as_int(pop());
         if (y == 0) {
           return Status::invalid_argument("modulo by zero" + at_pc(pc));
         }
-        stack.push_back(Value::from_int(x % y));
+        push(from_int(x % y));
         break;
       }
       case Op::kNeg: {
         const Value a = pop();
-        stack.push_back(a.kind == Value::Kind::kDouble
-                            ? Value::from_double(-a.d)
-                            : Value::from_int(-a.i));
+        push(a.kind == Kind::kDouble ? from_double(-a.d)
+                                                 : from_int(-as_int(a)));
         break;
       }
       case Op::kNot:
-        stack.push_back(Value::from_int(pop().truthy() ? 0 : 1));
+        push(from_int(truthy(pop()) ? 0 : 1));
         break;
       case Op::kBitNot:
-        stack.push_back(Value::from_int(~pop().as_int()));
+        push(from_int(~as_int(pop())));
         break;
       case Op::kBitAnd: {
-        const std::int64_t y = pop().as_int(), x = pop().as_int();
-        stack.push_back(Value::from_int(x & y));
+        const std::int64_t y = as_int(pop()), x = as_int(pop());
+        push(from_int(x & y));
         break;
       }
       case Op::kBitOr: {
-        const std::int64_t y = pop().as_int(), x = pop().as_int();
-        stack.push_back(Value::from_int(x | y));
+        const std::int64_t y = as_int(pop()), x = as_int(pop());
+        push(from_int(x | y));
         break;
       }
       case Op::kBitXor: {
-        const std::int64_t y = pop().as_int(), x = pop().as_int();
-        stack.push_back(Value::from_int(x ^ y));
+        const std::int64_t y = as_int(pop()), x = as_int(pop());
+        push(from_int(x ^ y));
         break;
       }
       case Op::kShl: {
-        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        const std::int64_t y = as_int(pop()), x = as_int(pop());
         if (y < 0 || y > 63) {
           return Status::invalid_argument("shift amount out of range" + at_pc(pc));
         }
-        stack.push_back(Value::from_int(
+        push(from_int(
             static_cast<std::int64_t>(static_cast<std::uint64_t>(x) << y)));
         break;
       }
       case Op::kShr: {
-        const std::int64_t y = pop().as_int(), x = pop().as_int();
+        const std::int64_t y = as_int(pop()), x = as_int(pop());
         if (y < 0 || y > 63) {
           return Status::invalid_argument("shift amount out of range" + at_pc(pc));
         }
-        stack.push_back(Value::from_int(x >> y));
+        push(from_int(x >> y));
         break;
       }
 
@@ -298,58 +461,72 @@ Result<FilterResult> Vm::run(const Bytecode& code,
       case Op::kNe: {
         const Value b = pop();
         const Value a = pop();
-        bool r = false;
-        if (a.kind == Value::Kind::kDouble || b.kind == Value::Kind::kDouble) {
-          const double x = a.as_double(), y = b.as_double();
-          switch (insn.op) {
-            case Op::kLt: r = x < y; break;
-            case Op::kLe: r = x <= y; break;
-            case Op::kGt: r = x > y; break;
-            case Op::kGe: r = x >= y; break;
-            case Op::kEq: r = x == y; break;
-            case Op::kNe: r = x != y; break;
-            default: break;
-          }
-        } else {
-          const std::int64_t x = a.i, y = b.i;
-          switch (insn.op) {
-            case Op::kLt: r = x < y; break;
-            case Op::kLe: r = x <= y; break;
-            case Op::kGt: r = x > y; break;
-            case Op::kGe: r = x >= y; break;
-            case Op::kEq: r = x == y; break;
-            case Op::kNe: r = x != y; break;
-            default: break;
-          }
+        const bool floating =
+            a.kind == Kind::kDouble || b.kind == Kind::kDouble;
+        const bool r = compare(static_cast<int>(insn.op) -
+                                   static_cast<int>(Op::kLt),
+                               floating, as_double(a), as_double(b), as_int(a),
+                               as_int(b));
+        push(from_int(r ? 1 : 0));
+        break;
+      }
+
+      case Op::kCmpJmpIfFalse:
+      case Op::kCmpJmpIfTrue: {
+        const Value b = pop();
+        const Value a = pop();
+        const bool floating =
+            a.kind == Kind::kDouble || b.kind == Kind::kDouble;
+        const bool r = compare(insn.arg2 & 7, floating, as_double(a),
+                               as_double(b), as_int(a), as_int(b));
+        if (r == (insn.op == Op::kCmpJmpIfTrue)) {
+          if (out_of_fuel()) return fuel_error();
+          pc = static_cast<std::size_t>(insn.arg);
+          continue;
         }
-        stack.push_back(Value::from_int(r ? 1 : 0));
+        break;
+      }
+      case Op::kCmpImmJmpIfFalse:
+      case Op::kCmpImmJmpIfTrue: {
+        const Value a = pop();
+        const bool imm_float = (insn.arg2 & kCmpImmFloatBit) != 0;
+        const bool floating = a.kind == Kind::kDouble || imm_float;
+        const double fy =
+            imm_float ? insn.imm_f : static_cast<double>(insn.imm_i);
+        const bool r = compare(insn.arg2 & 7, floating, as_double(a), fy,
+                               as_int(a), insn.imm_i);
+        if (r == (insn.op == Op::kCmpImmJmpIfTrue)) {
+          if (out_of_fuel()) return fuel_error();
+          pc = static_cast<std::size_t>(insn.arg);
+          continue;
+        }
         break;
       }
 
       case Op::kToInt: {
-        Value& top = stack.back();
-        if (top.kind == Value::Kind::kDouble) {
-          top = Value::from_int(static_cast<std::int64_t>(top.d));
+        Value& top = sp[-1];
+        if (top.kind == Kind::kDouble) {
+          top = from_int(static_cast<std::int64_t>(top.d));
         }
         break;
       }
       case Op::kToDouble: {
-        Value& top = stack.back();
-        if (top.kind == Value::Kind::kInt) {
-          top = Value::from_double(static_cast<double>(top.i));
+        Value& top = sp[-1];
+        if (top.kind == Kind::kInt) {
+          top = from_double(static_cast<double>(top.i));
         }
         break;
       }
       case Op::kToBool: {
-        Value& top = stack.back();
-        top = Value::from_int(top.truthy() ? 1 : 0);
+        Value& top = sp[-1];
+        top = from_int(truthy(top) ? 1 : 0);
         break;
       }
 
       case Op::kCallBuiltin: {
         const int argc = insn.arg2;
         double args[2] = {0.0, 0.0};
-        for (int i = argc - 1; i >= 0; --i) args[i] = pop().as_double();
+        for (int i = argc - 1; i >= 0; --i) args[i] = as_double(pop());
         double r = 0.0;
         switch (insn.arg) {
           case 0: r = std::abs(args[0]); break;           // abs
@@ -367,40 +544,49 @@ Result<FilterResult> Vm::run(const Bytecode& code,
           default:
             return Status::internal("unknown builtin" + at_pc(pc));
         }
-        stack.push_back(Value::from_double(r));
+        push(from_double(r));
         break;
       }
       case Op::kJmp:
+        if (out_of_fuel()) return fuel_error();
         pc = static_cast<std::size_t>(insn.arg);
         continue;
       case Op::kJmpIfFalse:
-        if (!pop().truthy()) {
+        if (!truthy(pop())) {
+          if (out_of_fuel()) return fuel_error();
           pc = static_cast<std::size_t>(insn.arg);
           continue;
         }
         break;
       case Op::kJmpIfTrue:
-        if (pop().truthy()) {
+        if (truthy(pop())) {
+          if (out_of_fuel()) return fuel_error();
           pc = static_cast<std::size_t>(insn.arg);
           continue;
         }
         break;
 
       case Op::kReturn:
-        result.return_value = pop().as_double();
-        pc = code.insns.size();
+        if (out_of_fuel()) return fuel_error();
+        result.return_value = as_double(pop());
+        pc = end;
         continue;
       case Op::kHalt:
-        pc = code.insns.size();
+        pc = end;
         continue;
     }
     ++pc;
   }
+  if (out_of_fuel()) return fuel_error();
 
   result.instructions_executed = fuel;
-  result.outputs.reserve(outputs.size());
-  for (const auto& [idx, sample] : outputs) result.outputs.emplace_back(idx, sample);
-  return result;
+  // The touched-list records first-write order; the contract is ascending
+  // slot order. The list is small (one entry per written slot).
+  std::sort(out_touched_.begin(), out_touched_.end());
+  for (const std::int32_t idx : out_touched_) {
+    result.outputs.emplace_back(idx, out_samples_[static_cast<std::size_t>(idx)]);
+  }
+  return Status::ok();
 }
 
 }  // namespace dproc::ecode

@@ -9,24 +9,29 @@ namespace dproc::kecho {
 
 namespace {
 
+/// Bytes of the fixed event-frame header preceding the payload header:
+/// channel (4) + source (4) + submit time (8) + payload header length (4).
+constexpr std::size_t kFrameHeaderBytes = 20;
+
 /// Event frame carried over the peer transport: fixed header + the
 /// application payload's encoded header; bulk rides as declared body bytes.
+/// The frame buffer is built exactly-sized in one allocation and then
+/// shared (never copied) by every transport send and receiving channel.
 net::MessagePtr encode_event(ChannelId channel, net::NodeId source,
                              SimTime submitted_at,
                              const net::MessagePtr& payload) {
   net::ByteWriter w;
+  w.reserve(kFrameHeaderBytes + payload->header.size());
   w.u32(channel);
   w.u32(source);
   w.i64(submitted_at.ns());
   w.u32(static_cast<std::uint32_t>(payload->header.size()));
-  auto frame = std::make_shared<net::Message>();
-  frame->header = w.take();
-  frame->header.insert(frame->header.end(), payload->header.begin(),
-                       payload->header.end());
-  frame->body_bytes = payload->body_bytes;
-  return frame;
+  w.bytes(payload->header);
+  return net::make_message(w.take(), payload->body_bytes);
 }
 
+/// Zero-copy decode: validates the frame and records where the payload
+/// starts; the event aliases the frame instead of materializing a payload.
 bool decode_event(const net::MessagePtr& frame, Event& event) {
   net::ByteReader r{frame->header};
   event.channel = r.u32();
@@ -34,11 +39,8 @@ bool decode_event(const net::MessagePtr& frame, Event& event) {
   event.submitted_at = SimTime{r.i64()};
   const std::uint32_t payload_header_bytes = r.u32();
   if (!r.ok() || r.remaining() != payload_header_bytes) return false;
-  auto payload = std::make_shared<net::Message>();
-  payload->header.assign(frame->header.end() - payload_header_bytes,
-                         frame->header.end());
-  payload->body_bytes = frame->body_bytes;
-  event.payload = std::move(payload);
+  event.frame = frame;
+  event.payload_offset = kFrameHeaderBytes;
   return true;
 }
 
@@ -47,12 +49,14 @@ bool decode_event(const net::MessagePtr& frame, Event& event) {
 SimDuration Channel::submit(const net::MessagePtr& payload) {
   ++submitted_;
   const KechoCosts& costs = node_.costs();
-  double cycles = 0.0;
   const net::MessagePtr frame =
       encode_event(id_, node_.nic().node(), node_.host().engine().now(), payload);
+  // Every member is charged the same marshalling cost for the same frame;
+  // compute it once outside the fan-out loop.
+  const double per_member_cycles =
+      costs.submit_base_cycles +
+      costs.submit_per_byte_cycles * static_cast<double>(frame->size());
   for (const Member& member : members_) {
-    cycles += costs.submit_base_cycles +
-              costs.submit_per_byte_cycles * static_cast<double>(frame->size());
     if (transport_ == ChannelTransport::kDatagram) {
       node_.nic().send_datagram(member.node, Node::kDatagramEventPort, frame,
                                 Node::kDatagramEventPort);
@@ -60,6 +64,7 @@ SimDuration Channel::submit(const net::MessagePtr& payload) {
       node_.transport_to(member.node)->send(frame);
     }
   }
+  const double cycles = per_member_cycles * static_cast<double>(members_.size());
   const SimDuration cost =
       seconds(cycles / node_.host().cpu().config().clock_hz);
   if (cost > SimDuration::zero()) node_.host().cpu().consume_kernel(cost);
@@ -100,6 +105,14 @@ Channel& Node::join(const std::string& name,
     auto channel = std::unique_ptr<Channel>{new Channel{*this, name}};
     channel->transport_ = transport;
     it = channels_by_name_.emplace(name, std::move(channel)).first;
+    // Keep the drain list in name order regardless of join order: poll()
+    // used to walk the name map, and drain order is trace-visible.
+    poll_list_.insert(
+        std::upper_bound(poll_list_.begin(), poll_list_.end(), it->second.get(),
+                         [](const Channel* a, const Channel* b) {
+                           return a->name() < b->name();
+                         }),
+        it->second.get());
     nic_.send_datagram(
         registry_node_, registry_port_,
         encode_join_request(name, Member{nic_.node(), kChannelPort}),
@@ -138,6 +151,7 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
       }
       if (!r.ok()) return;
       channel.ready_ = true;
+      if (channels_by_id_.size() <= id) channels_by_id_.resize(id + 1, nullptr);
       channels_by_id_[id] = &channel;
       auto callbacks = std::move(channel.on_ready_);
       channel.on_ready_.clear();
@@ -148,10 +162,11 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
       const ChannelId id = r.u32();
       Member member{r.u32(), r.u16()};
       if (!r.ok()) return;
-      auto it = channels_by_id_.find(id);
-      if (it == channels_by_id_.end()) return;
+      if (id >= channels_by_id_.size() || channels_by_id_[id] == nullptr) {
+        return;
+      }
       if (member.node == nic_.node()) return;
-      auto& members = it->second->members_;
+      auto& members = channels_by_id_[id]->members_;
       if (std::find(members.begin(), members.end(), member) == members.end()) {
         members.push_back(member);
       }
@@ -181,25 +196,25 @@ void Node::on_peer_message(const net::MessagePtr& message) {
     DPROC_WARN() << "kecho node " << nic_.node() << ": malformed event frame";
     return;
   }
-  auto it = channels_by_id_.find(event.channel);
-  if (it == channels_by_id_.end()) {
+  if (event.channel >= channels_by_id_.size() ||
+      channels_by_id_[event.channel] == nullptr) {
     DPROC_DEBUG() << "kecho node " << nic_.node() << ": event for channel "
                   << event.channel << " not joined here";
     return;
   }
-  it->second->rx_queue_.push_back(std::move(event));
+  channels_by_id_[event.channel]->rx_queue_.push_back(std::move(event));
 }
 
 PollStats Node::poll() {
   PollStats stats;
   double cycles = costs_.poll_base_cycles;
-  for (auto& [name, channel] : channels_by_name_) {
+  for (Channel* channel : poll_list_) {
     while (!channel->rx_queue_.empty()) {
       Event event = std::move(channel->rx_queue_.front());
       channel->rx_queue_.pop_front();
       cycles += costs_.receive_base_cycles +
                 costs_.receive_per_byte_cycles *
-                    static_cast<double>(event.payload->size());
+                    static_cast<double>(event.payload_size());
       ++channel->received_;
       ++stats.events_delivered;
       if (channel->handler_) channel->handler_(event);

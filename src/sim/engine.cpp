@@ -5,16 +5,75 @@
 
 namespace dproc::sim {
 
-EventHandle Engine::schedule_at(SimTime when, Callback fn) {
+std::size_t Engine::heap_push(Scheduled&& ev) {
+  heap_.push_back(std::move(ev));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+  return i;
+}
+
+Engine::Scheduled Engine::heap_pop() {
+  Scheduled top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+  return top;
+}
+
+EventHandle Engine::materialize(std::uint64_t seq, std::size_t hint) {
+  Scheduled* ev = nullptr;
+  if (hint < heap_.size() && heap_[hint].seq == seq) {
+    ev = &heap_[hint];
+  } else {
+    // The hint goes stale as soon as later queue operations move nodes
+    // around; handles are almost always taken immediately after
+    // scheduling, so this scan is the rare path.
+    for (Scheduled& candidate : heap_) {
+      if (candidate.seq == seq) {
+        ev = &candidate;
+        break;
+      }
+    }
+  }
+  if (ev == nullptr) {
+    // Already fired (or was popped): hand out a flag nobody checks, so
+    // cancel() stays a safe no-op and valid() stays true.
+    ++flag_allocs_;
+    return EventHandle{std::make_shared<bool>(false)};
+  }
+  if (!ev->cancelled) {
+    ev->cancelled = std::make_shared<bool>(false);
+    ++flag_allocs_;
+  }
+  return EventHandle{ev->cancelled};
+}
+
+PendingEvent Engine::schedule_at(SimTime when, Callback fn) {
   if (when < now_) {
     throw std::invalid_argument{"Engine::schedule_at: time in the past"};
   }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Scheduled{when, next_seq_++, flag, std::move(fn)});
-  return EventHandle{std::move(flag)};
+  const std::uint64_t seq = next_seq_++;
+  const std::size_t at = heap_push(Scheduled{when, seq, nullptr, std::move(fn)});
+  return PendingEvent{this, seq, at};
 }
 
-EventHandle Engine::schedule_after(SimDuration delay, Callback fn) {
+PendingEvent Engine::schedule_after(SimDuration delay, Callback fn) {
   if (delay < SimDuration::zero()) delay = SimDuration::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
@@ -24,6 +83,7 @@ EventHandle Engine::schedule_periodic(SimDuration period, Callback fn) {
     throw std::invalid_argument{"Engine::schedule_periodic: period must be > 0"};
   }
   auto flag = std::make_shared<bool>(false);
+  ++flag_allocs_;
   // The recursive lambda owns the user callback; the queue entry holds a
   // copy of the wrapper so cancellation via `flag` stops the chain.
   auto tick = std::make_shared<std::function<void()>>();
@@ -31,9 +91,9 @@ EventHandle Engine::schedule_periodic(SimDuration period, Callback fn) {
     if (*flag) return;
     fn();
     if (*flag) return;  // fn may have cancelled its own timer
-    queue_.push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+    heap_push(Scheduled{now_ + period, next_seq_++, flag, *tick});
   };
-  queue_.push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+  heap_push(Scheduled{now_ + period, next_seq_++, flag, *tick});
   return EventHandle{std::move(flag)};
 }
 
@@ -46,9 +106,8 @@ void Engine::fire(Scheduled&& ev) {
 
 bool Engine::step() {
   // Skip cancelled entries without counting them as processed events.
-  while (!queue_.empty()) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Scheduled ev = heap_pop();
     if (ev.cancelled && *ev.cancelled) continue;
     fire(std::move(ev));
     return true;
@@ -57,10 +116,8 @@ bool Engine::step() {
 }
 
 void Engine::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Scheduled ev = queue_.top();
-    queue_.pop();
-    fire(std::move(ev));
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    fire(heap_pop());
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -149,9 +149,9 @@ TEST_F(KechoTest, EventCarriesSourceAndPayload) {
 
   EXPECT_EQ(got.source, nics[0]->node());
   EXPECT_EQ(got.channel, pub.id());
-  ASSERT_NE(got.payload, nullptr);
-  EXPECT_EQ(got.payload->body_bytes, 100u);
-  net::ByteReader r{got.payload->header};
+  ASSERT_NE(got.frame, nullptr);
+  EXPECT_EQ(got.payload_body_bytes(), 100u);
+  net::ByteReader r{got.payload_header()};
   EXPECT_EQ(r.u32(), 777u);
 }
 

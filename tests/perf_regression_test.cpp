@@ -1,0 +1,124 @@
+// Allocation and re-entrancy guarantees for the hot paths.
+//
+// These pin the properties the perf overhaul is built on: a warm Vm::run
+// allocates nothing, a Vm is re-entrant (same program, same input, same
+// result on every call), and fire-and-forget scheduling never materializes
+// a cancel flag. The alloc counter comes from bench/alloc_counter.cpp,
+// whose global operator new/delete override counts every heap allocation
+// in the test binary.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../bench/alloc_counter.hpp"
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/sim/engine.hpp"
+
+namespace {
+
+using dproc::ecode::CompileEnv;
+using dproc::ecode::Filter;
+using dproc::ecode::FilterResult;
+using dproc::ecode::Sample;
+using dproc::ecode::Vm;
+
+const char* kFigure3Filter = R"({
+  int i = 0;
+  if (input[LOADAVG].value > 2) {
+    output[i] = input[LOADAVG];
+    i = i + 1;
+  }
+  if (input[DISKUSAGE].value > 10000 && input[FREEMEM].value < 50e6) {
+    output[i] = input[DISKUSAGE];
+    i = i + 1;
+    output[i] = input[FREEMEM];
+    i = i + 1;
+  }
+  if (input[CACHE_MISS].value > input[CACHE_MISS].last_value_sent) {
+    output[i] = input[CACHE_MISS];
+    i = i + 1;
+  }
+})";
+
+Filter compile_figure3() {
+  CompileEnv env;
+  env.constants = {{"LOADAVG", 0}, {"DISKUSAGE", 1}, {"FREEMEM", 2},
+                   {"CACHE_MISS", 3}};
+  auto filter = Filter::compile(kFigure3Filter, env);
+  EXPECT_TRUE(filter.is_ok()) << filter.status().to_string();
+  return std::move(filter).value();
+}
+
+std::vector<Sample> figure3_input() {
+  return {{0, 2.5, 0.4, 0}, {1, 20'000, 220, 0}, {2, 41e6, 310e6, 0},
+          {3, 8'812'004, 8'611'220, 0}};
+}
+
+TEST(PerfRegressionTest, WarmVmRunAllocatesNothing) {
+  const Filter filter = compile_figure3();
+  const std::vector<Sample> input = figure3_input();
+
+  Vm vm;
+  FilterResult result;
+  // Warm-up: first runs size the scratch arenas and the result vectors.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(vm.run(filter.bytecode(), input, result).is_ok());
+  }
+
+  const std::uint64_t before = dproc::bench::alloc_count();
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(vm.run(filter.bytecode(), input, result).is_ok());
+  }
+  EXPECT_EQ(dproc::bench::alloc_count() - before, 0u)
+      << "steady-state Vm::run must not touch the heap";
+  EXPECT_EQ(result.outputs.size(), 4u);
+}
+
+TEST(PerfRegressionTest, VmIsReentrant) {
+  const Filter filter = compile_figure3();
+  const std::vector<Sample> input = figure3_input();
+
+  Vm vm;
+  auto first = vm.run(filter.bytecode(), input);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  auto second = vm.run(filter.bytecode(), input);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+
+  EXPECT_EQ(first.value().outputs, second.value().outputs);
+  EXPECT_EQ(first.value().return_value, second.value().return_value);
+  EXPECT_EQ(first.value().instructions_executed,
+            second.value().instructions_executed);
+
+  // The reuse entry point must agree with the fresh-result entry point.
+  FilterResult reused;
+  ASSERT_TRUE(vm.run(filter.bytecode(), input, reused).is_ok());
+  EXPECT_EQ(reused.outputs, first.value().outputs);
+  EXPECT_EQ(reused.instructions_executed, first.value().instructions_executed);
+}
+
+TEST(PerfRegressionTest, FireAndForgetScheduleAllocatesNoCancelFlags) {
+  dproc::sim::Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_after(dproc::milliseconds(1.0 + i), [&] { ++fired; });
+  }
+  engine.run();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(engine.cancel_flags_allocated(), 0u)
+      << "discarded PendingEvents must not allocate cancel flags";
+}
+
+TEST(PerfRegressionTest, RetainedHandleAllocatesExactlyOneFlag) {
+  dproc::sim::Engine engine;
+  int fired = 0;
+  engine.schedule_after(dproc::milliseconds(1.0), [&] { ++fired; });
+  dproc::sim::EventHandle handle =
+      engine.schedule_after(dproc::milliseconds(2.0), [&] { ++fired; });
+  EXPECT_EQ(engine.cancel_flags_allocated(), 1u);
+  handle.cancel();
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.cancel_flags_allocated(), 1u);
+}
+
+}  // namespace
