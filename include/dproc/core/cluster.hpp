@@ -20,6 +20,7 @@
 #include "dproc/net/nic.hpp"
 #include "dproc/procfs/procfs.hpp"
 #include "dproc/sim/engine.hpp"
+#include "dproc/sim/fault.hpp"
 
 namespace dproc::core {
 
@@ -28,6 +29,10 @@ struct ClusterConfig {
   host::HostConfig host_template{};  // name field is overridden per node
   net::LinkConfig link{};
   DmonConfig dmon{};
+  /// KECho liveness (heartbeats, eviction, registry retries). Disabled by
+  /// default so baseline experiments are byte-identical to the
+  /// failure-unaware stack; chaos tests turn it on.
+  kecho::LivenessConfig liveness{};
   std::uint64_t seed = 0x5eed;
   /// Node names; generated ("node0", ...) when empty. The paper's 3-node
   /// example uses {"alan", "maui", "etna"}.
@@ -75,6 +80,36 @@ class Cluster {
     return *nodes_.at(i).procfs;
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] kecho::RegistryServer& registry() { return *registry_; }
+
+  /// Access links of node `i` in the fabric (both topologies): uplink
+  /// carries its traffic toward the switch, downlink toward the node.
+  [[nodiscard]] net::LinkId uplink(std::size_t i) const {
+    return ports_.at(i).first;
+  }
+  [[nodiscard]] net::LinkId downlink(std::size_t i) const {
+    return ports_.at(i).second;
+  }
+
+  // --- failure choreography ----------------------------------------------
+
+  /// Fail-stop crash of node `i`: the fabric drops its packets, its d-mon
+  /// stops polling, its kecho state is wiped.
+  void crash_node(std::size_t i);
+  /// Restart after crash_node: the kernel re-joins its channels and the
+  /// d-mon resumes with empty caches.
+  void restart_node(std::size_t i);
+  /// Graceful departure: announces kMemberLeave (node stays powered so the
+  /// announcement and its retries actually leave the NIC).
+  void leave_node(std::size_t i);
+
+  /// Hooks binding the sim-layer fault injector to this cluster's fabric,
+  /// registry, and node lifecycle.
+  [[nodiscard]] sim::FaultHooks fault_hooks();
+  /// Schedules a fault plan against this cluster; returns the injector for
+  /// observation. Repeated calls compose onto the same injector.
+  sim::FaultInjector& inject(const sim::FaultPlan& plan);
+  [[nodiscard]] sim::FaultInjector* injector() { return injector_.get(); }
 
   /// Registers the standard module set (CPU, MEM, DISK, NET, PMC) on one
   /// node's d-mon; the builder calls this for every dproc node.
@@ -88,6 +123,8 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<kecho::RegistryServer> registry_;
   std::vector<ClusterNode> nodes_;
+  std::vector<std::pair<net::LinkId, net::LinkId>> ports_;  // per-node
+  std::unique_ptr<sim::FaultInjector> injector_;
 };
 
 }  // namespace dproc::core

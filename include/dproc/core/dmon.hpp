@@ -48,6 +48,24 @@ struct DmonConfig {
   std::string monitor_channel = "dproc.monitor";
   std::string control_channel = "dproc.control";
   OverheadModel overheads{};
+  /// A peer's feed is flagged stale after this many poll periods without a
+  /// monitoring update (graceful degradation under churn and partitions).
+  int stale_after_periods = 3;
+};
+
+/// Degradation state of one peer's monitoring feed, derived from update
+/// recency and KECho membership events:
+///  * kLive  — updating within the staleness horizon;
+///  * kStale — silent past stale_after_periods poll periods, but not (yet)
+///             evicted: consumers should distrust the cached values;
+///  * kDead  — evicted from the monitoring channel (or never known).
+enum class PeerState : std::uint8_t { kLive, kStale, kDead };
+[[nodiscard]] const char* to_string(PeerState state);
+
+struct PeerHealth {
+  PeerState state = PeerState::kDead;
+  SimTime last_update;    // last monitoring event from the peer
+  bool has_data = false;  // any update since this d-mon (re)started
 };
 
 /// Per-poll measurements (what the paper's rdtsc instrumentation reports).
@@ -78,6 +96,11 @@ class DMon {
   /// Joins the channels and starts the periodic polling loop.
   void start();
   void stop();
+
+  /// Restart after a crash: clears every peer's cached data and health
+  /// (a rebooted monitor has no memory of the old values) and starts the
+  /// polling loop again. The kecho node must have been restart()ed first.
+  void restart();
 
   /// One polling iteration (normally driven by the internal timer; exposed
   /// for tests and microbenchmarks).
@@ -121,6 +144,11 @@ class DMon {
     sample_observers_.push_back(std::move(observer));
   }
 
+  /// Health of a declared peer's feed; nullopt for undeclared peers.
+  [[nodiscard]] std::optional<PeerHealth> peer_health(net::NodeId node) const;
+  /// Convenience: kDead for undeclared peers.
+  [[nodiscard]] PeerState peer_state(net::NodeId node) const;
+
   /// Latest value received from a peer, if any.
   [[nodiscard]] const RemoteMetric* remote_metric(net::NodeId node,
                                                   MetricId id) const;
@@ -148,10 +176,16 @@ class DMon {
   struct Peer {
     std::string name;
     std::vector<RemoteMetric> metrics;  // indexed by metric id
+    SimTime declared_at;   // staleness basis until the first update
+    SimTime last_update;   // last monitoring event received
+    bool has_data = false;
+    bool dead = false;     // evicted from the monitoring channel
   };
 
   void on_monitor_event(const kecho::Event& event);
   void on_control_event(const kecho::Event& event);
+  void on_membership(kecho::MemberEventKind kind, net::NodeId node);
+  [[nodiscard]] PeerState state_of(const Peer& peer) const;
   void register_local_files(const ModuleEntry& entry);
   void rebuild_tuning();
   void charge(double cycles);

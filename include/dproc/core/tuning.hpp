@@ -94,6 +94,13 @@ class PublisherTuning {
   /// reports compile failures instead of installing broken filters).
   Status apply(const TuningConfig& config);
 
+  /// Checks a config without applying anything: every metric reference must
+  /// resolve and the filter must compile. Lets the *sender* of a control
+  /// request reject bad parameters before they travel (metric ids are a
+  /// cluster-wide convention, so local resolution is authoritative).
+  /// Module-period targets are not checked — module sets are per-node.
+  [[nodiscard]] Status validate(const TuningConfig& config) const;
+
   /// Decides which samples to publish now. `samples` holds every metric in
   /// id order. Updates last-sent bookkeeping for the chosen metrics.
   Decision decide(const std::vector<MetricSample>& samples, SimTime now);

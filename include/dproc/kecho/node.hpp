@@ -9,6 +9,15 @@
 // Every channel operation charges the host CPU's kernel class through the
 // KechoCosts model; those cycles are exactly the perturbation Figures 4-8
 // measure.
+//
+// Failure awareness (LivenessConfig, disabled by default so the baseline
+// traces and benchmarks are untouched): registry joins are retried with
+// capped exponential backoff until acknowledged; every peer is tracked by
+// when it was last heard from, with data frames doubling as heartbeats and
+// an explicit channel-0 heartbeat filling idle gaps; a peer silent past the
+// miss threshold is evicted (reported to the registry with kMemberEvict,
+// retried until acked) and dropped locally; a crashed node can restart()
+// and idempotently re-join everything it was a member of.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +50,28 @@ struct KechoCosts {
 /// refreshed anyway, so dropping an update under congestion can beat
 /// retransmitting stale values.
 enum class ChannelTransport : std::uint8_t { kReliable, kDatagram };
+
+/// Liveness and retry behaviour of one node's KECho endpoint. Disabled by
+/// default: with `enabled == false` no timers are scheduled, no heartbeats
+/// are sent and joins are single fire-and-forget datagrams, so the default
+/// configuration is event-for-event identical to the failure-unaware stack
+/// (the golden-trace test pins this).
+struct LivenessConfig {
+  bool enabled = false;
+  /// Heartbeat period; a data frame to a peer within the period suppresses
+  /// the explicit heartbeat (piggybacking on the monitoring traffic).
+  SimDuration heartbeat_period = seconds(1.0);
+  /// A peer silent for more than miss_threshold heartbeat periods is
+  /// declared dead and evicted.
+  int miss_threshold = 3;
+  /// Capped exponential backoff for registry retries (join, leave, evict):
+  /// delay(n) = min(retry_base * 2^n, retry_cap).
+  SimDuration retry_base = milliseconds(100.0);
+  SimDuration retry_cap = seconds(2.0);
+};
+
+/// Membership change observed by this node (for d-mon degradation logic).
+enum class MemberEventKind : std::uint8_t { kJoined, kLeft, kEvicted };
 
 /// A delivered channel event. The payload is a zero-copy view into the
 /// wire frame: `frame` is shared with the sender and every other receiver
@@ -85,6 +116,7 @@ class Channel {
   [[nodiscard]] ChannelId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool ready() const { return ready_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
   [[nodiscard]] std::size_t remote_member_count() const;
   [[nodiscard]] std::uint64_t events_submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t events_received() const { return received_; }
@@ -105,6 +137,8 @@ class Channel {
   std::uint64_t submitted_ = 0;
   std::uint64_t received_ = 0;
   std::vector<std::function<void(Channel&)>> on_ready_;
+  int join_attempts_ = 0;        // backoff exponent for the next retry
+  sim::EventHandle join_retry_;  // pending retry; cancelled on response
 };
 
 struct PollStats {
@@ -116,10 +150,15 @@ class Node {
  public:
   static constexpr net::Port kChannelPort = 7788;
   static constexpr net::Port kDatagramEventPort = 7789;
+  /// Channel id of liveness-only frames. The registry hands out ids
+  /// starting at 1, so id 0 is never a real channel; heartbeat frames are
+  /// discarded after refreshing the sender's last-heard time.
+  static constexpr ChannelId kHeartbeatChannel = 0;
 
   Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
        net::Port registry_port = RegistryServer::kDefaultPort,
-       KechoCosts costs = {});
+       KechoCosts costs = {}, LivenessConfig liveness = {});
+  ~Node();
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -135,6 +174,40 @@ class Node {
   /// invoking handlers. d-mon calls this once per polling period.
   PollStats poll();
 
+  /// Observes membership changes this node learns about (its own joins
+  /// excluded): a new peer, a graceful leave, an eviction. Fired once per
+  /// node-level change, after the local membership state was updated.
+  using MembershipListener =
+      std::function<void(MemberEventKind, net::NodeId)>;
+  void add_membership_listener(MembershipListener listener) {
+    membership_listeners_.push_back(std::move(listener));
+  }
+
+  /// Graceful node-level departure: tells the registry (retried until
+  /// acked when liveness is on) and stops heartbeating. Channel handles
+  /// stay valid but no longer receive membership updates.
+  void announce_leave();
+
+  /// Fail-stop crash: drops all channel state, peer transports, queued
+  /// events and timers, as a kernel reboot would. Channel handles remain
+  /// valid (they are owned by this node) but are not ready.
+  void crash();
+
+  /// Restart after crash(): idempotently re-joins every channel this node
+  /// had joined and resumes heartbeating. Peers and the registry treat the
+  /// re-join as a duplicate, so membership reconverges without duplicates.
+  void restart();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] const LivenessConfig& liveness() const { return liveness_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const {
+    return heartbeats_sent_;
+  }
+  /// Evictions this node initiated (dead peers it reported).
+  [[nodiscard]] std::uint64_t evictions_initiated() const {
+    return evictions_initiated_;
+  }
+
   [[nodiscard]] host::Host& host() { return host_; }
   [[nodiscard]] net::Nic& nic() { return nic_; }
   [[nodiscard]] const KechoCosts& costs() const { return costs_; }
@@ -147,11 +220,43 @@ class Node {
   /// Lazily opens (or reuses) the transport to a peer kernel.
   net::TcpConnection::Ptr& transport_to(net::NodeId peer);
 
+  /// Sends the join request for `channel` and, when liveness is on, arms a
+  /// backoff retry that refires until the join response arrives.
+  void send_join(Channel& channel);
+  /// Sends a leave/evict to the registry; with liveness on, retried with
+  /// capped backoff until the matching kOpAck arrives.
+  void send_registry_removal(RegistryOp op, Member member, int attempt);
+  [[nodiscard]] SimDuration backoff_delay(int attempt) const;
+
+  void start_heartbeat_timer();
+  /// Periodic liveness pass: evicts peers silent past the miss threshold,
+  /// then heartbeats every peer nothing was sent to this period.
+  void liveness_tick();
+  void send_heartbeat(net::NodeId peer);
+  /// Records a newly learned peer; returns true the first time a node-level
+  /// peer appears (used to fire kJoined exactly once per node).
+  bool member_learned(Member member);
+  /// Closes and drops every cached peer transport (both directions); used
+  /// when this node learns it was dropped from the cluster, after which
+  /// the peers' endpoints of those connections are gone.
+  void reset_transports();
+  /// Declares a silent peer dead: forgets it locally, reports kMemberEvict.
+  void evict_peer(net::NodeId peer);
+  /// Removes a peer from every channel, closes its transports and drops its
+  /// liveness entry. Idempotent.
+  void forget_peer(net::NodeId peer);
+  [[nodiscard]] bool member_of_any_channel(net::NodeId peer) const;
+  void notify_membership(MemberEventKind kind, net::NodeId node);
+  /// Data-frame piggybacking: marks `members` as sent-to now, suppressing
+  /// this period's explicit heartbeat to them.
+  void note_submission(const std::vector<Member>& members);
+
   host::Host& host_;
   net::Nic& nic_;
   net::NodeId registry_node_;
   net::Port registry_port_;
   KechoCosts costs_;
+  LivenessConfig liveness_;
 
   std::map<std::string, std::unique_ptr<Channel>> channels_by_name_;
   /// Poll drain order, kept sorted by channel name (matching the name-map
@@ -163,6 +268,25 @@ class Node {
   std::map<net::NodeId, net::TcpConnection::Ptr> transports_;
   std::unique_ptr<net::TcpListener> listener_;
   std::vector<net::TcpConnection::Ptr> accepted_;
+
+  /// Per-peer liveness state; maintained (cheaply, on membership changes)
+  /// even with liveness disabled so listeners see kJoined exactly once,
+  /// but only read on receive / refreshed on submit when enabled.
+  struct PeerLiveness {
+    SimTime last_heard;  // any frame from the peer refreshes this
+    SimTime last_sent;   // any frame to the peer suppresses the heartbeat
+  };
+  std::map<net::NodeId, PeerLiveness> peer_liveness_;
+  std::vector<MembershipListener> membership_listeners_;
+  /// Pending leave/evict retries keyed by (op, member node); erased when
+  /// the registry acks.
+  std::map<std::pair<std::uint8_t, net::NodeId>, sim::EventHandle>
+      pending_removals_;
+  sim::EventHandle heartbeat_timer_;
+  net::MessagePtr heartbeat_payload_;  // shared empty payload
+  bool crashed_ = false;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t evictions_initiated_ = 0;
 };
 
 }  // namespace dproc::kecho

@@ -4,6 +4,17 @@
 // retrieve its id and current membership, and existing members receive a
 // notification about the newcomer. The registry speaks a small datagram
 // protocol so it behaves like the paper's out-of-kernel directory process.
+//
+// Failure awareness: join requests are idempotent (a crash-restart re-join
+// neither duplicates the Member entry nor creates a second channel record),
+// members can leave gracefully (kMemberLeave) or be reported dead by a
+// surviving peer (kMemberEvict) — both remove the member from every channel
+// and fan a kMemberDrop notification out to the remaining members (and to
+// the removed member itself, so a spuriously evicted node knows to
+// re-join). Leave/evict are acked (kOpAck) so senders can retry through
+// registry outages, and set_online() models such an outage window: an
+// offline registry silently drops every request, exactly like a crashed
+// directory process.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +38,23 @@ struct Member {
 /// Wire ops of the registry protocol.
 enum class RegistryOp : std::uint8_t {
   kJoinRequest = 1,   // name, member -> response + notifications
-  kJoinResponse = 2,  // channel id, member list
+  kJoinResponse = 2,  // channel id, member list (doubles as the join ack)
   kMemberNotify = 3,  // channel id, new member
+  kMemberLeave = 4,   // member -> registry: graceful node-level departure
+  kMemberEvict = 5,   // member -> registry: report of a dead member
+  kMemberDrop = 6,    // registry -> members: member removed (reason byte)
+  kOpAck = 7,         // registry -> sender: ack for leave/evict
+};
+
+/// Why a member was dropped from a channel (carried in kMemberDrop).
+enum class DropReason : std::uint8_t { kLeave = 0, kEvict = 1 };
+
+struct RegistryStats {
+  std::uint64_t joins = 0;            // join requests honoured
+  std::uint64_t duplicate_joins = 0;  // idempotent re-joins (no-op)
+  std::uint64_t leaves = 0;           // members removed via kMemberLeave
+  std::uint64_t evictions = 0;        // members removed via kMemberEvict
+  std::uint64_t dropped_while_offline = 0;
 };
 
 class RegistryServer {
@@ -41,9 +67,24 @@ class RegistryServer {
 
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
   [[nodiscard]] net::Port port() const { return port_; }
+  [[nodiscard]] const RegistryStats& stats() const { return stats_; }
+
+  /// Fault injection: an offline registry drops every request on the floor
+  /// (the directory process crashed); clients must retry.
+  void set_online(bool online) { online_ = online; }
+  [[nodiscard]] bool online() const { return online_; }
+
+  /// Current membership of a named channel; empty if the channel does not
+  /// exist (observability for tests and the chaos harness).
+  [[nodiscard]] std::vector<Member> channel_members(
+      const std::string& name) const;
 
  private:
-  void handle_request(net::NodeId from, const net::MessagePtr& message);
+  void handle_request(net::NodeId from, net::Port from_port,
+                      const net::MessagePtr& message);
+  /// Removes `member` from every channel, notifying survivors (and the
+  /// removed member) per affected channel. Idempotent.
+  void remove_member(Member member, DropReason reason);
 
   struct ChannelRecord {
     ChannelId id;
@@ -53,11 +94,15 @@ class RegistryServer {
 
   net::Nic& nic_;
   net::Port port_;
+  bool online_ = true;
+  RegistryStats stats_;
   std::map<std::string, ChannelRecord> channels_;
   ChannelId next_id_ = 1;
 };
 
 /// Encodes a join request (used by kecho::Node; exposed for tests).
 net::MessagePtr encode_join_request(const std::string& name, Member member);
+/// Encodes a leave/evict request (`op` must be one of those two).
+net::MessagePtr encode_member_removal(RegistryOp op, Member member);
 
 }  // namespace dproc::kecho

@@ -17,6 +17,7 @@
 
 #include "dproc/net/packet.hpp"
 #include "dproc/sim/engine.hpp"
+#include "dproc/util/rng.hpp"
 #include "dproc/util/time.hpp"
 
 namespace dproc::net {
@@ -48,6 +49,20 @@ class Link {
   /// Bytes currently waiting or in flight on the serializer.
   [[nodiscard]] std::uint64_t backlog_bytes() const;
 
+  /// Fault injection: a down link drops every offered packet (a cable pull
+  /// or switch-port partition). Counted in packets_dropped/bytes_dropped.
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool down() const { return down_; }
+
+  /// Fault injection: drop each offered packet with probability `p`, drawn
+  /// from a generator seeded with `seed` (deterministic given call order).
+  /// p = 0 ends the burst; the check is a single branch when inactive.
+  void set_loss(double p, std::uint64_t seed) {
+    loss_probability_ = p;
+    if (p > 0.0) loss_rng_ = Rng{seed};
+  }
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
+
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   [[nodiscard]] const LinkConfig& config() const { return config_; }
 
@@ -56,6 +71,9 @@ class Link {
   LinkConfig config_;
   LinkStats stats_;
   SimTime busy_until_;  // when the serializer frees up
+  bool down_ = false;
+  double loss_probability_ = 0.0;
+  Rng loss_rng_{0};
 };
 
 class Fabric {
@@ -103,6 +121,12 @@ class Fabric {
   /// stay registered so the node can come back.
   void set_node_down(NodeId node, bool down);
   [[nodiscard]] bool node_down(NodeId node) const;
+
+  /// Fault injection on links (partitions and loss bursts); see Link.
+  void set_link_down(LinkId id, bool down) { link(id).set_down(down); }
+  void set_link_loss(LinkId id, double p, std::uint64_t seed) {
+    link(id).set_loss(p, seed);
+  }
 
   /// tcpdump-style tracing: when set, invoked for every packet the fabric
   /// accepts (kind, addressing, wire size, injection time) and again on

@@ -39,6 +39,12 @@ struct ServerConfig {
   double link_capacity_bps = 100e6;
   /// Disk streaming bandwidth assumed for storage clients.
   double disk_bandwidth_bps = 160e6;  // 20 MB/s
+  /// Degraded-feed fallback for the dynamic policy: when a client's dproc
+  /// feed is stale (d-mon flags it after going silent) or dead (evicted),
+  /// steering on the cached metrics would chase ghosts, so the stream
+  /// drops to this conservative representation until the feed recovers.
+  Representation stale_fallback_rep = Representation::kCompressed;
+  double stale_fallback_fraction = 0.5;
 };
 
 class Server {
@@ -69,6 +75,9 @@ class Server {
     Representation last_rep = Representation::kFull;
     double last_fraction = 1.0;
     std::uint64_t frames_sent = 0;
+    /// Frames steered by the conservative fallback because the client's
+    /// monitoring feed was stale or dead.
+    std::uint64_t stale_fallbacks = 0;
   };
 
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
@@ -83,6 +92,11 @@ class Server {
   /// Reads a client's dproc metric; `fallback` when no data has arrived.
   [[nodiscard]] double metric(net::NodeId node, const std::string& key,
                               double fallback) const;
+
+  /// True when the client's monitoring feed can no longer be trusted:
+  /// d-mon marked the peer dead, or stale with old data cached (a peer
+  /// that never produced data yet is merely warming up, not degraded).
+  [[nodiscard]] bool feed_degraded(net::NodeId node) const;
 
   void update_bandwidth_estimate(ClientState& client);
   /// Chooses (representation, fraction) for this client per the policy.

@@ -23,7 +23,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
 
   // Topology.
   if (!config_.trunk_split) {
-    fabric_->build_star(node_ids, config_.link);
+    ports_ = fabric_->build_star(node_ids, config_.link);
   } else {
     const std::size_t split = *config_.trunk_split;
     if (split == 0 || split >= config_.node_count) {
@@ -50,6 +50,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
         fabric_->set_route(node_ids[i], node_ids[j], std::move(route));
       }
     }
+    ports_ = std::move(ports);
   }
 
   // Hosts, NICs, pseudo-filesystems.
@@ -76,8 +77,9 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
 
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     ClusterNode& node = nodes_[i];
-    node.kecho = std::make_unique<kecho::Node>(*node.host, *node.nic,
-                                               node_ids[0]);
+    node.kecho = std::make_unique<kecho::Node>(
+        *node.host, *node.nic, node_ids[0], kecho::RegistryServer::kDefaultPort,
+        kecho::KechoCosts{}, config_.liveness);
     if (!runs_dproc[i]) continue;
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
                                        *node.procfs, config_.dmon);
@@ -118,6 +120,53 @@ void Cluster::start_dproc() {
   for (ClusterNode& node : nodes_) {
     if (node.dmon) node.dmon->start();
   }
+}
+
+void Cluster::crash_node(std::size_t i) {
+  ClusterNode& node = nodes_.at(i);
+  fabric_->set_node_down(node.nic->node(), true);
+  if (node.dmon) node.dmon->stop();
+  node.kecho->crash();
+}
+
+void Cluster::restart_node(std::size_t i) {
+  ClusterNode& node = nodes_.at(i);
+  fabric_->set_node_down(node.nic->node(), false);
+  node.kecho->restart();
+  if (node.dmon) node.dmon->restart();
+}
+
+void Cluster::leave_node(std::size_t i) {
+  ClusterNode& node = nodes_.at(i);
+  if (node.dmon) node.dmon->stop();
+  node.kecho->announce_leave();
+}
+
+sim::FaultHooks Cluster::fault_hooks() {
+  sim::FaultHooks hooks;
+  hooks.node_down = [this](std::uint32_t node, bool down) {
+    if (down) {
+      crash_node(node);
+    } else {
+      restart_node(node);
+    }
+  };
+  hooks.link_down = [this](std::uint32_t link, bool down) {
+    fabric_->set_link_down(link, down);
+  };
+  hooks.link_loss = [this](std::uint32_t link, double p, std::uint64_t seed) {
+    fabric_->set_link_loss(link, p, seed);
+  };
+  hooks.registry_down = [this](bool down) { registry_->set_online(!down); };
+  return hooks;
+}
+
+sim::FaultInjector& Cluster::inject(const sim::FaultPlan& plan) {
+  if (!injector_) {
+    injector_ = std::make_unique<sim::FaultInjector>(engine_, fault_hooks());
+  }
+  injector_->schedule(plan);
+  return *injector_;
 }
 
 }  // namespace dproc::core

@@ -31,6 +31,18 @@ Result<ThresholdKind> parse_direction(const std::string& token) {
                                   token + "'");
 }
 
+/// A command line with leftover tokens is a typo ("period 2 5") or a
+/// misremembered syntax; silently ignoring the tail would make the write
+/// a partial no-op, so the whole request is rejected instead.
+Status reject_trailing(std::istringstream& words, const std::string& command) {
+  std::string extra;
+  if (words >> extra) {
+    return Status::invalid_argument(command + ": unexpected trailing token '" +
+                                    extra + "'");
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
 Result<TuningConfig> parse_control_commands(const std::string& text) {
@@ -56,6 +68,9 @@ Result<TuningConfig> parse_control_commands(const std::string& text) {
       if (!(words >> second)) {
         auto sec = parse_number(first, "period");
         if (!sec) return sec.status();
+        if (sec.value() <= 0) {
+          return Status::invalid_argument("period must be positive");
+        }
         config.default_period = seconds(sec.value());
       } else {
         MetricPeriod mp;
@@ -126,6 +141,10 @@ Result<TuningConfig> parse_control_commands(const std::string& text) {
         }
         auto pct = parse_percent(a);
         if (!pct) return pct.status();
+        if (pct.value() < 0) {
+          return Status::invalid_argument(
+              "threshold change: percentage must be >= 0");
+        }
         t.kind = ThresholdKind::kChangePct;
         t.a = pct.value();
       } else {
@@ -151,6 +170,10 @@ Result<TuningConfig> parse_control_commands(const std::string& text) {
       }
       auto pct = parse_percent(pct_token);
       if (!pct) return pct.status();
+      if (pct.value() < 0) {
+        return Status::invalid_argument(
+            "differential: percentage must be >= 0");
+      }
       config.differential_pct = pct.value();
     } else if (command == "filter") {
       // Everything after the `filter` keyword — same line and all following
@@ -173,6 +196,8 @@ Result<TuningConfig> parse_control_commands(const std::string& text) {
       return Status::invalid_argument("unknown control command '" + command +
                                       "'");
     }
+    Status trailing = reject_trailing(words, command);
+    if (!trailing) return trailing;
   }
   return config;
 }

@@ -39,16 +39,31 @@ net::MessagePtr encode_control_event(net::NodeId target,
   return message;
 }
 
-std::string render_value(const RemoteMetric& metric, SimTime now) {
+std::string render_value(const RemoteMetric& metric, SimTime now,
+                         PeerState state) {
   if (!metric.valid) return "no data\n";
   std::ostringstream out;
   out << std::setprecision(12) << metric.value << "\n"
       << "sampled_at_s " << metric.sampled_at.sec() << "\n"
       << "age_s " << (now - metric.received_at).sec() << "\n";
+  // Degradation marker only when degraded: healthy output is unchanged.
+  if (state != PeerState::kLive) out << "state " << to_string(state) << "\n";
   return out.str();
 }
 
 }  // namespace
+
+const char* to_string(PeerState state) {
+  switch (state) {
+    case PeerState::kLive:
+      return "live";
+    case PeerState::kStale:
+      return "stale";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
 
 DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
            procfs::ProcFs& procfs, DmonConfig config)
@@ -69,6 +84,10 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
     if (tuning_) out << tuning_->describe();
     return out.str();
   });
+  kecho_.add_membership_listener(
+      [this](kecho::MemberEventKind kind, net::NodeId node) {
+        on_membership(kind, node);
+      });
   rebuild_tuning();
 }
 
@@ -118,7 +137,8 @@ void DMon::register_module(std::unique_ptr<MonitoringModule> module) {
             if (it == peers_.end() || id >= it->second.metrics.size()) {
               return std::string{"no data\n"};
             }
-            return render_value(it->second.metrics[id], host_.engine().now());
+            return render_value(it->second.metrics[id], host_.engine().now(),
+                                state_of(it->second));
           });
     }
   }
@@ -142,6 +162,7 @@ void DMon::add_peer(net::NodeId node, const std::string& name) {
   Peer& peer = it->second;
   peer.name = name;
   peer.metrics.resize(metric_table_.size());
+  if (created) peer.declared_at = host_.engine().now();
   for (const MetricDesc& desc : metric_table_) {
     const MetricId id = desc.id;
     procfs_.register_file(
@@ -151,9 +172,20 @@ void DMon::add_peer(net::NodeId node, const std::string& name) {
             return std::string{"no data\n"};
           }
           return render_value(peer_it->second.metrics[id],
-                              host_.engine().now());
+                              host_.engine().now(), state_of(peer_it->second));
         });
   }
+  procfs_.register_file("/proc/cluster/" + name + "/status", [this, node] {
+    auto peer_it = peers_.find(node);
+    if (peer_it == peers_.end()) return std::string{"state dead\n"};
+    const Peer& p = peer_it->second;
+    std::ostringstream out;
+    out << "state " << to_string(state_of(p)) << "\n"
+        << "has_data " << (p.has_data ? 1 : 0) << "\n"
+        << "last_update_s " << p.last_update.sec() << "\n"
+        << "age_s " << (host_.engine().now() - p.last_update).sec() << "\n";
+    return out.str();
+  });
   procfs_.register_file(
       "/proc/cluster/" + name + "/control",
       [name] {
@@ -183,6 +215,59 @@ void DMon::start() {
 void DMon::stop() {
   poll_timer_.cancel();
   started_ = false;
+}
+
+void DMon::restart() {
+  stop();
+  for (auto& [node, peer] : peers_) {
+    std::fill(peer.metrics.begin(), peer.metrics.end(), RemoteMetric{});
+    peer.declared_at = host_.engine().now();
+    peer.last_update = SimTime{};
+    peer.has_data = false;
+    peer.dead = false;
+  }
+  start();
+}
+
+PeerState DMon::state_of(const Peer& peer) const {
+  if (peer.dead) return PeerState::kDead;
+  const SimDuration horizon =
+      config_.poll_period * static_cast<double>(config_.stale_after_periods);
+  const SimTime basis = peer.has_data ? peer.last_update : peer.declared_at;
+  return host_.engine().now() - basis > horizon ? PeerState::kStale
+                                                : PeerState::kLive;
+}
+
+std::optional<PeerHealth> DMon::peer_health(net::NodeId node) const {
+  auto it = peers_.find(node);
+  if (it == peers_.end()) return std::nullopt;
+  const Peer& peer = it->second;
+  return PeerHealth{state_of(peer), peer.last_update, peer.has_data};
+}
+
+PeerState DMon::peer_state(net::NodeId node) const {
+  auto health = peer_health(node);
+  return health ? health->state : PeerState::kDead;
+}
+
+void DMon::on_membership(kecho::MemberEventKind kind, net::NodeId node) {
+  auto it = peers_.find(node);
+  if (it == peers_.end()) return;
+  switch (kind) {
+    case kecho::MemberEventKind::kJoined:
+      // A (re)joined peer gets a fresh grace window before going stale.
+      it->second.dead = false;
+      if (!it->second.has_data) it->second.declared_at = host_.engine().now();
+      break;
+    case kecho::MemberEventKind::kEvicted:
+      it->second.dead = true;
+      break;
+    case kecho::MemberEventKind::kLeft:
+      // Confirmed departure: purge the procfs subtree and forget the peer.
+      (void)procfs_.remove("/proc/cluster/" + it->second.name);
+      peers_.erase(it);
+      break;
+  }
 }
 
 std::optional<MetricId> DMon::metric_id(const std::string& key) const {
@@ -235,6 +320,16 @@ Status DMon::apply_tuning(const TuningConfig& config) {
 
 Status DMon::send_tuning(net::NodeId target, const TuningConfig& config) {
   if (target == nic_.node()) return apply_tuning(config);
+  // Metric names and filter sources follow cluster-wide conventions, so a
+  // bad parameter or a filter that cannot compile is caught here and the
+  // error surfaced to the writer instead of dying silently at the remote
+  // publisher. (Module names stay remote-validated: module sets are
+  // per-node.)
+  Status valid = tuning_->validate(config);
+  if (!valid) {
+    last_control_error_ = valid.to_string();
+    return valid;
+  }
   if (control_channel_ == nullptr || !control_channel_->ready()) {
     return Status::failed_precondition(
         "control channel not established yet");
@@ -255,6 +350,11 @@ void DMon::on_monitor_event(const kecho::Event& event) {
     it = peers_.find(event.source);
   }
   Peer& peer = it->second;
+  // Any event is a sign of life: refresh the staleness clock and clear a
+  // possibly spurious eviction.
+  peer.last_update = host_.engine().now();
+  peer.has_data = true;
+  peer.dead = false;
 
   for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
     const MetricId id = r.u32();

@@ -25,6 +25,39 @@ Result<MetricId> PublisherTuning::resolve(const std::string& name) const {
   return it->second;
 }
 
+Status PublisherTuning::validate(const TuningConfig& config) const {
+  if (config.default_period && *config.default_period <= SimDuration::zero()) {
+    return Status::invalid_argument("update period must be positive");
+  }
+  for (const MetricPeriod& mp : config.metric_periods) {
+    auto id = resolve(mp.metric);
+    if (!id) return id.status();
+    if (mp.period <= SimDuration::zero()) {
+      return Status::invalid_argument("update period must be positive");
+    }
+    if (mp.conditional) {
+      auto cond = resolve(mp.cond_metric);
+      if (!cond) return cond.status();
+    }
+  }
+  for (const Threshold& t : config.thresholds) {
+    auto id = resolve(t.metric);
+    if (!id) return id.status();
+  }
+  if (config.differential_pct && *config.differential_pct < 0) {
+    return Status::invalid_argument("differential percentage must be >= 0");
+  }
+  if (config.filter_source && !config.filter_source->empty()) {
+    ecode::CompileEnv env;
+    for (const auto& [key, id] : metric_ids_) {
+      env.constants[to_filter_constant(key)] = static_cast<std::int64_t>(id);
+    }
+    auto compiled = ecode::Filter::compile(*config.filter_source, env);
+    if (!compiled) return compiled.status();
+  }
+  return Status::ok();
+}
+
 Status PublisherTuning::apply(const TuningConfig& config) {
   // Stage everything first so a failure leaves current state untouched.
   std::map<MetricId, ResolvedPeriod> new_periods = config.clear ? decltype(periods_){} : periods_;

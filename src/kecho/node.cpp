@@ -64,6 +64,9 @@ SimDuration Channel::submit(const net::MessagePtr& payload) {
       node_.transport_to(member.node)->send(frame);
     }
   }
+  if (node_.liveness_.enabled && !members_.empty()) {
+    node_.note_submission(members_);
+  }
   const double cycles = per_member_cycles * static_cast<double>(members_.size());
   const SimDuration cost =
       seconds(cycles / node_.host().cpu().config().clock_hz);
@@ -74,12 +77,14 @@ SimDuration Channel::submit(const net::MessagePtr& payload) {
 std::size_t Channel::remote_member_count() const { return members_.size(); }
 
 Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
-           net::Port registry_port, KechoCosts costs)
+           net::Port registry_port, KechoCosts costs, LivenessConfig liveness)
     : host_(host),
       nic_(nic),
       registry_node_(registry_node),
       registry_port_(registry_port),
-      costs_(costs) {
+      costs_(costs),
+      liveness_(liveness),
+      heartbeat_payload_(net::make_message({})) {
   nic_.bind_datagram(kChannelPort,
                      [this](net::NodeId, net::Port, const net::MessagePtr& m) {
                        on_registry_datagram(m);
@@ -95,6 +100,13 @@ Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
             [this](const net::MessagePtr& m) { on_peer_message(m); });
         accepted_.push_back(std::move(conn));
       });
+  if (liveness_.enabled) start_heartbeat_timer();
+}
+
+Node::~Node() {
+  heartbeat_timer_.cancel();
+  for (auto& [key, handle] : pending_removals_) handle.cancel();
+  for (auto& [name, channel] : channels_by_name_) channel->join_retry_.cancel();
 }
 
 Channel& Node::join(const std::string& name,
@@ -113,10 +125,7 @@ Channel& Node::join(const std::string& name,
                            return a->name() < b->name();
                          }),
         it->second.get());
-    nic_.send_datagram(
-        registry_node_, registry_port_,
-        encode_join_request(name, Member{nic_.node(), kChannelPort}),
-        kChannelPort);
+    send_join(*it->second);
   }
   Channel& channel = *it->second;
   if (on_ready) {
@@ -127,6 +136,182 @@ Channel& Node::join(const std::string& name,
     }
   }
   return channel;
+}
+
+void Node::send_join(Channel& channel) {
+  nic_.send_datagram(
+      registry_node_, registry_port_,
+      encode_join_request(channel.name_, Member{nic_.node(), kChannelPort}),
+      kChannelPort);
+  if (!liveness_.enabled) return;
+  const int attempt = channel.join_attempts_++;
+  channel.join_retry_.cancel();
+  channel.join_retry_ = host_.engine().schedule_after(
+      backoff_delay(attempt), [this, &channel] {
+        if (!channel.ready_ && !crashed_) send_join(channel);
+      });
+}
+
+void Node::send_registry_removal(RegistryOp op, Member member, int attempt) {
+  nic_.send_datagram(registry_node_, registry_port_,
+                     encode_member_removal(op, member), kChannelPort);
+  if (!liveness_.enabled) return;
+  const auto key = std::pair{static_cast<std::uint8_t>(op), member.node};
+  auto it = pending_removals_.find(key);
+  if (it != pending_removals_.end()) it->second.cancel();
+  pending_removals_[key] = host_.engine().schedule_after(
+      backoff_delay(attempt), [this, op, member, attempt] {
+        if (!crashed_) send_registry_removal(op, member, attempt + 1);
+      });
+}
+
+SimDuration Node::backoff_delay(int attempt) const {
+  const int shift = std::min(attempt, 20);
+  const double factor = static_cast<double>(std::uint32_t{1} << shift);
+  return std::min(liveness_.retry_base * factor, liveness_.retry_cap);
+}
+
+void Node::start_heartbeat_timer() {
+  heartbeat_timer_.cancel();
+  heartbeat_timer_ = host_.engine().schedule_periodic(
+      liveness_.heartbeat_period, [this] { liveness_tick(); });
+}
+
+void Node::liveness_tick() {
+  const SimTime now = host_.engine().now();
+  const SimDuration dead_after =
+      liveness_.heartbeat_period * static_cast<double>(liveness_.miss_threshold);
+  // Collect first: eviction mutates peer_liveness_.
+  std::vector<net::NodeId> dead;
+  for (const auto& [peer, state] : peer_liveness_) {
+    if (now - state.last_heard > dead_after) dead.push_back(peer);
+  }
+  for (net::NodeId peer : dead) evict_peer(peer);
+  for (auto& [peer, state] : peer_liveness_) {
+    if (now - state.last_sent >= liveness_.heartbeat_period) {
+      send_heartbeat(peer);
+      state.last_sent = now;
+    }
+  }
+}
+
+void Node::send_heartbeat(net::NodeId peer) {
+  const net::MessagePtr frame = encode_event(
+      kHeartbeatChannel, nic_.node(), host_.engine().now(), heartbeat_payload_);
+  transport_to(peer)->send(frame);
+  ++heartbeats_sent_;
+}
+
+bool Node::member_learned(Member member) {
+  // A reappearing peer invalidates any eviction of it still retrying
+  // toward the registry: the queued request predates the re-join, and
+  // replaying it would knock out a live member (a storm during registry
+  // outages, when every survivor's eviction sits in its retry loop).
+  const auto key =
+      std::pair{static_cast<std::uint8_t>(RegistryOp::kMemberEvict), member.node};
+  if (auto it = pending_removals_.find(key); it != pending_removals_.end()) {
+    it->second.cancel();
+    pending_removals_.erase(it);
+  }
+  const SimTime now = host_.engine().now();
+  // A fresh peer starts with a full grace window before eviction.
+  return peer_liveness_.try_emplace(member.node, PeerLiveness{now, now}).second;
+}
+
+void Node::reset_transports() {
+  for (auto& [peer, conn] : transports_) conn->close();
+  transports_.clear();
+  for (auto& conn : accepted_) conn->close();
+  accepted_.clear();
+}
+
+void Node::evict_peer(net::NodeId peer) {
+  net::Port port = kChannelPort;
+  for (const auto& [name, channel] : channels_by_name_) {
+    for (const Member& m : channel->members_) {
+      if (m.node == peer) port = m.port;
+    }
+  }
+  forget_peer(peer);
+  ++evictions_initiated_;
+  DPROC_INFO() << "kecho node " << nic_.node() << ": peer " << peer
+               << " silent past miss threshold; evicting";
+  send_registry_removal(RegistryOp::kMemberEvict, Member{peer, port}, 0);
+  notify_membership(MemberEventKind::kEvicted, peer);
+}
+
+void Node::forget_peer(net::NodeId peer) {
+  for (auto& [name, channel] : channels_by_name_) {
+    std::erase_if(channel->members_,
+                  [peer](const Member& m) { return m.node == peer; });
+  }
+  auto it = transports_.find(peer);
+  if (it != transports_.end()) {
+    it->second->close();
+    transports_.erase(it);
+  }
+  std::erase_if(accepted_, [peer](const net::TcpConnection::Ptr& conn) {
+    if (conn->remote_node() != peer) return false;
+    conn->close();
+    return true;
+  });
+  peer_liveness_.erase(peer);
+}
+
+bool Node::member_of_any_channel(net::NodeId peer) const {
+  for (const auto& [name, channel] : channels_by_name_) {
+    for (const Member& m : channel->members_) {
+      if (m.node == peer) return true;
+    }
+  }
+  return false;
+}
+
+void Node::notify_membership(MemberEventKind kind, net::NodeId node) {
+  for (const MembershipListener& listener : membership_listeners_) {
+    listener(kind, node);
+  }
+}
+
+void Node::note_submission(const std::vector<Member>& members) {
+  const SimTime now = host_.engine().now();
+  for (const Member& member : members) {
+    auto it = peer_liveness_.find(member.node);
+    if (it != peer_liveness_.end()) it->second.last_sent = now;
+  }
+}
+
+void Node::announce_leave() {
+  heartbeat_timer_.cancel();
+  send_registry_removal(RegistryOp::kMemberLeave,
+                        Member{nic_.node(), kChannelPort}, 0);
+}
+
+void Node::crash() {
+  crashed_ = true;
+  heartbeat_timer_.cancel();
+  for (auto& [key, handle] : pending_removals_) handle.cancel();
+  pending_removals_.clear();
+  for (auto& [name, channel] : channels_by_name_) {
+    channel->join_retry_.cancel();
+    channel->join_attempts_ = 0;
+    channel->ready_ = false;
+    channel->members_.clear();
+    channel->rx_queue_.clear();
+  }
+  std::fill(channels_by_id_.begin(), channels_by_id_.end(), nullptr);
+  for (auto& [peer, conn] : transports_) conn->close();
+  transports_.clear();
+  for (auto& conn : accepted_) conn->close();
+  accepted_.clear();
+  peer_liveness_.clear();
+}
+
+void Node::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  for (auto& [name, channel] : channels_by_name_) send_join(*channel);
+  if (liveness_.enabled) start_heartbeat_timer();
 }
 
 void Node::on_registry_datagram(const net::MessagePtr& message) {
@@ -143,13 +328,26 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
                      << ": join response for unknown channel '" << name << "'";
         return;
       }
-      Channel& channel = *it->second;
-      channel.id_ = id;
+      std::vector<Member> members;
+      members.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
-        Member member{r.u32(), r.u16()};
-        if (member.node != nic_.node()) channel.members_.push_back(member);
+        members.push_back(Member{r.u32(), r.u16()});
       }
       if (!r.ok()) return;
+      Channel& channel = *it->second;
+      channel.join_retry_.cancel();
+      channel.join_attempts_ = 0;
+      channel.id_ = id;
+      // Rebuild (never append): a re-join response replaces the view, so a
+      // crash-restart cannot duplicate members.
+      channel.members_.clear();
+      for (const Member& member : members) {
+        if (member.node == nic_.node()) continue;
+        channel.members_.push_back(member);
+        if (member_learned(member)) {
+          notify_membership(MemberEventKind::kJoined, member.node);
+        }
+      }
       channel.ready_ = true;
       if (channels_by_id_.size() <= id) channels_by_id_.resize(id + 1, nullptr);
       channels_by_id_[id] = &channel;
@@ -169,12 +367,64 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
       auto& members = channels_by_id_[id]->members_;
       if (std::find(members.begin(), members.end(), member) == members.end()) {
         members.push_back(member);
+        if (member_learned(member)) {
+          notify_membership(MemberEventKind::kJoined, member.node);
+        }
+      }
+      return;
+    }
+    case RegistryOp::kMemberDrop: {
+      const ChannelId id = r.u32();
+      Member member{r.u32(), r.u16()};
+      const auto reason = static_cast<DropReason>(r.u8());
+      if (!r.ok()) return;
+      Channel* channel =
+          id < channels_by_id_.size() ? channels_by_id_[id] : nullptr;
+      if (member.node == nic_.node()) {
+        // The registry dropped *us*. After a leave that is expected; after
+        // an eviction we are demonstrably alive to hear it, so the eviction
+        // was spurious (e.g. a healed partition) — re-join immediately.
+        if (channel == nullptr || crashed_) return;
+        channel->ready_ = false;
+        channel->members_.clear();
+        // Peers that processed the drop tore down their endpoints of our
+        // cached transports; submitting into those half-open connections
+        // would silently blackhole every future frame. Rebuild node-level
+        // connectivity from scratch along with the membership.
+        reset_transports();
+        if (reason == DropReason::kEvict) send_join(*channel);
+        return;
+      }
+      const bool known = peer_liveness_.contains(member.node);
+      if (channel != nullptr) {
+        std::erase(channel->members_, member);
+      }
+      if (known && !member_of_any_channel(member.node)) {
+        forget_peer(member.node);
+        notify_membership(reason == DropReason::kLeave
+                              ? MemberEventKind::kLeft
+                              : MemberEventKind::kEvicted,
+                          member.node);
+      }
+      return;
+    }
+    case RegistryOp::kOpAck: {
+      const auto acked = static_cast<RegistryOp>(r.u8());
+      Member member{r.u32(), r.u16()};
+      if (!r.ok()) return;
+      auto it = pending_removals_.find(
+          std::pair{static_cast<std::uint8_t>(acked), member.node});
+      if (it != pending_removals_.end()) {
+        it->second.cancel();
+        pending_removals_.erase(it);
       }
       return;
     }
     case RegistryOp::kJoinRequest:
+    case RegistryOp::kMemberLeave:
+    case RegistryOp::kMemberEvict:
       DPROC_WARN() << "kecho node " << nic_.node()
-                   << ": unexpected join request";
+                   << ": unexpected registry op " << static_cast<int>(op);
       return;
   }
 }
@@ -196,6 +446,13 @@ void Node::on_peer_message(const net::MessagePtr& message) {
     DPROC_WARN() << "kecho node " << nic_.node() << ": malformed event frame";
     return;
   }
+  if (liveness_.enabled) {
+    auto it = peer_liveness_.find(event.source);
+    if (it != peer_liveness_.end()) {
+      it->second.last_heard = host_.engine().now();
+    }
+  }
+  if (event.channel == kHeartbeatChannel) return;  // liveness-only frame
   if (event.channel >= channels_by_id_.size() ||
       channels_by_id_[event.channel] == nullptr) {
     DPROC_DEBUG() << "kecho node " << nic_.node() << ": event for channel "

@@ -30,6 +30,26 @@ net::MessagePtr encode_member_notify(ChannelId id, Member member) {
   w.u16(member.port);
   return net::make_message(w.take());
 }
+
+net::MessagePtr encode_member_drop(ChannelId id, Member member,
+                                   DropReason reason) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RegistryOp::kMemberDrop));
+  w.u32(id);
+  w.u32(member.node);
+  w.u16(member.port);
+  w.u8(static_cast<std::uint8_t>(reason));
+  return net::make_message(w.take());
+}
+
+net::MessagePtr encode_op_ack(RegistryOp op, Member member) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RegistryOp::kOpAck));
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(member.node);
+  w.u16(member.port);
+  return net::make_message(w.take());
+}
 }  // namespace
 
 net::MessagePtr encode_join_request(const std::string& name, Member member) {
@@ -41,51 +61,127 @@ net::MessagePtr encode_join_request(const std::string& name, Member member) {
   return net::make_message(w.take());
 }
 
+net::MessagePtr encode_member_removal(RegistryOp op, Member member) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(member.node);
+  w.u16(member.port);
+  return net::make_message(w.take());
+}
+
 RegistryServer::RegistryServer(net::Nic& nic, net::Port port)
     : nic_(nic), port_(port) {
-  nic_.bind_datagram(port_, [this](net::NodeId from, net::Port,
+  nic_.bind_datagram(port_, [this](net::NodeId from, net::Port from_port,
                                    const net::MessagePtr& message) {
-    handle_request(from, message);
+    handle_request(from, from_port, message);
   });
 }
 
-void RegistryServer::handle_request(net::NodeId from,
+std::vector<Member> RegistryServer::channel_members(
+    const std::string& name) const {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? std::vector<Member>{} : it->second.members;
+}
+
+void RegistryServer::handle_request(net::NodeId from, net::Port from_port,
                                     const net::MessagePtr& message) {
+  if (!online_) {
+    ++stats_.dropped_while_offline;
+    return;
+  }
   net::ByteReader r{message->header};
   const auto op = static_cast<RegistryOp>(r.u8());
-  if (op != RegistryOp::kJoinRequest) {
-    DPROC_WARN() << "registry: unexpected op from node " << from;
-    return;
-  }
-  const std::string name = r.str();
-  Member member{r.u32(), r.u16()};
-  if (!r.ok()) {
-    DPROC_WARN() << "registry: malformed join request from node " << from;
-    return;
-  }
+  switch (op) {
+    case RegistryOp::kJoinRequest: {
+      const std::string name = r.str();
+      Member member{r.u32(), r.u16()};
+      if (!r.ok()) {
+        DPROC_WARN() << "registry: malformed join request from node " << from;
+        return;
+      }
 
-  auto [it, created] = channels_.try_emplace(name);
-  ChannelRecord& record = it->second;
-  if (created) {
-    record.id = next_id_++;
-    record.name = name;
-    DPROC_INFO() << "registry: created channel '" << name << "' id "
-                 << record.id;
-  }
+      auto [it, created] = channels_.try_emplace(name);
+      ChannelRecord& record = it->second;
+      if (created) {
+        record.id = next_id_++;
+        record.name = name;
+        DPROC_INFO() << "registry: created channel '" << name << "' id "
+                     << record.id;
+      }
 
-  // Reply with the membership as it was before this join, then notify the
-  // existing members about the newcomer.
-  nic_.send_datagram(from, member.port,
-                     encode_join_response(name, record.id, record.members));
-  const bool already_member =
-      std::find(record.members.begin(), record.members.end(), member) !=
-      record.members.end();
-  if (!already_member) {
-    for (const Member& existing : record.members) {
-      nic_.send_datagram(existing.node, existing.port,
-                         encode_member_notify(record.id, member));
+      const bool already_member =
+          std::find(record.members.begin(), record.members.end(), member) !=
+          record.members.end();
+      // Reply with the membership minus the joiner itself (on an idempotent
+      // re-join the joiner must not learn itself as a peer), then notify the
+      // existing members about a genuinely new member.
+      std::vector<Member> others;
+      others.reserve(record.members.size());
+      for (const Member& m : record.members) {
+        if (m != member) others.push_back(m);
+      }
+      nic_.send_datagram(from, member.port,
+                         encode_join_response(name, record.id, others));
+      if (already_member) {
+        ++stats_.duplicate_joins;
+      } else {
+        ++stats_.joins;
+        for (const Member& existing : record.members) {
+          nic_.send_datagram(existing.node, existing.port,
+                             encode_member_notify(record.id, member));
+        }
+        record.members.push_back(member);
+      }
+      return;
     }
-    record.members.push_back(member);
+    case RegistryOp::kMemberLeave:
+    case RegistryOp::kMemberEvict: {
+      Member member{r.u32(), r.u16()};
+      if (!r.ok()) {
+        DPROC_WARN() << "registry: malformed removal request from node "
+                     << from;
+        return;
+      }
+      remove_member(member, op == RegistryOp::kMemberLeave
+                                ? DropReason::kLeave
+                                : DropReason::kEvict);
+      // Always ack, even when the member was already gone: the sender may
+      // be retrying through an outage and needs closure either way.
+      nic_.send_datagram(from, from_port != 0 ? from_port : member.port,
+                         encode_op_ack(op, member));
+      return;
+    }
+    default:
+      DPROC_WARN() << "registry: unexpected op " << static_cast<int>(op)
+                   << " from node " << from;
+      return;
+  }
+}
+
+void RegistryServer::remove_member(Member member, DropReason reason) {
+  bool removed_any = false;
+  for (auto& [name, record] : channels_) {
+    auto it = std::find(record.members.begin(), record.members.end(), member);
+    if (it == record.members.end()) continue;
+    record.members.erase(it);
+    removed_any = true;
+    // Survivors drop the member; the member itself also hears about it so a
+    // spurious eviction triggers a re-join rather than a silent split-brain.
+    for (const Member& survivor : record.members) {
+      nic_.send_datagram(survivor.node, survivor.port,
+                         encode_member_drop(record.id, member, reason));
+    }
+    nic_.send_datagram(member.node, member.port,
+                       encode_member_drop(record.id, member, reason));
+  }
+  if (removed_any) {
+    if (reason == DropReason::kLeave) {
+      ++stats_.leaves;
+    } else {
+      ++stats_.evictions;
+    }
+    DPROC_INFO() << "registry: member node " << member.node << " removed ("
+                 << (reason == DropReason::kLeave ? "leave" : "evict") << ")";
   }
 }
 

@@ -10,7 +10,8 @@ namespace dproc::net {
 bool Link::transmit(const Packet& packet,
                     std::function<void(const Packet&)> on_exit) {
   const std::uint64_t wire = packet.wire_bytes();
-  if (backlog_bytes() + wire > config_.buffer_bytes) {
+  if (down_ || backlog_bytes() + wire > config_.buffer_bytes ||
+      (loss_probability_ > 0.0 && loss_rng_.uniform() < loss_probability_)) {
     ++stats_.packets_dropped;
     stats_.bytes_dropped += wire;
     return false;

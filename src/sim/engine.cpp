@@ -84,16 +84,23 @@ EventHandle Engine::schedule_periodic(SimDuration period, Callback fn) {
   }
   auto flag = std::make_shared<bool>(false);
   ++flag_allocs_;
-  // The recursive lambda owns the user callback; the queue entry holds a
-  // copy of the wrapper so cancellation via `flag` stops the chain.
+  // The wrapper owns the user callback and re-arms itself each period. It
+  // captures itself weakly — the pending queue entry holds the only strong
+  // reference — so cancelling (or destroying the engine) drops the last
+  // queue entry and with it the whole chain; a self-referential strong
+  // capture would cycle and never free.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, flag, tick, fn = std::move(fn)]() {
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, period, flag, weak, fn = std::move(fn)]() {
     if (*flag) return;
     fn();
     if (*flag) return;  // fn may have cancelled its own timer
-    heap_push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+    if (auto self = weak.lock()) {
+      heap_push(Scheduled{now_ + period, next_seq_++, flag,
+                          [self] { (*self)(); }});
+    }
   };
-  heap_push(Scheduled{now_ + period, next_seq_++, flag, *tick});
+  heap_push(Scheduled{now_ + period, next_seq_++, flag, [tick] { (*tick)(); }});
   return EventHandle{std::move(flag)};
 }
 

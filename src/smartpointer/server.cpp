@@ -71,6 +71,16 @@ double Server::metric(net::NodeId node, const std::string& key,
   return m == nullptr ? fallback : m->value;
 }
 
+bool Server::feed_degraded(net::NodeId node) const {
+  if (dmon_ == nullptr) return false;
+  auto health = dmon_->peer_health(node);
+  if (!health) return false;  // undeclared peer: metric() fallbacks apply
+  if (health->state == core::PeerState::kDead) return true;
+  // Stale with cached data: the cache is actively misleading. Stale with
+  // no data yet is just warmup; the per-metric fallbacks handle it.
+  return health->state == core::PeerState::kStale && health->has_data;
+}
+
 void Server::update_bandwidth_estimate(ClientState& client) {
   // Congestion signals, all derived from the client's dproc feeds: the
   // client receives measurably less than this server has been sending, or
@@ -250,6 +260,14 @@ void Server::send_frame(ClientState& client, const workload::MdFrame& frame) {
       rep = client.subscription.static_rep;
       break;
     case FilterMode::kDynamic: {
+      if (feed_degraded(client.node)) {
+        // Stale metrics would steer against a cluster state that no longer
+        // exists; degrade conservatively until the feed recovers.
+        rep = config_.stale_fallback_rep;
+        fraction = config_.stale_fallback_fraction;
+        ++client.stale_fallbacks;
+        break;
+      }
       auto [chosen_rep, chosen_fraction] = choose(client);
       rep = chosen_rep;
       fraction = chosen_fraction;

@@ -107,13 +107,57 @@ TEST(Integration, BadFilterIsRejectedAndReported) {
   cluster.start_dproc();
   engine.run_until(SimTime{} + seconds(2.0));
 
-  ASSERT_TRUE(cluster.procfs(0)
-                  .write("/proc/cluster/etna/control",
-                         "filter { output[0] = input[NOSUCHMETRIC]; }")
-                  .is_ok());
+  // Metric ids are a cluster-wide convention, so a filter referencing an
+  // unknown metric is rejected at the *writer* — the write itself fails and
+  // the error is reported locally instead of dying silently at the remote.
+  const Status write_status = cluster.procfs(0).write(
+      "/proc/cluster/etna/control",
+      "filter { output[0] = input[NOSUCHMETRIC]; }");
+  EXPECT_FALSE(write_status.is_ok());
+  EXPECT_FALSE(cluster.dmon(0)->last_control_error().empty());
   engine.run_until(SimTime{} + seconds(4.0));
   EXPECT_FALSE(cluster.dmon(2)->tuning().has_filter());
+  EXPECT_TRUE(cluster.dmon(2)->last_control_error().empty())
+      << "rejected request must never reach the remote";
+}
+
+TEST(Integration, RemoteOnlyErrorsSurfaceAtTheRemote) {
+  // Module sets are per-node, so a bad module window cannot be checked at
+  // the writer; it must travel, fail at the remote publisher, and show up
+  // in that node's control-error report.
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+
+  ASSERT_TRUE(cluster.procfs(0)
+                  .write("/proc/cluster/etna/control", "window nosuchmod 5")
+                  .is_ok());
+  engine.run_until(SimTime{} + seconds(4.0));
   EXPECT_FALSE(cluster.dmon(2)->last_control_error().empty());
+  EXPECT_NE(cluster.dmon(2)->last_control_error().find("nosuchmod"),
+            std::string::npos);
+}
+
+TEST(Integration, MalformedControlWritesFailAtTheWriter) {
+  sim::Engine engine;
+  core::Cluster cluster{engine, three_nodes()};
+  cluster.start_dproc();
+  engine.run_until(SimTime{} + seconds(2.0));
+  auto write = [&](const std::string& text) {
+    return cluster.procfs(0).write("/proc/cluster/etna/control", text);
+  };
+  EXPECT_FALSE(write("period 0").is_ok());
+  EXPECT_FALSE(write("period -3").is_ok());
+  EXPECT_FALSE(write("period 2 5").is_ok()) << "trailing token must reject";
+  EXPECT_FALSE(write("differential -10%").is_ok());
+  EXPECT_FALSE(write("threshold loadavg change -5%").is_ok());
+  EXPECT_FALSE(write("clear now").is_ok());
+  EXPECT_FALSE(write("period nosuchmetric 2").is_ok())
+      << "unknown metric names must be rejected at the writer";
+  // The remote never saw any of it.
+  engine.run_until(SimTime{} + seconds(4.0));
+  EXPECT_TRUE(cluster.dmon(2)->last_control_error().empty());
 }
 
 TEST(Integration, PaperFigure3FilterEndToEnd) {

@@ -277,5 +277,227 @@ TEST_F(KechoTest, PollBaseCostChargedEvenWhenIdle) {
   EXPECT_GT(stats.cpu_cost, SimDuration::zero());
 }
 
+TEST_F(KechoTest, DuplicateJoinRequestIsIdempotent) {
+  Channel& a = nodes[0]->join("monitor");
+  Channel& b = nodes[1]->join("monitor");
+  settle();
+  ASSERT_TRUE(a.ready());
+  ASSERT_TRUE(b.ready());
+  ASSERT_EQ(registry->channel_members("monitor").size(), 2u);
+
+  // Replay node 1's join verbatim, as a restarted kernel module would.
+  nics[1]->send_datagram(
+      nics[0]->node(), RegistryServer::kDefaultPort,
+      encode_join_request("monitor", Member{nics[1]->node(), Node::kChannelPort}),
+      Node::kChannelPort);
+  settle();
+
+  EXPECT_EQ(registry->stats().duplicate_joins, 1u);
+  EXPECT_EQ(registry->channel_members("monitor").size(), 2u);
+  // Existing members saw no phantom second copy of node 1.
+  EXPECT_EQ(a.members().size(), 1u);
+  EXPECT_EQ(b.members().size(), 1u);
+}
+
+TEST_F(KechoTest, RejoinAfterCrashLeavesNoDuplicateMembers) {
+  Channel& a = nodes[0]->join("monitor");
+  Channel& b = nodes[1]->join("monitor");
+  settle();
+  ASSERT_TRUE(a.ready());
+
+  nodes[0]->crash();
+  EXPECT_FALSE(a.ready());
+  EXPECT_TRUE(nodes[0]->crashed());
+  nodes[0]->restart();
+  settle();
+
+  EXPECT_TRUE(a.ready());
+  EXPECT_GE(registry->stats().duplicate_joins, 1u);
+  EXPECT_EQ(registry->channel_members("monitor").size(), 2u);
+  ASSERT_EQ(a.members().size(), 1u);
+  EXPECT_EQ(a.members()[0].node, nics[1]->node());
+  ASSERT_EQ(b.members().size(), 1u);
+  EXPECT_EQ(b.members()[0].node, nics[0]->node());
+}
+
+TEST_F(KechoTest, GracefulLeaveRemovesMemberEverywhere) {
+  Channel& a = nodes[0]->join("monitor");
+  Channel& b = nodes[1]->join("monitor");
+  Channel& c = nodes[2]->join("monitor");
+  settle();
+  ASSERT_EQ(a.members().size(), 2u);
+
+  std::vector<std::pair<MemberEventKind, net::NodeId>> events;
+  nodes[0]->add_membership_listener(
+      [&](MemberEventKind kind, net::NodeId node) {
+        events.emplace_back(kind, node);
+      });
+
+  nodes[1]->announce_leave();
+  settle();
+
+  EXPECT_EQ(registry->stats().leaves, 1u);
+  const auto members = registry->channel_members("monitor");
+  ASSERT_EQ(members.size(), 2u);
+  for (const Member& m : members) EXPECT_NE(m.node, nics[1]->node());
+  EXPECT_EQ(a.members().size(), 1u);
+  EXPECT_EQ(c.members().size(), 1u);
+  EXPECT_EQ(b.members().size(), 0u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, MemberEventKind::kLeft);
+  EXPECT_EQ(events[0].second, nics[1]->node());
+}
+
+// Liveness-enabled variant of the fixture: short heartbeat period so that
+// failure detection and registry retry run inside a few simulated seconds.
+class KechoLivenessTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 4;
+
+  KechoLivenessTest() {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      ids.push_back(fabric.add_node("n" + std::to_string(i)));
+    }
+    fabric.build_star(ids, net::LinkConfig{});
+    Rng master{99};
+    liveness.enabled = true;
+    liveness.heartbeat_period = seconds(0.2);
+    liveness.miss_threshold = 3;
+    liveness.retry_base = milliseconds(50.0);
+    liveness.retry_cap = seconds(0.4);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      host::HostConfig config;
+      config.name = "n" + std::to_string(i);
+      hosts.push_back(std::make_unique<host::Host>(
+          engine, static_cast<host::HostId>(i), config, master.split()));
+      nics.push_back(std::make_unique<net::Nic>(fabric, ids[i]));
+    }
+    registry = std::make_unique<RegistryServer>(*nics[0]);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      nodes.push_back(std::make_unique<Node>(*hosts[i], *nics[i], ids[0],
+                                             RegistryServer::kDefaultPort,
+                                             KechoCosts{}, liveness));
+    }
+  }
+
+  void settle(double sec = 1.0) {
+    engine.run_until(engine.now() + seconds(sec));
+  }
+
+  void join_all(const std::string& name) {
+    channels.clear();
+    for (auto& node : nodes) channels.push_back(&node->join(name));
+    settle(0.5);
+  }
+
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  std::vector<net::NodeId> ids;
+  LivenessConfig liveness;
+  std::vector<std::unique_ptr<host::Host>> hosts;
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  std::unique_ptr<RegistryServer> registry;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<Channel*> channels;
+};
+
+TEST_F(KechoLivenessTest, SilentPeerIsEvictedAfterMissThreshold) {
+  join_all("monitor");
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ASSERT_EQ(channels[i]->members().size(), kNodes - 1);
+  }
+
+  std::vector<std::pair<MemberEventKind, net::NodeId>> events;
+  nodes[0]->add_membership_listener(
+      [&](MemberEventKind kind, net::NodeId node) {
+        events.emplace_back(kind, node);
+      });
+
+  fabric.set_node_down(ids[3], true);
+  nodes[3]->crash();
+  settle(2.0);
+
+  // Survivors noticed the silence, evicted the peer, and the registry
+  // propagated the removal exactly once per surviving view.
+  EXPECT_GE(registry->stats().evictions, 1u);
+  const auto members = registry->channel_members("monitor");
+  ASSERT_EQ(members.size(), kNodes - 1);
+  for (const Member& m : members) EXPECT_NE(m.node, ids[3]);
+  std::uint64_t initiated = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    initiated += nodes[i]->evictions_initiated();
+    EXPECT_EQ(channels[i]->members().size(), kNodes - 2);
+    EXPECT_GT(nodes[i]->heartbeats_sent(), 0u);
+  }
+  EXPECT_GE(initiated, 1u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, MemberEventKind::kEvicted);
+  EXPECT_EQ(events[0].second, ids[3]);
+}
+
+TEST_F(KechoLivenessTest, RestartAfterEvictionReconvergesWithoutDuplicates) {
+  join_all("monitor");
+  fabric.set_node_down(ids[3], true);
+  nodes[3]->crash();
+  settle(2.0);
+  ASSERT_EQ(registry->channel_members("monitor").size(), kNodes - 1);
+
+  fabric.set_node_down(ids[3], false);
+  nodes[3]->restart();
+  settle(2.0);
+
+  const auto members = registry->channel_members("monitor");
+  ASSERT_EQ(members.size(), kNodes);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      EXPECT_NE(members[i].node, members[j].node);
+    }
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    const Channel* channel = channels[i];
+    EXPECT_TRUE(channel->ready());
+    const auto& view = channel->members();
+    ASSERT_EQ(view.size(), kNodes - 1);
+    for (std::size_t a = 0; a < view.size(); ++a) {
+      EXPECT_NE(view[a].node, ids[i]) << "node " << i << " lists itself";
+      for (std::size_t b = a + 1; b < view.size(); ++b) {
+        EXPECT_NE(view[a].node, view[b].node);
+      }
+    }
+  }
+}
+
+TEST_F(KechoLivenessTest, JoinRetriesThroughRegistryOutage) {
+  registry->set_online(false);
+  Channel& channel = nodes[1]->join("monitor");
+  settle(0.5);
+  EXPECT_FALSE(channel.ready());
+  EXPECT_GT(registry->stats().dropped_while_offline, 0u);
+
+  registry->set_online(true);
+  settle(1.0);
+  EXPECT_TRUE(channel.ready());
+  EXPECT_EQ(registry->channel_members("monitor").size(), 1u);
+}
+
+TEST_F(KechoLivenessTest, LeaveRetriedUntilRegistryAcks) {
+  // A solo member: no surviving peer can race the leave with an eviction,
+  // so the only way the registry forgets the member is the retried leave.
+  Channel& channel = nodes[2]->join("monitor");
+  settle(0.3);
+  ASSERT_TRUE(channel.ready());
+
+  registry->set_online(false);
+  nodes[2]->announce_leave();
+  settle(0.5);
+  ASSERT_EQ(registry->channel_members("monitor").size(), 1u)
+      << "offline registry must not have processed the leave yet";
+
+  registry->set_online(true);
+  settle(1.5);
+  EXPECT_EQ(registry->stats().leaves, 1u);
+  EXPECT_TRUE(registry->channel_members("monitor").empty());
+}
+
 }  // namespace
 }  // namespace dproc::kecho

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dproc/net/fabric.hpp"
 #include "dproc/net/nic.hpp"
 #include "dproc/net/tcp.hpp"
@@ -121,6 +123,140 @@ TEST_F(FabricTest, TailDropWhenBufferFull) {
   EXPECT_GT(dropped, 0);
   EXPECT_GT(delivered, 0);
   EXPECT_EQ(dropped + delivered, 10);
+}
+
+TEST_F(FabricTest, TailDropFiresOnDropExactlyOnceAndStatsMatch) {
+  const NodeId a = fabric.add_node("a");
+  const NodeId b = fabric.add_node("b");
+  LinkConfig small;
+  small.buffer_bytes = 4000;
+  const LinkId ab = fabric.add_link(small);
+  fabric.set_route(a, b, {ab});
+
+  constexpr int kPackets = 10;
+  constexpr std::uint32_t kPayload = 1442;
+  std::vector<int> drop_calls(kPackets, 0);
+  int delivered = 0;
+  fabric.set_delivery_handler(b, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < kPackets; ++i) {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.seq = static_cast<std::uint64_t>(i);
+    p.payload_bytes = kPayload;
+    fabric.send(p, [&](const Packet& dropped) { ++drop_calls[dropped.seq]; });
+  }
+  engine.run();
+
+  int total_drops = 0;
+  for (int calls : drop_calls) {
+    EXPECT_LE(calls, 1) << "on_drop must fire at most once per packet";
+    total_drops += calls;
+  }
+  EXPECT_GT(total_drops, 0);
+  EXPECT_EQ(total_drops + delivered, kPackets);
+  const LinkStats& stats = fabric.link(ab).stats();
+  EXPECT_EQ(stats.packets_dropped, static_cast<std::uint64_t>(total_drops));
+  EXPECT_EQ(stats.bytes_dropped,
+            static_cast<std::uint64_t>(total_drops) *
+                (kPayload + Packet::kHeaderBytes));
+  EXPECT_EQ(stats.packets_sent, static_cast<std::uint64_t>(delivered));
+}
+
+TEST_F(FabricTest, MultiHopDropEndsTraversal) {
+  // a -> b over two links in sequence; the first is the bottleneck. A
+  // packet dropped at hop 0 must never reach the second link.
+  const NodeId a = fabric.add_node("a");
+  const NodeId b = fabric.add_node("b");
+  LinkConfig tiny;
+  tiny.buffer_bytes = 4000;
+  const LinkId first = fabric.add_link(tiny);
+  const LinkId second = fabric.add_link(LinkConfig{});
+  fabric.set_route(a, b, {first, second});
+
+  int dropped = 0, delivered = 0;
+  fabric.set_delivery_handler(b, [&](const Packet&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload_bytes = 1442;
+    fabric.send(p, [&](const Packet&) { ++dropped; });
+  }
+  engine.run();
+
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(dropped + delivered, 10);
+  EXPECT_EQ(fabric.link(first).stats().packets_dropped,
+            static_cast<std::uint64_t>(dropped));
+  // The downstream link only ever saw the survivors.
+  EXPECT_EQ(fabric.link(second).stats().packets_sent,
+            static_cast<std::uint64_t>(delivered));
+  EXPECT_EQ(fabric.link(second).stats().packets_dropped, 0u);
+}
+
+TEST_F(FabricTest, DownLinkDropsEverythingUntilHealed) {
+  const NodeId a = fabric.add_node("a");
+  const NodeId b = fabric.add_node("b");
+  const LinkId ab = fabric.add_link(LinkConfig{});
+  fabric.set_route(a, b, {ab});
+
+  int dropped = 0, delivered = 0;
+  fabric.set_delivery_handler(b, [&](const Packet&) { ++delivered; });
+  auto send_one = [&] {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload_bytes = 100;
+    fabric.send(p, [&](const Packet&) { ++dropped; });
+  };
+
+  fabric.set_link_down(ab, true);
+  send_one();
+  engine.run();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(fabric.link(ab).stats().packets_dropped, 1u);
+
+  fabric.set_link_down(ab, false);
+  send_one();
+  engine.run();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(FabricTest, LossBurstIsSeededAndDeterministic) {
+  auto run_pattern = [](std::uint64_t seed) {
+    sim::Engine engine;
+    Fabric fabric{engine};
+    const NodeId a = fabric.add_node("a");
+    const NodeId b = fabric.add_node("b");
+    const LinkId ab = fabric.add_link(LinkConfig{});
+    fabric.set_route(a, b, {ab});
+    fabric.set_link_loss(ab, 0.5, seed);
+    std::vector<bool> arrived(50, false);
+    fabric.set_delivery_handler(
+        b, [&](const Packet& p) { arrived[p.seq] = true; });
+    for (int i = 0; i < 50; ++i) {
+      Packet p;
+      p.src = a;
+      p.dst = b;
+      p.seq = static_cast<std::uint64_t>(i);
+      p.payload_bytes = 100;
+      fabric.send(p);
+      engine.run();
+    }
+    return arrived;
+  };
+
+  const auto first = run_pattern(0xfeed);
+  const auto second = run_pattern(0xfeed);
+  EXPECT_EQ(first, second) << "same seed must reproduce the drop pattern";
+  const auto lost = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), false));
+  EXPECT_GT(lost, 10u);
+  EXPECT_LT(lost, 40u);
+  EXPECT_NE(first, run_pattern(0xbeef)) << "different seed, different burst";
 }
 
 TEST_F(FabricTest, LoopbackNeedsNoRoute) {
@@ -337,10 +473,13 @@ TEST_F(TcpTest, SmallMessageRoundTrip) {
   TcpListener listener{*nic_b, 80, TcpConfig{},
                        [&](TcpConnection::Ptr conn) {
                          server_side = conn;
-                         conn->set_message_handler([conn](const MessagePtr& m) {
-                           // Echo back.
-                           conn->send(m);
-                         });
+                         // Capture a raw pointer: a shared_ptr capture stored
+                         // inside the connection itself would cycle and leak.
+                         conn->set_message_handler(
+                             [c = conn.get()](const MessagePtr& m) {
+                               // Echo back.
+                               c->send(m);
+                             });
                        }};
   auto client = TcpConnection::connect(*nic_a, b, 80);
   std::uint64_t echoed = 0;
