@@ -39,6 +39,7 @@ struct Shell {
     core::ClusterConfig config;
     config.node_count = 4;
     config.node_names = {"alan", "maui", "etna", "kea"};
+    config.self_monitor = true;  // telemetry browsable out of the box
     cluster = std::make_unique<core::Cluster>(engine, config);
     aggregator = std::make_unique<core::ClusterAggregator>(
         *cluster->dmon(0), cluster->procfs(0));
@@ -69,6 +70,9 @@ struct Shell {
         "  unload               stop all linpack threads\n"
         "  run <seconds>        advance virtual time\n"
         "  top                  cluster summary (min/mean/max loadavg etc.)\n"
+        "  telemetry            current node's self-monitoring snapshot\n"
+        "  telemetry on|off     toggle the current node's telemetry\n"
+        "  telemetry export <file>  write all nodes' spans as Chrome trace\n"
         "  quit\n");
   }
 
@@ -152,6 +156,39 @@ struct Shell {
       std::printf("t=%.1fs\n", engine.now().sec());
     } else if (cmd == "top") {
       top();
+    } else if (cmd == "telemetry") {
+      std::string arg;
+      words >> arg;
+      telemetry::Registry& registry =
+          cluster->host(current_node).telemetry();
+      if (arg.empty()) {
+        std::printf("%s", registry.render().c_str());
+      } else if (arg == "on" || arg == "off") {
+        registry.set_enabled(arg == "on");
+        std::printf("telemetry %s on %s\n", arg.c_str(),
+                    cluster->host(current_node).name().c_str());
+      } else if (arg == "export") {
+        std::string path;
+        words >> path;
+        if (path.empty()) path = "dproc_trace.json";
+        std::vector<std::pair<int, const telemetry::Registry*>> registries;
+        for (std::size_t i = 0; i < cluster->size(); ++i) {
+          registries.emplace_back(static_cast<int>(i),
+                                  &cluster->host(i).telemetry());
+        }
+        const std::string json = telemetry::merge_chrome_trace(registries);
+        std::FILE* out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+          std::printf("telemetry export: cannot open %s\n", path.c_str());
+        } else {
+          std::fwrite(json.data(), 1, json.size(), out);
+          std::fclose(out);
+          std::printf("wrote %zu bytes to %s (open in chrome://tracing)\n",
+                      json.size(), path.c_str());
+        }
+      } else {
+        std::printf("usage: telemetry [on|off|export <file>]\n");
+      }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
     }

@@ -48,6 +48,13 @@ struct ClusterConfig {
   /// Replaces the standard module set when non-null (e.g. Figure 7's 5 KB
   /// synthetic events). Called once per dproc node.
   std::function<void(DMon&, host::Host&, net::Nic&)> module_factory;
+  /// Self-monitoring: enables every host's telemetry registry, appends the
+  /// DPROC_MON module on every dproc node (uniformly, preserving the
+  /// cluster-wide metric-id convention), mirrors the registry server's op
+  /// counters into node 0's telemetry, and installs a fabric trace hook
+  /// attributing per-node packet sends/delivers/drops. Off by default: the
+  /// golden trace and the baseline benchmarks are byte-identical without it.
+  bool self_monitor = false;
 };
 
 /// One fully wired cluster node.

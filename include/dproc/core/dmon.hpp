@@ -217,6 +217,18 @@ class DMon {
   StreamingStats submit_cost_us_;
   StreamingStats receive_cost_us_;
   std::string last_control_error_;
+
+  /// Self-monitoring instruments, resolved once from the host registry at
+  /// construction; inert (a branch each) until telemetry is enabled.
+  telemetry::Counter& tm_polls_;
+  telemetry::Counter& tm_events_submitted_;
+  telemetry::Counter& tm_events_received_;
+  telemetry::Counter& tm_suppressed_;
+  telemetry::Counter& tm_filter_compiles_;
+  telemetry::Counter& tm_filter_insns_;
+  telemetry::LatencyRecorder& tm_poll_us_;
+  telemetry::LatencyRecorder& tm_submit_us_;
+  telemetry::LatencyRecorder& tm_receive_us_;
 };
 
 }  // namespace dproc::core

@@ -166,6 +166,34 @@ class BatteryMonitor : public MonitoringModule {
   host::Battery& battery_;
 };
 
+/// DPROC_MON: the self-monitoring module. Publishes this node's own dproc
+/// overhead — event counts, submit/receive/poll latency quantiles, filter
+/// work, suppressed samples, fabric drops — on the monitoring channel like
+/// any other metric, so each node's monitoring cost is visible cluster-wide
+/// under /proc/cluster/<node>/dproc/... and is steerable and filterable
+/// with the same tuning machinery as application metrics. Reads the host's
+/// telemetry registry; with telemetry disabled every value reads 0.
+class DprocMonitor : public MonitoringModule {
+ public:
+  explicit DprocMonitor(host::Host& host);
+
+  [[nodiscard]] std::string name() const override { return "dproc"; }
+  [[nodiscard]] std::vector<MetricDesc> metrics() const override;
+  void collect(std::vector<MetricSample>& out, SimTime now) override;
+
+ private:
+  host::Host& host_;
+  telemetry::Counter& submits_;
+  telemetry::Counter& receives_;
+  telemetry::Counter& heartbeats_;
+  telemetry::Counter& suppressed_;
+  telemetry::Counter& filter_insns_;
+  telemetry::Counter& net_drops_;
+  telemetry::LatencyRecorder& submit_us_;
+  telemetry::LatencyRecorder& receive_us_;
+  telemetry::LatencyRecorder& poll_us_;
+};
+
 /// Configurable-width module for experiments and extension testing: emits
 /// `metric_count` metrics whose values come from `value_fn` (constant zero
 /// by default). With 250 metrics one monitoring event is ~5 KB on the wire,

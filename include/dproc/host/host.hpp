@@ -12,6 +12,7 @@
 #include "dproc/host/memory.hpp"
 #include "dproc/host/pmc.hpp"
 #include "dproc/sim/engine.hpp"
+#include "dproc/telemetry/telemetry.hpp"
 #include "dproc/util/rng.hpp"
 
 namespace dproc::host {
@@ -34,7 +35,14 @@ class Host {
         rng_(rng),
         cpu_(engine, config.cpu),
         memory_(config.memory_bytes),
-        disk_(engine, config.disk) {}
+        disk_(engine, config.disk),
+        telemetry_(&engine) {
+    // Engine-level instrumentation: the dispatch count is pulled from the
+    // engine at read time, so the hot event loop carries no telemetry code.
+    telemetry_.gauge("sim", "events_dispatched").set_source([&engine] {
+      return static_cast<double>(engine.events_processed());
+    });
+  }
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -49,6 +57,13 @@ class Host {
   [[nodiscard]] Disk& disk() { return disk_; }
   [[nodiscard]] Pmc& pmc() { return pmc_; }
 
+  /// This node's self-monitoring instrument registry (disabled by default;
+  /// the kernel services instrument themselves through it).
+  [[nodiscard]] telemetry::Registry& telemetry() { return telemetry_; }
+  [[nodiscard]] const telemetry::Registry& telemetry() const {
+    return telemetry_;
+  }
+
  private:
   sim::Engine& engine_;
   HostId id_;
@@ -58,6 +73,7 @@ class Host {
   Memory memory_;
   Disk disk_;
   Pmc pmc_;
+  telemetry::Registry telemetry_;
 };
 
 }  // namespace dproc::host

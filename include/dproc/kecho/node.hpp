@@ -287,6 +287,16 @@ class Node {
   bool crashed_ = false;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t evictions_initiated_ = 0;
+
+  /// Self-monitoring instruments, resolved once from the host registry at
+  /// construction; inert (a branch each) until telemetry is enabled.
+  telemetry::Counter& tm_submits_;
+  telemetry::Counter& tm_receives_;
+  telemetry::Counter& tm_heartbeats_;
+  telemetry::Counter& tm_evictions_;
+  telemetry::Counter& tm_join_retries_;
+  telemetry::Counter& tm_removal_retries_;
+  telemetry::LatencyRecorder& tm_submit_us_;
 };
 
 }  // namespace dproc::kecho

@@ -24,6 +24,11 @@
 
 #include "dproc/net/nic.hpp"
 
+namespace dproc::telemetry {
+class Counter;
+class Registry;
+}  // namespace dproc::telemetry
+
 namespace dproc::kecho {
 
 using ChannelId = std::uint32_t;
@@ -79,6 +84,11 @@ class RegistryServer {
   [[nodiscard]] std::vector<Member> channel_members(
       const std::string& name) const;
 
+  /// Mirrors the op counters into `telemetry` (typically the hosting node's
+  /// registry) under "registry/..."; nullptr detaches. Purely additive: the
+  /// plain RegistryStats keep counting either way.
+  void set_telemetry(telemetry::Registry* telemetry);
+
  private:
   void handle_request(net::NodeId from, net::Port from_port,
                       const net::MessagePtr& message);
@@ -98,6 +108,13 @@ class RegistryServer {
   RegistryStats stats_;
   std::map<std::string, ChannelRecord> channels_;
   ChannelId next_id_ = 1;
+
+  /// Telemetry mirrors of RegistryStats (null until set_telemetry).
+  telemetry::Counter* tm_joins_ = nullptr;
+  telemetry::Counter* tm_duplicate_joins_ = nullptr;
+  telemetry::Counter* tm_leaves_ = nullptr;
+  telemetry::Counter* tm_evictions_ = nullptr;
+  telemetry::Counter* tm_dropped_offline_ = nullptr;
 };
 
 /// Encodes a join request (used by kecho::Node; exposed for tests).

@@ -37,14 +37,29 @@ struct LinkStats {
   std::uint64_t bytes_dropped = 0;
 };
 
+/// Why the fabric dropped a packet. kNone doubles as "accepted" in
+/// Link::transmit's verdict; the other causes feed the per-cause drop
+/// counters (FabricStats) and ride along on every TraceHook drop event.
+enum class DropCause : std::uint8_t {
+  kNone = 0,
+  kNodeDown,    // source or destination host powered off
+  kLinkDown,    // partitioned link (cable pull)
+  kBufferFull,  // switch-port tail drop under congestion
+  kLoss,        // injected random loss burst
+};
+[[nodiscard]] const char* to_string(DropCause cause);
+
 class Link {
  public:
   Link(sim::Engine& engine, LinkConfig config)
       : engine_(engine), config_(config) {}
 
-  /// Attempts to enqueue; returns false (tail drop) when the buffer is
-  /// full. `on_exit` fires when the packet has fully traversed the link.
-  bool transmit(const Packet& packet, std::function<void(const Packet&)> on_exit);
+  /// Attempts to enqueue; returns the drop cause (kNone == accepted:
+  /// kLinkDown when partitioned, kBufferFull on tail drop, kLoss on an
+  /// injected loss hit). `on_exit` fires when the packet has fully
+  /// traversed the link.
+  DropCause transmit(const Packet& packet,
+                     std::function<void(const Packet&)> on_exit);
 
   /// Bytes currently waiting or in flight on the serializer.
   [[nodiscard]] std::uint64_t backlog_bytes() const;
@@ -74,6 +89,21 @@ class Link {
   bool down_ = false;
   double loss_probability_ = 0.0;
   Rng loss_rng_{0};
+};
+
+/// Fabric-wide packet accounting, including drops broken out by cause —
+/// the numbers the telemetry layer surfaces per node.
+struct FabricStats {
+  std::uint64_t packets_sent = 0;       // accepted into the fabric
+  std::uint64_t packets_delivered = 0;  // reached a destination handler
+  std::uint64_t drops_node_down = 0;
+  std::uint64_t drops_link_down = 0;
+  std::uint64_t drops_buffer_full = 0;
+  std::uint64_t drops_loss = 0;
+
+  [[nodiscard]] std::uint64_t drops_total() const {
+    return drops_node_down + drops_link_down + drops_buffer_full + drops_loss;
+  }
 };
 
 class Fabric {
@@ -130,14 +160,22 @@ class Fabric {
 
   /// tcpdump-style tracing: when set, invoked for every packet the fabric
   /// accepts (kind, addressing, wire size, injection time) and again on
-  /// delivery or drop. Costless when unset.
+  /// delivery or drop. The cause is DropCause::kNone except on kDrop,
+  /// where it says why the packet died. Costless when unset; the telemetry
+  /// layer piggybacks per-node packet counters on this hook.
   enum class TraceEvent : std::uint8_t { kSend, kDeliver, kDrop };
-  using TraceHook = std::function<void(TraceEvent, const Packet&, SimTime)>;
+  using TraceHook =
+      std::function<void(TraceEvent, DropCause, const Packet&, SimTime)>;
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Fabric-wide packet counters, drops broken out by cause. Always
+  /// maintained (plain increments on paths that already branch).
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
 
  private:
   void forward(Packet packet, const std::vector<LinkId>& route,
                std::size_t hop, std::function<void(const Packet&)> on_drop);
+  void count_drop(DropCause cause);
 
   sim::Engine& engine_;
   std::vector<std::string> node_names_;
@@ -147,6 +185,7 @@ class Fabric {
   std::vector<std::uint64_t> delivered_bytes_;
   std::vector<bool> node_down_;
   TraceHook trace_;
+  FabricStats stats_;
 };
 
 }  // namespace dproc::net

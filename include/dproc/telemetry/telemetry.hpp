@@ -1,0 +1,218 @@
+// Self-monitoring telemetry: the layer dproc uses to measure itself.
+//
+// The paper's entire evaluation (§4) is a measurement of dproc's *own*
+// overhead — submission cost, receive cost, perturbation of co-located
+// applications. This registry makes that measurement a permanent, in-system
+// capability instead of something only offline bench binaries can do:
+//
+//  * counters/gauges/latency recorders keyed by "subsystem/name", created
+//    once at component construction and bumped from the hot paths;
+//  * a bounded trace-span ring (virtual-clock timestamps) exportable as
+//    Chrome trace_event JSON for chrome://tracing / Perfetto;
+//  * per-node: every simulated host owns one Registry, so the DPROC
+//    monitoring module can publish a node's own overhead on the monitoring
+//    channel like any other metric (/proc/cluster/<node>/dproc/...).
+//
+// Disabled (the default) the layer is inert: recorders no-op behind a
+// single branch, nothing allocates, no simulated cost is charged, and no
+// events are scheduled — so the deterministic golden trace and the
+// zero-allocation guarantees of the perf regression suite are untouched.
+// Instrument handles are created eagerly at construction time; enabling
+// telemetry mid-run only starts accumulation, it never reshapes the sim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dproc/util/stats.hpp"
+#include "dproc/util/time.hpp"
+
+namespace dproc::sim {
+class Engine;
+}  // namespace dproc::sim
+
+namespace dproc::telemetry {
+
+class Registry;
+
+/// Monotonic event counter. Gated on the owning registry's enabled flag;
+/// an increment is a load, a branch, and an add — never an allocation.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  friend class Registry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge. Either set explicitly or backed by a pull source
+/// (evaluated at read time, so snapshots see the live value — e.g. the sim
+/// engine's events-dispatched count — at zero steady-state cost).
+class Gauge {
+ public:
+  void set(double v) {
+    if (*enabled_) value_ = v;
+  }
+  /// Pull source; overrides any set() value while installed.
+  void set_source(std::function<double()> source) {
+    source_ = std::move(source);
+  }
+  [[nodiscard]] double value() const {
+    return source_ ? source_() : value_;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+  std::function<double()> source_;
+};
+
+/// Latency distribution in microseconds, SampleSet-backed so snapshot paths
+/// get exact interpolated percentiles. record() may grow the sample vector,
+/// so it is only called from per-poll paths, never from the allocation-free
+/// inner loops; disabled it is a branch and nothing else.
+class LatencyRecorder {
+ public:
+  void record_us(double us) {
+    if (*enabled_) samples_us_.add(us);
+  }
+  void record(SimDuration d) { record_us(d.us()); }
+
+  [[nodiscard]] std::size_t count() const { return samples_us_.count(); }
+  [[nodiscard]] double mean_us() const { return samples_us_.mean(); }
+  [[nodiscard]] double quantile_us(double q) const {
+    return samples_us_.quantile(q);
+  }
+  [[nodiscard]] const SampleSet& samples() const { return samples_us_; }
+  void reset() { samples_us_.clear(); }
+
+ private:
+  friend class Registry;
+  explicit LatencyRecorder(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  SampleSet samples_us_;
+};
+
+/// One completed trace span on the virtual clock. Category and name must be
+/// string literals (or otherwise outlive the registry): spans store the
+/// pointers, keeping the ring allocation-free after construction.
+struct Span {
+  const char* category = "";
+  const char* name = "";
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Per-node instrument registry. Owned by host::Host; every kernel service
+/// on that host shares it. Not thread-safe by design — the simulator is a
+/// single-threaded event loop (see util/logging.hpp for the one exception).
+class Registry {
+ public:
+  /// `clock` supplies virtual-clock timestamps for spans (nullable: spans
+  /// then stamp 0 and the Chrome export is still well-formed).
+  explicit Registry(const sim::Engine* clock = nullptr,
+                    std::size_t span_capacity = 4096);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Get-or-create instruments; references stay valid for the registry's
+  /// lifetime (map nodes are stable), so hot paths hold them as pointers.
+  Counter& counter(const std::string& subsystem, const std::string& name);
+  Gauge& gauge(const std::string& subsystem, const std::string& name);
+  LatencyRecorder& latency(const std::string& subsystem,
+                           const std::string& name);
+
+  // --- trace-span ring ----------------------------------------------------
+
+  /// Records a completed span; overwrites the oldest entry when the ring is
+  /// full (spans_dropped() counts the overwrites). No-op when disabled.
+  void record_span(const char* category, const char* name, SimTime start,
+                   SimTime end);
+  [[nodiscard]] std::size_t span_count() const { return span_size_; }
+  [[nodiscard]] std::size_t span_capacity() const { return spans_.size(); }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+  /// Span i counted from the oldest retained (0 == oldest).
+  [[nodiscard]] const Span& span(std::size_t i) const;
+  void clear_spans();
+
+  /// Virtual-clock "now" in nanoseconds (0 without a clock).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  // --- snapshots ----------------------------------------------------------
+
+  /// Visits instruments in name order ("subsystem/name").
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_latency(const std::function<void(const std::string&,
+                                                 const LatencyRecorder&)>& fn)
+      const;
+
+  /// Text snapshot for procfs / the shell `telemetry` command.
+  [[nodiscard]] std::string render() const;
+
+  /// Complete Chrome trace_event JSON document ({"traceEvents": [...]})
+  /// for this registry alone; `pid` labels the process lane.
+  [[nodiscard]] std::string export_chrome_trace(int pid = 0) const;
+
+  /// Appends this registry's spans as trace_event objects to `out` (comma
+  /// handling via `first`); used to merge several nodes into one document.
+  void append_chrome_trace_events(std::string& out, int pid,
+                                  bool& first) const;
+
+ private:
+  const sim::Engine* clock_;
+  bool enabled_ = false;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyRecorder>> latencies_;
+
+  std::vector<Span> spans_;  // fixed-capacity ring
+  std::size_t span_head_ = 0;
+  std::size_t span_size_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction] on the registry's virtual
+/// clock. With simulated CPU costs the end usually equals the start (the
+/// clock does not advance inside a callback), so prefer record_span with an
+/// explicit cost-derived end for kernel-path spans; this helper suits
+/// engine-driven intervals.
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry& registry, const char* category, const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry& registry_;
+  const char* category_;
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
+/// Merges several registries (pid-labelled, typically one per node) into a
+/// single Chrome trace_event JSON document.
+std::string merge_chrome_trace(
+    const std::vector<std::pair<int, const Registry*>>& registries);
+
+}  // namespace dproc::telemetry

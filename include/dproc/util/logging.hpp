@@ -5,6 +5,7 @@
 // the sink because examples may log from helper threads.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -23,21 +24,33 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  // The level is read by enabled() on every DPROC_LOG call site, possibly
+  // from helper threads, while set_level() may run concurrently; a relaxed
+  // atomic makes that race benign (no ordering is needed — a slightly stale
+  // level only delays the filter change by one message).
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink (default: stderr). Tests install capture sinks.
+  /// Guarded by the sink mutex, like every sink_ use.
   void set_sink(Sink sink);
 
   /// Clock hook so log lines carry simulated time when a sim is running.
+  /// Guarded by the sink mutex, like every time_source_ use in log().
   void set_time_source(std::function<SimTime()> source);
 
   void log(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
   std::function<SimTime()> time_source_;
 };

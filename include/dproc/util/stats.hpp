@@ -34,6 +34,8 @@ class StreamingStats {
 };
 
 /// Retains samples for exact quantiles; intended for bench-sized data sets.
+/// The lazy sort is a mutable cache, so read-only snapshot paths (telemetry,
+/// procfs renders) can query quantiles through a `const SampleSet&`.
 class SampleSet {
  public:
   void add(double x) { samples_.push_back(x); sorted_ = false; }
@@ -43,12 +45,13 @@ class SampleSet {
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
   /// Linear-interpolated quantile; q in [0, 1]. Returns 0 when empty.
-  [[nodiscard]] double quantile(double q);
-  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
 
  private:
-  std::vector<double> samples_;
-  bool sorted_ = false;
+  mutable std::vector<double> samples_;  // sorted in place on first quantile
+  mutable bool sorted_ = false;
 };
 
 /// Exponentially weighted moving average, the smoothing the NET_MON module

@@ -61,12 +61,50 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     host_config.name = fabric_->node_name(node_ids[i]);
     node.host = std::make_unique<host::Host>(
         engine_, static_cast<host::HostId>(i), host_config, master.split());
+    if (config_.self_monitor) node.host->telemetry().set_enabled(true);
     node.nic = std::make_unique<net::Nic>(*fabric_, node_ids[i]);
     node.procfs = std::make_unique<procfs::ProcFs>();
   }
 
   // Channel registry on node 0 (the paper's user-level directory server).
   registry_ = std::make_unique<kecho::RegistryServer>(*nodes_[0].nic);
+  if (config_.self_monitor) {
+    registry_->set_telemetry(&nodes_[0].host->telemetry());
+
+    // Per-node packet accounting piggybacked on the fabric trace hook.
+    // Handles are pre-resolved: the hook runs once per packet event and
+    // must stay allocation-free. NodeIds are dense fabric indices.
+    struct NetCounters {
+      telemetry::Counter* sends;
+      telemetry::Counter* delivers;
+      telemetry::Counter* drops;
+    };
+    auto counters = std::make_shared<std::vector<NetCounters>>();
+    counters->reserve(nodes_.size());
+    for (ClusterNode& node : nodes_) {
+      telemetry::Registry& t = node.host->telemetry();
+      counters->push_back(NetCounters{&t.counter("net", "sends"),
+                                      &t.counter("net", "delivers"),
+                                      &t.counter("net", "drops")});
+    }
+    fabric_->set_trace_hook([counters](net::Fabric::TraceEvent event,
+                                       net::DropCause, const net::Packet& p,
+                                       SimTime) {
+      switch (event) {
+        case net::Fabric::TraceEvent::kSend:
+          (*counters)[p.src].sends->add();
+          break;
+        case net::Fabric::TraceEvent::kDeliver:
+          (*counters)[p.dst].delivers->add();
+          break;
+        case net::Fabric::TraceEvent::kDrop:
+          // Drops are charged to the sender: the destination never saw the
+          // packet, and the sender's stream is the one being thinned.
+          (*counters)[p.src].drops->add();
+          break;
+      }
+    });
+  }
 
   // KECho endpoints and d-mons.
   std::vector<bool> runs_dproc(config_.node_count,
@@ -88,6 +126,11 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     } else {
       register_standard_modules(*node.dmon, *node.host, *node.nic,
                                 config_.link.bandwidth_bps);
+    }
+    // Appended last on every dproc node so the cluster-wide metric-id
+    // convention holds for the self-monitoring metrics too.
+    if (config_.self_monitor) {
+      node.dmon->register_module(std::make_unique<DprocMonitor>(*node.host));
     }
   }
 

@@ -43,9 +43,13 @@ std::string render_value(const RemoteMetric& metric, SimTime now,
                          PeerState state) {
   if (!metric.valid) return "no data\n";
   std::ostringstream out;
+  // age_s is measured from the publisher's sample time, so staleness readers
+  // see the full data age (queueing + network latency included); recv_age_s
+  // isolates how long ago the value arrived here.
   out << std::setprecision(12) << metric.value << "\n"
       << "sampled_at_s " << metric.sampled_at.sec() << "\n"
-      << "age_s " << (now - metric.received_at).sec() << "\n";
+      << "age_s " << (now - metric.sampled_at).sec() << "\n"
+      << "recv_age_s " << (now - metric.received_at).sec() << "\n";
   // Degradation marker only when degraded: healthy output is unchanged.
   if (state != PeerState::kLive) out << "state " << to_string(state) << "\n";
   return out.str();
@@ -68,8 +72,19 @@ const char* to_string(PeerState state) {
 DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
            procfs::ProcFs& procfs, DmonConfig config)
     : host_(host), nic_(nic), kecho_(kecho), procfs_(procfs),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      tm_polls_(host.telemetry().counter("dmon", "polls")),
+      tm_events_submitted_(host.telemetry().counter("dmon", "events_submitted")),
+      tm_events_received_(host.telemetry().counter("dmon", "events_received")),
+      tm_suppressed_(host.telemetry().counter("dmon", "suppressed")),
+      tm_filter_compiles_(host.telemetry().counter("dmon", "filter_compiles")),
+      tm_filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
+      tm_poll_us_(host.telemetry().latency("dmon", "poll_us")),
+      tm_submit_us_(host.telemetry().latency("dmon", "submit_us")),
+      tm_receive_us_(host.telemetry().latency("dmon", "receive_us")) {
   procfs_.mkdir("/proc/cluster");
+  procfs_.register_file("/proc/dproc/telemetry",
+                        [this] { return host_.telemetry().render(); });
   procfs_.register_file("/proc/dproc/status", [this] {
     std::ostringstream out;
     out << "node " << nic_.node() << " (" << host_.name() << ")\n"
@@ -294,6 +309,7 @@ Status DMon::apply_tuning(const TuningConfig& config) {
   if (config.filter_source && !config.filter_source->empty()) {
     charge(config_.overheads.filter_compile_cycles_per_byte *
            static_cast<double>(config.filter_source->size()));
+    tm_filter_compiles_.add();
   }
   // Module-internal sampling windows (e.g. CPU_MON's run-queue averaging
   // period) are applied before the publication tuning so a failed lookup
@@ -399,6 +415,8 @@ void DMon::on_control_event(const kecho::Event& event) {
 
 PollRecord DMon::poll() {
   PollRecord record;
+  const SimTime poll_start = host_.engine().now();
+  const SimDuration kernel_before = host_.cpu().kernel_cpu_time();
 
   // --- receive phase: drain the channels, dispatching to the handlers ---
   handler_cost_ = SimDuration::zero();
@@ -432,6 +450,12 @@ PollRecord DMon::poll() {
   // --- decide + submit ---------------------------------------------------
   Decision decision = tuning_->decide(collected, now);
   record.filter_instructions = decision.filter_instructions;
+  tm_filter_insns_.add(decision.filter_instructions);
+  // Samples collected but filtered out of this period's publication — the
+  // data-volume reduction the tuning achieves.
+  if (collected.size() > decision.to_send.size()) {
+    tm_suppressed_.add(collected.size() - decision.to_send.size());
+  }
   charge(config_.overheads.filter_exec_cycles_per_insn *
          static_cast<double>(decision.filter_instructions));
 
@@ -469,6 +493,18 @@ PollRecord DMon::poll() {
   submit_cost_us_.add(record.submit_cost.us());
   receive_cost_us_.add(record.receive_cost.us());
   last_poll_ = record;
+
+  tm_polls_.add();
+  tm_events_submitted_.add(record.events_submitted);
+  tm_events_received_.add(record.events_received);
+  tm_submit_us_.record(record.submit_cost);
+  tm_receive_us_.record(record.receive_cost);
+  // The whole poll runs at one instant of virtual time; its duration is the
+  // kernel CPU time it charged, which is also the span's extent.
+  const SimDuration poll_cost = host_.cpu().kernel_cpu_time() - kernel_before;
+  tm_poll_us_.record(poll_cost);
+  host_.telemetry().record_span("dmon", "poll", poll_start,
+                                poll_start + poll_cost);
   return record;
 }
 

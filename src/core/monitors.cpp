@@ -229,6 +229,48 @@ void BatteryMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
   out.push_back(sample(0, battery_.watts(), now));
 }
 
+// --- DPROC_MON -------------------------------------------------------------
+
+DprocMonitor::DprocMonitor(host::Host& host)
+    : host_(host),
+      submits_(host.telemetry().counter("kecho", "submits")),
+      receives_(host.telemetry().counter("kecho", "receives")),
+      heartbeats_(host.telemetry().counter("kecho", "heartbeats")),
+      suppressed_(host.telemetry().counter("dmon", "suppressed")),
+      filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
+      net_drops_(host.telemetry().counter("net", "drops")),
+      submit_us_(host.telemetry().latency("dmon", "submit_us")),
+      receive_us_(host.telemetry().latency("dmon", "receive_us")),
+      poll_us_(host.telemetry().latency("dmon", "poll_us")) {}
+
+std::vector<MetricDesc> DprocMonitor::metrics() const {
+  return {{0, "dproc_submits", "dproc/submits"},
+          {0, "dproc_receives", "dproc/receives"},
+          {0, "dproc_submit_p50_us", "dproc/submit_p50_us"},
+          {0, "dproc_submit_p99_us", "dproc/submit_p99_us"},
+          {0, "dproc_receive_p50_us", "dproc/receive_p50_us"},
+          {0, "dproc_receive_p99_us", "dproc/receive_p99_us"},
+          {0, "dproc_poll_p99_us", "dproc/poll_p99_us"},
+          {0, "dproc_filter_insns", "dproc/filter_insns"},
+          {0, "dproc_suppressed", "dproc/suppressed"},
+          {0, "dproc_heartbeats", "dproc/heartbeats"},
+          {0, "dproc_net_drops", "dproc/net_drops"}};
+}
+
+void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
+  out.push_back(sample(0, static_cast<double>(submits_.value()), now));
+  out.push_back(sample(0, static_cast<double>(receives_.value()), now));
+  out.push_back(sample(0, submit_us_.quantile_us(0.5), now));
+  out.push_back(sample(0, submit_us_.quantile_us(0.99), now));
+  out.push_back(sample(0, receive_us_.quantile_us(0.5), now));
+  out.push_back(sample(0, receive_us_.quantile_us(0.99), now));
+  out.push_back(sample(0, poll_us_.quantile_us(0.99), now));
+  out.push_back(sample(0, static_cast<double>(filter_insns_.value()), now));
+  out.push_back(sample(0, static_cast<double>(suppressed_.value()), now));
+  out.push_back(sample(0, static_cast<double>(heartbeats_.value()), now));
+  out.push_back(sample(0, static_cast<double>(net_drops_.value()), now));
+}
+
 // --- SyntheticMonitor --------------------------------------------------------
 
 SyntheticMonitor::SyntheticMonitor(std::string name, std::size_t metric_count,

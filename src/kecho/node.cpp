@@ -49,8 +49,9 @@ bool decode_event(const net::MessagePtr& frame, Event& event) {
 SimDuration Channel::submit(const net::MessagePtr& payload) {
   ++submitted_;
   const KechoCosts& costs = node_.costs();
+  const SimTime now = node_.host().engine().now();
   const net::MessagePtr frame =
-      encode_event(id_, node_.nic().node(), node_.host().engine().now(), payload);
+      encode_event(id_, node_.nic().node(), now, payload);
   // Every member is charged the same marshalling cost for the same frame;
   // compute it once outside the fan-out loop.
   const double per_member_cycles =
@@ -71,6 +72,11 @@ SimDuration Channel::submit(const net::MessagePtr& payload) {
   const SimDuration cost =
       seconds(cycles / node_.host().cpu().config().clock_hz);
   if (cost > SimDuration::zero()) node_.host().cpu().consume_kernel(cost);
+  node_.tm_submits_.add();
+  node_.tm_submit_us_.record(cost);
+  // The virtual clock does not advance inside this call, so the span covers
+  // [now, now + charged kernel cost] — the interval the CPU model bills.
+  node_.host().telemetry().record_span("kecho", "submit", now, now + cost);
   return cost;
 }
 
@@ -84,7 +90,14 @@ Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
       registry_port_(registry_port),
       costs_(costs),
       liveness_(liveness),
-      heartbeat_payload_(net::make_message({})) {
+      heartbeat_payload_(net::make_message({})),
+      tm_submits_(host.telemetry().counter("kecho", "submits")),
+      tm_receives_(host.telemetry().counter("kecho", "receives")),
+      tm_heartbeats_(host.telemetry().counter("kecho", "heartbeats")),
+      tm_evictions_(host.telemetry().counter("kecho", "evictions")),
+      tm_join_retries_(host.telemetry().counter("kecho", "join_retries")),
+      tm_removal_retries_(host.telemetry().counter("kecho", "removal_retries")),
+      tm_submit_us_(host.telemetry().latency("kecho", "submit_us")) {
   nic_.bind_datagram(kChannelPort,
                      [this](net::NodeId, net::Port, const net::MessagePtr& m) {
                        on_registry_datagram(m);
@@ -148,7 +161,10 @@ void Node::send_join(Channel& channel) {
   channel.join_retry_.cancel();
   channel.join_retry_ = host_.engine().schedule_after(
       backoff_delay(attempt), [this, &channel] {
-        if (!channel.ready_ && !crashed_) send_join(channel);
+        if (!channel.ready_ && !crashed_) {
+          tm_join_retries_.add();
+          send_join(channel);
+        }
       });
 }
 
@@ -161,7 +177,10 @@ void Node::send_registry_removal(RegistryOp op, Member member, int attempt) {
   if (it != pending_removals_.end()) it->second.cancel();
   pending_removals_[key] = host_.engine().schedule_after(
       backoff_delay(attempt), [this, op, member, attempt] {
-        if (!crashed_) send_registry_removal(op, member, attempt + 1);
+        if (!crashed_) {
+          tm_removal_retries_.add();
+          send_registry_removal(op, member, attempt + 1);
+        }
       });
 }
 
@@ -200,6 +219,7 @@ void Node::send_heartbeat(net::NodeId peer) {
       kHeartbeatChannel, nic_.node(), host_.engine().now(), heartbeat_payload_);
   transport_to(peer)->send(frame);
   ++heartbeats_sent_;
+  tm_heartbeats_.add();
 }
 
 bool Node::member_learned(Member member) {
@@ -234,6 +254,7 @@ void Node::evict_peer(net::NodeId peer) {
   }
   forget_peer(peer);
   ++evictions_initiated_;
+  tm_evictions_.add();
   DPROC_INFO() << "kecho node " << nic_.node() << ": peer " << peer
                << " silent past miss threshold; evicting";
   send_registry_removal(RegistryOp::kMemberEvict, Member{peer, port}, 0);
@@ -464,6 +485,7 @@ void Node::on_peer_message(const net::MessagePtr& message) {
 
 PollStats Node::poll() {
   PollStats stats;
+  const SimTime poll_start = host_.engine().now();
   double cycles = costs_.poll_base_cycles;
   for (Channel* channel : poll_list_) {
     while (!channel->rx_queue_.empty()) {
@@ -479,6 +501,9 @@ PollStats Node::poll() {
   }
   stats.cpu_cost = seconds(cycles / host_.cpu().config().clock_hz);
   host_.cpu().consume_kernel(stats.cpu_cost);
+  tm_receives_.add(stats.events_delivered);
+  host_.telemetry().record_span("kecho", "poll", poll_start,
+                                poll_start + stats.cpu_cost);
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dproc/net/wire.hpp"
+#include "dproc/telemetry/telemetry.hpp"
 #include "dproc/util/logging.hpp"
 
 namespace dproc::kecho {
@@ -77,6 +78,19 @@ RegistryServer::RegistryServer(net::Nic& nic, net::Port port)
   });
 }
 
+void RegistryServer::set_telemetry(telemetry::Registry* telemetry) {
+  if (telemetry == nullptr) {
+    tm_joins_ = tm_duplicate_joins_ = tm_leaves_ = tm_evictions_ =
+        tm_dropped_offline_ = nullptr;
+    return;
+  }
+  tm_joins_ = &telemetry->counter("registry", "joins");
+  tm_duplicate_joins_ = &telemetry->counter("registry", "duplicate_joins");
+  tm_leaves_ = &telemetry->counter("registry", "leaves");
+  tm_evictions_ = &telemetry->counter("registry", "evictions");
+  tm_dropped_offline_ = &telemetry->counter("registry", "dropped_offline");
+}
+
 std::vector<Member> RegistryServer::channel_members(
     const std::string& name) const {
   auto it = channels_.find(name);
@@ -87,6 +101,7 @@ void RegistryServer::handle_request(net::NodeId from, net::Port from_port,
                                     const net::MessagePtr& message) {
   if (!online_) {
     ++stats_.dropped_while_offline;
+    if (tm_dropped_offline_) tm_dropped_offline_->add();
     return;
   }
   net::ByteReader r{message->header};
@@ -124,8 +139,10 @@ void RegistryServer::handle_request(net::NodeId from, net::Port from_port,
                          encode_join_response(name, record.id, others));
       if (already_member) {
         ++stats_.duplicate_joins;
+        if (tm_duplicate_joins_) tm_duplicate_joins_->add();
       } else {
         ++stats_.joins;
+        if (tm_joins_) tm_joins_->add();
         for (const Member& existing : record.members) {
           nic_.send_datagram(existing.node, existing.port,
                              encode_member_notify(record.id, member));
@@ -177,8 +194,10 @@ void RegistryServer::remove_member(Member member, DropReason reason) {
   if (removed_any) {
     if (reason == DropReason::kLeave) {
       ++stats_.leaves;
+      if (tm_leaves_) tm_leaves_->add();
     } else {
       ++stats_.evictions;
+      if (tm_evictions_) tm_evictions_->add();
     }
     DPROC_INFO() << "registry: member node " << member.node << " removed ("
                  << (reason == DropReason::kLeave ? "leave" : "evict") << ")";

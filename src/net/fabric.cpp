@@ -7,14 +7,36 @@
 
 namespace dproc::net {
 
-bool Link::transmit(const Packet& packet,
-                    std::function<void(const Packet&)> on_exit) {
+const char* to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kNodeDown: return "node_down";
+    case DropCause::kLinkDown: return "link_down";
+    case DropCause::kBufferFull: return "buffer_full";
+    case DropCause::kLoss: return "loss";
+  }
+  return "?";
+}
+
+DropCause Link::transmit(const Packet& packet,
+                         std::function<void(const Packet&)> on_exit) {
   const std::uint64_t wire = packet.wire_bytes();
-  if (down_ || backlog_bytes() + wire > config_.buffer_bytes ||
-      (loss_probability_ > 0.0 && loss_rng_.uniform() < loss_probability_)) {
+  // Evaluation order matters for determinism: the loss RNG must only be
+  // consulted for packets that would otherwise be accepted, exactly as
+  // before the per-cause verdicts were introduced.
+  DropCause cause = DropCause::kNone;
+  if (down_) {
+    cause = DropCause::kLinkDown;
+  } else if (backlog_bytes() + wire > config_.buffer_bytes) {
+    cause = DropCause::kBufferFull;
+  } else if (loss_probability_ > 0.0 &&
+             loss_rng_.uniform() < loss_probability_) {
+    cause = DropCause::kLoss;
+  }
+  if (cause != DropCause::kNone) {
     ++stats_.packets_dropped;
     stats_.bytes_dropped += wire;
-    return false;
+    return cause;
   }
   const SimTime start = std::max(engine_.now(), busy_until_);
   const SimDuration serialize =
@@ -27,7 +49,7 @@ bool Link::transmit(const Packet& packet,
   engine_.schedule_at(exit_time, [packet, on_exit = std::move(on_exit)] {
     on_exit(packet);
   });
-  return true;
+  return DropCause::kNone;
 }
 
 std::uint64_t Link::backlog_bytes() const {
@@ -89,17 +111,34 @@ std::uint64_t Fabric::bytes_delivered_to(NodeId node) const {
   return delivered_bytes_.at(node);
 }
 
+void Fabric::count_drop(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNodeDown: ++stats_.drops_node_down; break;
+    case DropCause::kLinkDown: ++stats_.drops_link_down; break;
+    case DropCause::kBufferFull: ++stats_.drops_buffer_full; break;
+    case DropCause::kLoss: ++stats_.drops_loss; break;
+    case DropCause::kNone: break;
+  }
+}
+
 void Fabric::send(Packet packet, std::function<void(const Packet&)> on_drop) {
-  if (trace_) trace_(TraceEvent::kSend, packet, engine_.now());
+  ++stats_.packets_sent;
+  if (trace_) trace_(TraceEvent::kSend, DropCause::kNone, packet, engine_.now());
   if (node_down_.at(packet.src)) {
-    if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+    count_drop(DropCause::kNodeDown);
+    if (trace_) {
+      trace_(TraceEvent::kDrop, DropCause::kNodeDown, packet, engine_.now());
+    }
     if (on_drop) on_drop(packet);
     return;
   }
   if (packet.src == packet.dst) {
     // Loopback: no link traversal, a small in-kernel delay, never dropped.
     engine_.schedule_after(microseconds(1.0), [this, packet = std::move(packet)] {
-      if (trace_) trace_(TraceEvent::kDeliver, packet, engine_.now());
+      if (trace_) {
+        trace_(TraceEvent::kDeliver, DropCause::kNone, packet, engine_.now());
+      }
+      ++stats_.packets_delivered;
       delivered_bytes_.at(packet.dst) += packet.wire_bytes();
       auto& handler = delivery_.at(packet.dst);
       if (handler) handler(packet);
@@ -118,10 +157,16 @@ void Fabric::forward(Packet packet, const std::vector<LinkId>& route,
                      std::size_t hop, std::function<void(const Packet&)> on_drop) {
   if (hop == route.size()) {
     if (node_down_.at(packet.dst)) {
-      if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+      count_drop(DropCause::kNodeDown);
+      if (trace_) {
+        trace_(TraceEvent::kDrop, DropCause::kNodeDown, packet, engine_.now());
+      }
       return;  // vanished at the dead NIC
     }
-    if (trace_) trace_(TraceEvent::kDeliver, packet, engine_.now());
+    if (trace_) {
+      trace_(TraceEvent::kDeliver, DropCause::kNone, packet, engine_.now());
+    }
+    ++stats_.packets_delivered;
     delivered_bytes_.at(packet.dst) += packet.wire_bytes();
     auto& handler = delivery_.at(packet.dst);
     if (handler) {
@@ -133,12 +178,13 @@ void Fabric::forward(Packet packet, const std::vector<LinkId>& route,
     return;
   }
   Link& link = *links_.at(route[hop]);
-  const bool accepted = link.transmit(
+  const DropCause verdict = link.transmit(
       packet, [this, &route, hop, on_drop](const Packet& p) {
         forward(p, route, hop + 1, on_drop);
       });
-  if (!accepted) {
-    if (trace_) trace_(TraceEvent::kDrop, packet, engine_.now());
+  if (verdict != DropCause::kNone) {
+    count_drop(verdict);
+    if (trace_) trace_(TraceEvent::kDrop, verdict, packet, engine_.now());
     if (on_drop) on_drop(packet);
   }
 }

@@ -1,0 +1,178 @@
+#include "dproc/telemetry/telemetry.hpp"
+
+#include <sstream>
+
+#include "dproc/sim/engine.hpp"
+
+namespace dproc::telemetry {
+
+namespace {
+
+std::string full_name(const std::string& subsystem, const std::string& name) {
+  return subsystem + "/" + name;
+}
+
+/// trace_event strings are instrument/category names (ASCII identifiers),
+/// but escape defensively so a stray quote cannot corrupt the document.
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (const char* p = s; *p != '\0'; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += *p; break;
+    }
+  }
+  out += '"';
+}
+
+void append_complete_event(std::string& out, const Span& span, int pid,
+                           bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += R"({"name":)";
+  append_json_string(out, span.name);
+  out += R"(,"cat":)";
+  append_json_string(out, span.category);
+  // Chrome trace timestamps are microseconds; keep ns precision as decimals.
+  out += R"(,"ph":"X","ts":)";
+  out += std::to_string(static_cast<double>(span.start_ns) / 1000.0);
+  out += R"(,"dur":)";
+  out +=
+      std::to_string(static_cast<double>(span.end_ns - span.start_ns) / 1000.0);
+  out += R"(,"pid":)";
+  out += std::to_string(pid);
+  out += R"(,"tid":0})";
+}
+
+}  // namespace
+
+Registry::Registry(const sim::Engine* clock, std::size_t span_capacity)
+    : clock_(clock), spans_(span_capacity == 0 ? 1 : span_capacity) {}
+
+Counter& Registry::counter(const std::string& subsystem,
+                           const std::string& name) {
+  auto& slot = counters_[full_name(subsystem, name)];
+  if (!slot) slot.reset(new Counter{&enabled_});
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& subsystem, const std::string& name) {
+  auto& slot = gauges_[full_name(subsystem, name)];
+  if (!slot) slot.reset(new Gauge{&enabled_});
+  return *slot;
+}
+
+LatencyRecorder& Registry::latency(const std::string& subsystem,
+                                   const std::string& name) {
+  auto& slot = latencies_[full_name(subsystem, name)];
+  if (!slot) slot.reset(new LatencyRecorder{&enabled_});
+  return *slot;
+}
+
+void Registry::record_span(const char* category, const char* name,
+                           SimTime start, SimTime end) {
+  if (!enabled_) return;
+  Span& slot = spans_[(span_head_ + span_size_) % spans_.size()];
+  slot = Span{category, name, start.ns(), end.ns()};
+  if (span_size_ == spans_.size()) {
+    span_head_ = (span_head_ + 1) % spans_.size();
+    ++spans_dropped_;
+  } else {
+    ++span_size_;
+  }
+}
+
+const Span& Registry::span(std::size_t i) const {
+  return spans_[(span_head_ + i) % spans_.size()];
+}
+
+void Registry::clear_spans() {
+  span_head_ = 0;
+  span_size_ = 0;
+  spans_dropped_ = 0;
+}
+
+std::int64_t Registry::now_ns() const {
+  return clock_ ? clock_->now().ns() : 0;
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  for (const auto& [name, counter] : counters_) fn(name, *counter);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+}
+
+void Registry::for_each_latency(
+    const std::function<void(const std::string&, const LatencyRecorder&)>& fn)
+    const {
+  for (const auto& [name, latency] : latencies_) fn(name, *latency);
+}
+
+std::string Registry::render() const {
+  std::ostringstream out;
+  out << "telemetry " << (enabled_ ? "enabled" : "disabled") << "\n";
+  for (const auto& [name, counter] : counters_) {
+    out << "counter " << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << "gauge " << name << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, latency] : latencies_) {
+    out << "latency " << name << " count=" << latency->count();
+    if (latency->count() > 0) {
+      out << " mean_us=" << latency->mean_us()
+          << " p50_us=" << latency->quantile_us(0.5)
+          << " p95_us=" << latency->quantile_us(0.95)
+          << " p99_us=" << latency->quantile_us(0.99)
+          << " max_us=" << latency->quantile_us(1.0);
+    }
+    out << "\n";
+  }
+  out << "spans " << span_size_ << "/" << spans_.size() << " dropped "
+      << spans_dropped_ << "\n";
+  return out.str();
+}
+
+void Registry::append_chrome_trace_events(std::string& out, int pid,
+                                          bool& first) const {
+  for (std::size_t i = 0; i < span_size_; ++i) {
+    append_complete_event(out, span(i), pid, first);
+  }
+}
+
+std::string Registry::export_chrome_trace(int pid) const {
+  return merge_chrome_trace({{pid, this}});
+}
+
+std::string merge_chrome_trace(
+    const std::vector<std::pair<int, const Registry*>>& registries) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [pid, registry] : registries) {
+    if (registry != nullptr) {
+      registry->append_chrome_trace_events(out, pid, first);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Registry& registry, const char* category,
+                       const char* name)
+    : registry_(registry),
+      category_(category),
+      name_(name),
+      start_ns_(registry.now_ns()) {}
+
+ScopedSpan::~ScopedSpan() {
+  registry_.record_span(category_, name_, SimTime{start_ns_},
+                        SimTime{registry_.now_ns()});
+}
+
+}  // namespace dproc::telemetry

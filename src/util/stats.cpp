@@ -34,7 +34,7 @@ double SampleSet::mean() const {
          static_cast<double>(samples_.size());
 }
 
-double SampleSet::quantile(double q) {
+double SampleSet::quantile(double q) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -1,6 +1,9 @@
 // Logger behaviour and the umbrella header's self-containedness.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "dproc/dproc.hpp"  // must compile standalone
 
 namespace dproc {
@@ -61,6 +64,44 @@ TEST_F(LoggingTest, TimeSourcePrefixesSimTime) {
   ASSERT_EQ(captured.size(), 1u);
   EXPECT_NE(captured[0].second.find("t=1.25"), std::string::npos);
   EXPECT_NE(captured[0].second.find("event"), std::string::npos);
+}
+
+// The simulator is single-threaded, but workload generators and embedders
+// may call into the logger from helper threads. level_ is an atomic and the
+// sink/time-source are mutex-guarded, so concurrent set_level/enabled/log
+// traffic must be race-free (run under DPROC_SANITIZE in CI).
+TEST(LoggingThreaded, ConcurrentLevelChangesAndLoggingAreSafe) {
+  Logger::instance().set_sink([](LogLevel, const std::string&) {});
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 5'000; ++i) {
+      Logger::instance().set_level(i % 2 == 0 ? LogLevel::kTrace
+                                              : LogLevel::kError);
+      Logger::instance().set_time_source(
+          i % 2 == 0 ? std::function<SimTime()>{}
+                     : std::function<SimTime()>{
+                           [] { return SimTime::zero(); }});
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        DPROC_INFO() << "worker " << 42;
+        (void)Logger::instance().enabled(LogLevel::kDebug);
+      }
+    });
+  }
+  toggler.join();
+  for (std::thread& writer : writers) writer.join();
+
+  // Restore defaults so other tests are unaffected.
+  Logger::instance().set_sink([](LogLevel, const std::string&) {});
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().set_time_source({});
 }
 
 TEST(LogLevelNames, AllNamed) {

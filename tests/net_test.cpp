@@ -316,8 +316,8 @@ TEST_F(FabricTest, TraceHookSeesSendDeliverAndDrop) {
 
   int sends = 0, delivers = 0, drops = 0;
   SimTime last_event_time;
-  fabric.set_trace_hook([&](Fabric::TraceEvent event, const Packet& p,
-                            SimTime at) {
+  fabric.set_trace_hook([&](Fabric::TraceEvent event, DropCause cause,
+                            const Packet& p, SimTime at) {
     EXPECT_EQ(p.src, a);
     EXPECT_GE(at, last_event_time);
     last_event_time = at;
@@ -325,6 +325,11 @@ TEST_F(FabricTest, TraceHookSeesSendDeliverAndDrop) {
       case Fabric::TraceEvent::kSend: ++sends; break;
       case Fabric::TraceEvent::kDeliver: ++delivers; break;
       case Fabric::TraceEvent::kDrop: ++drops; break;
+    }
+    if (event == Fabric::TraceEvent::kDrop) {
+      EXPECT_EQ(cause, DropCause::kBufferFull);
+    } else {
+      EXPECT_EQ(cause, DropCause::kNone);
     }
   });
 
@@ -347,8 +352,12 @@ TEST_F(FabricTest, TraceHookSeesNodeDownDrops) {
   const NodeId b = fabric.add_node("b");
   fabric.build_star({a, b}, LinkConfig{});
   int drops = 0;
-  fabric.set_trace_hook([&](Fabric::TraceEvent event, const Packet&, SimTime) {
-    if (event == Fabric::TraceEvent::kDrop) ++drops;
+  fabric.set_trace_hook([&](Fabric::TraceEvent event, DropCause cause,
+                            const Packet&, SimTime) {
+    if (event == Fabric::TraceEvent::kDrop) {
+      ++drops;
+      EXPECT_EQ(cause, DropCause::kNodeDown);
+    }
   });
   fabric.set_node_down(a, true);
   Packet p;
