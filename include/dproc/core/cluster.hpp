@@ -55,6 +55,11 @@ struct ClusterConfig {
   /// attributing per-node packet sends/delivers/drops. Off by default: the
   /// golden trace and the baseline benchmarks are byte-identical without it.
   bool self_monitor = false;
+  /// Causal tracing + staleness SLO watchdog: enables every host's hop log
+  /// and makes every d-mon publish trace contexts on the wire. Off by
+  /// default for the same byte-identity reason as self_monitor. Copied
+  /// into DmonConfig::trace for every d-mon the builder creates.
+  TraceConfig trace{};
 };
 
 /// One fully wired cluster node.

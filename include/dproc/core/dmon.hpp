@@ -43,6 +43,27 @@ struct OverheadModel {
   double collateral_cycles_per_event = 40000;
 };
 
+/// Causal tracing and the staleness SLO watchdog. Disabled by default:
+/// no trace context is appended to frames (byte-identical wire format),
+/// no hops are recorded, and the watchdog never fires — the golden trace
+/// and the benchmarks are untouched.
+struct TraceConfig {
+  bool enabled = false;
+  /// End-to-end staleness budget (publish stamp → render at the consumer)
+  /// for channels without an explicit entry. Zero disables the watchdog
+  /// for such channels.
+  SimDuration default_slo = SimDuration::zero();
+  /// Per-channel-name budget overrides, e.g. {"dproc.monitor", 250 ms}.
+  std::vector<std::pair<std::string, SimDuration>> channel_slo;
+
+  [[nodiscard]] SimDuration slo_for(const std::string& channel) const {
+    for (const auto& [name, budget] : channel_slo) {
+      if (name == channel) return budget;
+    }
+    return default_slo;
+  }
+};
+
 struct DmonConfig {
   SimDuration poll_period = seconds(1.0);
   std::string monitor_channel = "dproc.monitor";
@@ -51,6 +72,8 @@ struct DmonConfig {
   /// A peer's feed is flagged stale after this many poll periods without a
   /// monitoring update (graceful degradation under churn and partitions).
   int stale_after_periods = 3;
+  /// Causal tracing + staleness SLO watchdog (off by default).
+  TraceConfig trace{};
 };
 
 /// Degradation state of one peer's monitoring feed, derived from update
@@ -66,6 +89,9 @@ struct PeerHealth {
   PeerState state = PeerState::kDead;
   SimTime last_update;    // last monitoring event from the peer
   bool has_data = false;  // any update since this d-mon (re)started
+  /// False while the feed has a staleness-SLO violation inside the
+  /// staleness horizon; consumers should distrust the cached values.
+  bool slo_ok = true;
 };
 
 /// Per-poll measurements (what the paper's rdtsc instrumentation reports).
@@ -149,6 +175,23 @@ class DMon {
   /// Convenience: kDead for undeclared peers.
   [[nodiscard]] PeerState peer_state(net::NodeId node) const;
 
+  /// SLO watchdog verdict on a peer's monitoring feed: false while the
+  /// peer has an end-to-end staleness violation within the staleness
+  /// horizon (sticky so one late burst keeps the feed distrusted until
+  /// fresh in-budget updates age it out). Undeclared peers report true —
+  /// distrust for *missing* data is peer_state()'s job.
+  [[nodiscard]] bool feed_within_slo(net::NodeId node) const;
+  /// End-to-end violations the watchdog has flagged on this consumer.
+  [[nodiscard]] std::uint64_t slo_violations() const {
+    return tm_slo_violations_.value();
+  }
+
+  /// KECho channel id of the monitoring channel (0 before start()); trace
+  /// consumers use it to stamp decision hops on the right channel.
+  [[nodiscard]] kecho::ChannelId monitor_channel_id() const {
+    return monitor_channel_ != nullptr ? monitor_channel_->id() : 0;
+  }
+
   /// Latest value received from a peer, if any.
   [[nodiscard]] const RemoteMetric* remote_metric(net::NodeId node,
                                                   MetricId id) const;
@@ -180,10 +223,18 @@ class DMon {
     SimTime last_update;   // last monitoring event received
     bool has_data = false;
     bool dead = false;     // evicted from the monitoring channel
+    bool slo_violated = false;     // any SLO violation observed yet
+    SimTime last_slo_violation;    // most recent violation (watchdog)
   };
 
   void on_monitor_event(const kecho::Event& event);
   void on_control_event(const kecho::Event& event);
+  /// Allocates the next publish-side trace context (publish hop stamped).
+  [[nodiscard]] net::TraceContext begin_trace(kecho::ChannelId channel);
+  /// Stamps the render hop for a delivered traced event and runs the
+  /// staleness-SLO watchdog against `slo_channel`'s budget.
+  void note_render(const kecho::Event& event, const std::string& slo_channel,
+                   Peer* peer);
   void on_membership(kecho::MemberEventKind kind, net::NodeId node);
   [[nodiscard]] PeerState state_of(const Peer& peer) const;
   void register_local_files(const ModuleEntry& entry);
@@ -212,6 +263,8 @@ class DMon {
   // Costs accumulated by event handlers during the current kecho.poll().
   SimDuration handler_cost_{0};
 
+  std::uint32_t trace_seq_ = 0;  // per-node trace-id sequence
+
   std::vector<SampleObserver> sample_observers_;
   PollRecord last_poll_;
   StreamingStats submit_cost_us_;
@@ -226,6 +279,7 @@ class DMon {
   telemetry::Counter& tm_suppressed_;
   telemetry::Counter& tm_filter_compiles_;
   telemetry::Counter& tm_filter_insns_;
+  telemetry::Counter& tm_slo_violations_;
   telemetry::LatencyRecorder& tm_poll_us_;
   telemetry::LatencyRecorder& tm_submit_us_;
   telemetry::LatencyRecorder& tm_receive_us_;

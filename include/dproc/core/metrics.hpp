@@ -37,6 +37,10 @@ struct RemoteMetric {
   SimTime sampled_at;   // when the publisher measured it
   SimTime received_at;  // when it arrived here
   bool valid = false;
+  /// Causal-trace id of the monitoring event that carried this value
+  /// (0 when the publisher was not tracing). Consumers stamp decision
+  /// hops against it, closing the publish → decision chain.
+  std::uint64_t trace_id = 0;
 };
 
 /// Uppercases a metric key into its filter-constant spelling.

@@ -189,6 +189,7 @@ class DprocMonitor : public MonitoringModule {
   telemetry::Counter& suppressed_;
   telemetry::Counter& filter_insns_;
   telemetry::Counter& net_drops_;
+  telemetry::Counter& slo_violations_;
   telemetry::LatencyRecorder& submit_us_;
   telemetry::LatencyRecorder& receive_us_;
   telemetry::LatencyRecorder& poll_us_;

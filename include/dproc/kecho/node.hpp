@@ -31,6 +31,7 @@
 #include "dproc/host/host.hpp"
 #include "dproc/kecho/registry.hpp"
 #include "dproc/net/tcp.hpp"
+#include "dproc/net/wire.hpp"
 
 namespace dproc::kecho {
 
@@ -84,10 +85,15 @@ struct Event {
   SimTime submitted_at;
   net::MessagePtr frame;
   std::size_t payload_offset = 0;
+  std::size_t payload_bytes = 0;
+  /// Causal-tracing context decoded from the frame's optional trailer;
+  /// trace_id 0 when the sender was not tracing.
+  net::TraceContext trace;
 
   /// The application payload's encoded header bytes.
   [[nodiscard]] std::span<const std::uint8_t> payload_header() const {
-    return std::span<const std::uint8_t>{frame->header}.subspan(payload_offset);
+    return std::span<const std::uint8_t>{frame->header}.subspan(payload_offset,
+                                                                payload_bytes);
   }
   /// Simulated bulk bytes riding behind the header.
   [[nodiscard]] std::uint64_t payload_body_bytes() const {
@@ -98,6 +104,14 @@ struct Event {
     return payload_header().size() + frame->body_bytes;
   }
 };
+
+/// Decodes one wire frame into `event` (channel, source, submit time,
+/// payload view and the optional trace-context trailer). Returns false on
+/// any malformation: a short header, a payload length overrunning the
+/// frame, or trailing bytes that are neither empty nor one well-formed
+/// TraceContext. Exposed so tests can fuzz the frame decoder directly.
+[[nodiscard]] bool decode_event_frame(const net::MessagePtr& frame,
+                                      Event& event);
 
 class Node;
 
@@ -113,6 +127,12 @@ class Channel {
   /// kernel CPU cost charged for the submission.
   SimDuration submit(const net::MessagePtr& payload);
 
+  /// Traced publish: stamps the submit hop into this node's hop log and
+  /// appends the context to the wire frame so downstream hops can continue
+  /// the chain. Falls back to the untraced path (byte-identical frames)
+  /// when tracing is disabled on this host or `trace` is invalid.
+  SimDuration submit(const net::MessagePtr& payload, net::TraceContext trace);
+
   [[nodiscard]] ChannelId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool ready() const { return ready_; }
@@ -125,6 +145,10 @@ class Channel {
  private:
   friend class Node;
   Channel(Node& node, std::string name) : node_(node), name_(std::move(name)) {}
+
+  /// Shared fan-out path; `trace` non-null appends the wire trailer.
+  SimDuration submit_impl(const net::MessagePtr& payload,
+                          const net::TraceContext* trace);
 
   Node& node_;
   std::string name_;
@@ -211,6 +235,12 @@ class Node {
   [[nodiscard]] host::Host& host() { return host_; }
   [[nodiscard]] net::Nic& nic() { return nic_; }
   [[nodiscard]] const KechoCosts& costs() const { return costs_; }
+
+  /// Joined channels as (id, name), in poll (name) order; a channel's id is
+  /// 0 until the registry answers. Trace reports use this to resolve the
+  /// channel ids recorded in hop logs back to names.
+  [[nodiscard]] std::vector<std::pair<ChannelId, std::string>> channels()
+      const;
 
  private:
   friend class Channel;

@@ -63,6 +63,15 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
+  /// Skips `n` bytes (validated like any other read).
+  void skip(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return;
+    }
+    pos_ += n;
+  }
+
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
@@ -105,6 +114,51 @@ class ByteReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   bool ok_ = true;
+};
+
+/// Causal-tracing context carried on the wire behind a KECho event payload.
+///
+/// When tracing is enabled the publisher appends one TraceContext to each
+/// event frame; every hop (submit, wire arrival, poll delivery, procfs
+/// render, filter decision) stamps a virtual-clock timestamp into its node's
+/// hop log and advances `prev_hop_ns`, so per-stage durations are computed
+/// at stamp time without a cross-node log join. With tracing disabled no
+/// context is appended and frames are byte-identical to the untraced stack.
+struct TraceContext {
+  /// Leading marker byte, so a truncated payload cannot masquerade as a
+  /// trace context by length alone.
+  static constexpr std::uint8_t kMagic = 0x7C;
+  /// Encoded size: magic + trace_id + origin + hop + publish_ns + prev_ns.
+  static constexpr std::size_t kWireBytes = 1 + 8 + 4 + 1 + 8 + 8;
+
+  std::uint64_t trace_id = 0;    // cluster-unique: origin node << 32 | seq
+  std::uint32_t origin = 0;      // publishing node id
+  std::uint8_t hop = 0;         // last stage stamped (telemetry::HopStage)
+  std::int64_t publish_ns = 0;  // virtual-clock time of the publish hop
+  std::int64_t prev_hop_ns = 0; // virtual-clock time of the latest hop
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+
+  void encode(ByteWriter& w) const {
+    w.u8(kMagic);
+    w.u64(trace_id);
+    w.u32(origin);
+    w.u8(hop);
+    w.i64(publish_ns);
+    w.i64(prev_hop_ns);
+  }
+
+  /// Decodes one context; false (and reader !ok) on truncation or a bad
+  /// marker byte. Never reads past the buffer.
+  [[nodiscard]] static bool decode(ByteReader& r, TraceContext& out) {
+    if (r.u8() != kMagic) return false;
+    out.trace_id = r.u64();
+    out.origin = r.u32();
+    out.hop = r.u8();
+    out.publish_ns = r.i64();
+    out.prev_hop_ns = r.i64();
+    return r.ok();
+  }
 };
 
 }  // namespace dproc::net

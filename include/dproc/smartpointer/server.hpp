@@ -78,6 +78,9 @@ class Server {
     /// Frames steered by the conservative fallback because the client's
     /// monitoring feed was stale or dead.
     std::uint64_t stale_fallbacks = 0;
+    /// Frames steered by the fallback because the feed, while updating,
+    /// breached its staleness SLO budget (d-mon's watchdog flagged it).
+    std::uint64_t slo_distrusts = 0;
   };
 
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
@@ -101,6 +104,11 @@ class Server {
   void update_bandwidth_estimate(ClientState& client);
   /// Chooses (representation, fraction) for this client per the policy.
   [[nodiscard]] std::pair<Representation, double> choose(ClientState& client);
+
+  /// Stamps the decision hop for the freshest traced metric the dynamic
+  /// policy consulted, closing the publish → decision causal chain. No-op
+  /// unless tracing is enabled and a consulted value carried a trace id.
+  void note_decision(const ClientState& client);
 
   host::Host& host_;
   net::Nic& nic_;

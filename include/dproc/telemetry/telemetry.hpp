@@ -116,6 +116,31 @@ struct Span {
   std::int64_t end_ns = 0;
 };
 
+/// Pipeline stage of one causal-tracing hop. The numeric order is the
+/// causal order; reconstruction asserts hop sequences are non-decreasing.
+enum class HopStage : std::uint8_t {
+  kPublish = 0,   // d-mon collected the sample and decided to publish it
+  kSubmit = 1,    // KECho marshalled the frame and handed it to the NIC
+  kArrive = 2,    // the frame reached the receiver's kernel (wire latency)
+  kDeliver = 3,   // poll() drained it to the handler (queueing delay)
+  kRender = 4,    // d-mon updated /proc/cluster (or applied a control event)
+  kDecision = 5,  // SmartPointer steered a stream on the rendered value
+};
+constexpr std::size_t kHopStageCount = 6;
+[[nodiscard]] const char* to_string(HopStage stage);
+
+/// One causal-tracing hop in a node's bounded hop log. `dur_ns` is the time
+/// spent in the transition that *ended* at this hop (0 for kPublish), so
+/// per-stage latency histograms fall out of a single node-local scan.
+struct Hop {
+  std::uint64_t trace_id = 0;
+  std::uint32_t origin = 0;   // publishing node
+  std::uint32_t channel = 0;  // KECho channel id
+  HopStage stage = HopStage::kPublish;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+};
+
 /// Per-node instrument registry. Owned by host::Host; every kernel service
 /// on that host shares it. Not thread-safe by design — the simulator is a
 /// single-threaded event loop (see util/logging.hpp for the one exception).
@@ -124,12 +149,19 @@ class Registry {
   /// `clock` supplies virtual-clock timestamps for spans (nullable: spans
   /// then stamp 0 and the Chrome export is still well-formed).
   explicit Registry(const sim::Engine* clock = nullptr,
-                    std::size_t span_capacity = 4096);
+                    std::size_t span_capacity = 4096,
+                    std::size_t hop_capacity = 8192);
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Causal tracing is gated separately from the instrument flag, so a
+  /// cluster can trace event provenance without the full metric overlay
+  /// (and vice versa). Disabled it is branch-only, exactly like enabled_.
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  [[nodiscard]] bool trace_enabled() const { return trace_enabled_; }
 
   /// Get-or-create instruments; references stay valid for the registry's
   /// lifetime (map nodes are stable), so hot paths hold them as pointers.
@@ -150,6 +182,19 @@ class Registry {
   /// Span i counted from the oldest retained (0 == oldest).
   [[nodiscard]] const Span& span(std::size_t i) const;
   void clear_spans();
+
+  // --- causal-tracing hop log ---------------------------------------------
+
+  /// Appends one hop to the bounded hop log; overwrites the oldest entry
+  /// when full (hops_dropped() counts the overwrites). No-op when tracing
+  /// is disabled; never allocates (the ring is pre-sized).
+  void record_hop(const Hop& hop);
+  [[nodiscard]] std::size_t hop_count() const { return hop_size_; }
+  [[nodiscard]] std::size_t hop_capacity() const { return hops_.size(); }
+  [[nodiscard]] std::uint64_t hops_dropped() const { return hops_dropped_; }
+  /// Hop i counted from the oldest retained (0 == oldest).
+  [[nodiscard]] const Hop& hop(std::size_t i) const;
+  void clear_hops();
 
   /// Virtual-clock "now" in nanoseconds (0 without a clock).
   [[nodiscard]] std::int64_t now_ns() const;
@@ -173,13 +218,18 @@ class Registry {
   [[nodiscard]] std::string export_chrome_trace(int pid = 0) const;
 
   /// Appends this registry's spans as trace_event objects to `out` (comma
-  /// handling via `first`); used to merge several nodes into one document.
+  /// handling via `first`). Emits one thread_name metadata event per
+  /// distinct span category so each subsystem renders in its own stable
+  /// lane, then the spans on their category tids, then the hop log as
+  /// Chrome flow events ("s"/"t"/"f" keyed by trace id) that stitch the
+  /// cross-node path together in a merged document.
   void append_chrome_trace_events(std::string& out, int pid,
                                   bool& first) const;
 
  private:
   const sim::Engine* clock_;
   bool enabled_ = false;
+  bool trace_enabled_ = false;
 
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
@@ -189,6 +239,11 @@ class Registry {
   std::size_t span_head_ = 0;
   std::size_t span_size_ = 0;
   std::uint64_t spans_dropped_ = 0;
+
+  std::vector<Hop> hops_;  // fixed-capacity ring
+  std::size_t hop_head_ = 0;
+  std::size_t hop_size_ = 0;
+  std::uint64_t hops_dropped_ = 0;
 };
 
 /// RAII span: records [construction, destruction] on the registry's virtual
@@ -211,8 +266,38 @@ class ScopedSpan {
 };
 
 /// Merges several registries (pid-labelled, typically one per node) into a
-/// single Chrome trace_event JSON document.
+/// single Chrome trace_event JSON document, including per-subsystem lane
+/// metadata and cross-node flow events from each registry's hop log.
 std::string merge_chrome_trace(
     const std::vector<std::pair<int, const Registry*>>& registries);
+
+// --- hop-log analysis -------------------------------------------------------
+
+/// Per-(channel, stage) latency distribution aggregated from hop logs.
+/// `durations_us` holds the transition time ending at `stage` for every
+/// retained hop on that channel; kPublish rows count samples (dur 0).
+struct HopBreakdownRow {
+  std::uint32_t channel = 0;
+  HopStage stage = HopStage::kPublish;
+  SampleSet durations_us;
+};
+
+/// Scans the retained hop logs of `registries` and aggregates per-channel,
+/// per-stage transition latencies, rows sorted by (channel, stage).
+std::vector<HopBreakdownRow> hop_breakdown(
+    const std::vector<const Registry*>& registries);
+
+/// One sample's reconstructed causal chain: every retained hop with this
+/// trace id across `registries`, sorted by (stage, timestamp). The second
+/// member of each entry is the pid/node index the hop was recorded on.
+std::vector<std::pair<Hop, int>> collect_trace(
+    const std::vector<std::pair<int, const Registry*>>& registries,
+    std::uint64_t trace_id);
+
+/// Renders the per-stage latency-breakdown table (channel names resolved
+/// through `channel_name`, which may return "" to use the numeric id).
+std::string render_hop_breakdown(
+    const std::vector<HopBreakdownRow>& rows,
+    const std::function<std::string(std::uint32_t)>& channel_name = {});
 
 }  // namespace dproc::telemetry

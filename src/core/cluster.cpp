@@ -62,6 +62,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     node.host = std::make_unique<host::Host>(
         engine_, static_cast<host::HostId>(i), host_config, master.split());
     if (config_.self_monitor) node.host->telemetry().set_enabled(true);
+    if (config_.trace.enabled) node.host->telemetry().set_trace_enabled(true);
     node.nic = std::make_unique<net::Nic>(*fabric_, node_ids[i]);
     node.procfs = std::make_unique<procfs::ProcFs>();
   }
@@ -119,8 +120,10 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
         *node.host, *node.nic, node_ids[0], kecho::RegistryServer::kDefaultPort,
         kecho::KechoCosts{}, config_.liveness);
     if (!runs_dproc[i]) continue;
+    DmonConfig dmon_config = config_.dmon;
+    if (config_.trace.enabled) dmon_config.trace = config_.trace;
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
-                                       *node.procfs, config_.dmon);
+                                       *node.procfs, std::move(dmon_config));
     if (config_.module_factory) {
       config_.module_factory(*node.dmon, *node.host, *node.nic);
     } else {

@@ -79,12 +79,33 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
       tm_suppressed_(host.telemetry().counter("dmon", "suppressed")),
       tm_filter_compiles_(host.telemetry().counter("dmon", "filter_compiles")),
       tm_filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
+      tm_slo_violations_(host.telemetry().counter("trace", "slo_violations")),
       tm_poll_us_(host.telemetry().latency("dmon", "poll_us")),
       tm_submit_us_(host.telemetry().latency("dmon", "submit_us")),
       tm_receive_us_(host.telemetry().latency("dmon", "receive_us")) {
   procfs_.mkdir("/proc/cluster");
   procfs_.register_file("/proc/dproc/telemetry",
                         [this] { return host_.telemetry().render(); });
+  procfs_.register_file("/proc/dproc/trace", [this] {
+    const telemetry::Registry& tm = host_.telemetry();
+    std::ostringstream out;
+    out << "tracing " << (tm.trace_enabled() ? "enabled" : "disabled") << "\n"
+        << "hops " << tm.hop_count() << "/" << tm.hop_capacity()
+        << " dropped " << tm.hops_dropped() << "\n"
+        << "slo_violations " << tm_slo_violations_.value() << "\n";
+    if (tm.hop_count() > 0) {
+      const auto channels = kecho_.channels();
+      out << telemetry::render_hop_breakdown(
+          telemetry::hop_breakdown({&tm}),
+          [&channels](std::uint32_t id) -> std::string {
+            for (const auto& [cid, name] : channels) {
+              if (cid == id) return name;
+            }
+            return {};
+          });
+    }
+    return out.str();
+  });
   procfs_.register_file("/proc/dproc/status", [this] {
     std::ostringstream out;
     out << "node " << nic_.node() << " (" << host_.name() << ")\n"
@@ -240,6 +261,8 @@ void DMon::restart() {
     peer.last_update = SimTime{};
     peer.has_data = false;
     peer.dead = false;
+    peer.slo_violated = false;
+    peer.last_slo_violation = SimTime{};
   }
   start();
 }
@@ -257,7 +280,18 @@ std::optional<PeerHealth> DMon::peer_health(net::NodeId node) const {
   auto it = peers_.find(node);
   if (it == peers_.end()) return std::nullopt;
   const Peer& peer = it->second;
-  return PeerHealth{state_of(peer), peer.last_update, peer.has_data};
+  return PeerHealth{state_of(peer), peer.last_update, peer.has_data,
+                    feed_within_slo(node)};
+}
+
+bool DMon::feed_within_slo(net::NodeId node) const {
+  auto it = peers_.find(node);
+  if (it == peers_.end() || !it->second.slo_violated) return true;
+  // Sticky for the staleness horizon: one violation distrusts the feed
+  // until a horizon's worth of in-budget updates has passed.
+  const SimDuration horizon =
+      config_.poll_period * static_cast<double>(config_.stale_after_periods);
+  return host_.engine().now() - it->second.last_slo_violation > horizon;
 }
 
 PeerState DMon::peer_state(net::NodeId node) const {
@@ -350,8 +384,55 @@ Status DMon::send_tuning(net::NodeId target, const TuningConfig& config) {
     return Status::failed_precondition(
         "control channel not established yet");
   }
-  control_channel_->submit(encode_control_event(target, config));
+  const net::MessagePtr frame = encode_control_event(target, config);
+  if (host_.telemetry().trace_enabled()) {
+    control_channel_->submit(frame, begin_trace(control_channel_->id()));
+  } else {
+    control_channel_->submit(frame);
+  }
   return Status::ok();
+}
+
+net::TraceContext DMon::begin_trace(kecho::ChannelId channel) {
+  const std::int64_t now_ns = host_.engine().now().ns();
+  net::TraceContext ctx;
+  // Cluster-unique and deterministic: the high word is the origin node,
+  // the low word a per-node sequence.
+  ctx.trace_id = (static_cast<std::uint64_t>(nic_.node()) << 32) |
+                 static_cast<std::uint64_t>(++trace_seq_);
+  ctx.origin = nic_.node();
+  ctx.hop = static_cast<std::uint8_t>(telemetry::HopStage::kPublish);
+  ctx.publish_ns = now_ns;
+  ctx.prev_hop_ns = now_ns;
+  host_.telemetry().record_hop(telemetry::Hop{
+      ctx.trace_id, ctx.origin, channel, telemetry::HopStage::kPublish, now_ns,
+      0});
+  return ctx;
+}
+
+void DMon::note_render(const kecho::Event& event,
+                       const std::string& slo_channel, Peer* peer) {
+  if (!event.trace.valid() || !host_.telemetry().trace_enabled()) return;
+  const std::int64_t now_ns = host_.engine().now().ns();
+  host_.telemetry().record_hop(telemetry::Hop{
+      event.trace.trace_id, event.trace.origin, event.channel,
+      telemetry::HopStage::kRender, now_ns,
+      now_ns - event.trace.prev_hop_ns});
+  // Staleness SLO watchdog: the end-to-end age of the sample at the moment
+  // it becomes visible to consumers, against the channel's budget.
+  const SimDuration budget = config_.trace.slo_for(slo_channel);
+  if (budget <= SimDuration::zero()) return;
+  const SimDuration age = SimTime{now_ns} - SimTime{event.trace.publish_ns};
+  if (age <= budget) return;
+  tm_slo_violations_.add();
+  if (peer != nullptr) {
+    peer->slo_violated = true;
+    peer->last_slo_violation = SimTime{now_ns};
+  }
+  DPROC_DEBUG() << "dmon " << nic_.node() << ": trace " << event.trace.trace_id
+                << " from node " << event.trace.origin << " exceeded "
+                << slo_channel << " staleness budget (" << age.us()
+                << " us > " << budget.us() << " us)";
 }
 
 void DMon::on_monitor_event(const kecho::Event& event) {
@@ -377,10 +458,11 @@ void DMon::on_monitor_event(const kecho::Event& event) {
     const double value = r.f64();
     const SimTime sampled{r.i64()};
     if (id < peer.metrics.size()) {
-      peer.metrics[id] =
-          RemoteMetric{value, sampled, host_.engine().now(), true};
+      peer.metrics[id] = RemoteMetric{value, sampled, host_.engine().now(),
+                                      true, event.trace.trace_id};
     }
   }
+  note_render(event, config_.monitor_channel, &peer);
   const double cycles = config_.overheads.procfs_update_cycles_per_event;
   charge(cycles);
   handler_cost_ += seconds(cycles / host_.cpu().config().clock_hz);
@@ -406,6 +488,8 @@ void DMon::on_control_event(const kecho::Event& event) {
   const SimDuration before = host_.cpu().kernel_cpu_time();
   Status status = apply_tuning(config.value());
   handler_cost_ += host_.cpu().kernel_cpu_time() - before;
+  // Applying a control event is its render hop: the retune became visible.
+  note_render(event, config_.control_channel, nullptr);
   if (!status) {
     DPROC_WARN() << "dmon " << nic_.node()
                  << ": tuning from node " << event.source
@@ -476,7 +560,13 @@ PollRecord DMon::poll() {
         ++cursor;
       }
       if (group.empty()) continue;
-      record.submit_cost += monitor_channel_->submit(encode_monitor_event(group));
+      const net::MessagePtr frame = encode_monitor_event(group);
+      if (host_.telemetry().trace_enabled()) {
+        record.submit_cost +=
+            monitor_channel_->submit(frame, begin_trace(monitor_channel_->id()));
+      } else {
+        record.submit_cost += monitor_channel_->submit(frame);
+      }
       ++record.events_submitted;
     }
   }

@@ -239,6 +239,7 @@ DprocMonitor::DprocMonitor(host::Host& host)
       suppressed_(host.telemetry().counter("dmon", "suppressed")),
       filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
       net_drops_(host.telemetry().counter("net", "drops")),
+      slo_violations_(host.telemetry().counter("trace", "slo_violations")),
       submit_us_(host.telemetry().latency("dmon", "submit_us")),
       receive_us_(host.telemetry().latency("dmon", "receive_us")),
       poll_us_(host.telemetry().latency("dmon", "poll_us")) {}
@@ -254,7 +255,8 @@ std::vector<MetricDesc> DprocMonitor::metrics() const {
           {0, "dproc_filter_insns", "dproc/filter_insns"},
           {0, "dproc_suppressed", "dproc/suppressed"},
           {0, "dproc_heartbeats", "dproc/heartbeats"},
-          {0, "dproc_net_drops", "dproc/net_drops"}};
+          {0, "dproc_net_drops", "dproc/net_drops"},
+          {0, "dproc_slo_violations", "dproc/slo_violations"}};
 }
 
 void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
@@ -269,6 +271,7 @@ void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
   out.push_back(sample(0, static_cast<double>(suppressed_.value()), now));
   out.push_back(sample(0, static_cast<double>(heartbeats_.value()), now));
   out.push_back(sample(0, static_cast<double>(net_drops_.value()), now));
+  out.push_back(sample(0, static_cast<double>(slo_violations_.value()), now));
 }
 
 // --- SyntheticMonitor --------------------------------------------------------

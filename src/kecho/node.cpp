@@ -14,44 +14,79 @@ namespace {
 constexpr std::size_t kFrameHeaderBytes = 20;
 
 /// Event frame carried over the peer transport: fixed header + the
-/// application payload's encoded header; bulk rides as declared body bytes.
-/// The frame buffer is built exactly-sized in one allocation and then
-/// shared (never copied) by every transport send and receiving channel.
+/// application payload's encoded header + (only when tracing) one
+/// TraceContext trailer; bulk rides as declared body bytes. The frame
+/// buffer is built exactly-sized in one allocation and then shared (never
+/// copied) by every transport send and receiving channel. `trace` null
+/// keeps the encoding byte-identical to the untraced stack.
 net::MessagePtr encode_event(ChannelId channel, net::NodeId source,
                              SimTime submitted_at,
-                             const net::MessagePtr& payload) {
+                             const net::MessagePtr& payload,
+                             const net::TraceContext* trace = nullptr) {
   net::ByteWriter w;
-  w.reserve(kFrameHeaderBytes + payload->header.size());
+  w.reserve(kFrameHeaderBytes + payload->header.size() +
+            (trace != nullptr ? net::TraceContext::kWireBytes : 0));
   w.u32(channel);
   w.u32(source);
   w.i64(submitted_at.ns());
   w.u32(static_cast<std::uint32_t>(payload->header.size()));
   w.bytes(payload->header);
+  if (trace != nullptr) trace->encode(w);
   return net::make_message(w.take(), payload->body_bytes);
 }
 
-/// Zero-copy decode: validates the frame and records where the payload
-/// starts; the event aliases the frame instead of materializing a payload.
-bool decode_event(const net::MessagePtr& frame, Event& event) {
+}  // namespace
+
+// Zero-copy decode: validates the frame and records where the payload
+// starts; the event aliases the frame instead of materializing a payload.
+// Bytes past the payload header must be exactly one trace-context trailer
+// (identified by length *and* marker byte) or absent.
+bool decode_event_frame(const net::MessagePtr& frame, Event& event) {
   net::ByteReader r{frame->header};
   event.channel = r.u32();
   event.source = r.u32();
   event.submitted_at = SimTime{r.i64()};
   const std::uint32_t payload_header_bytes = r.u32();
-  if (!r.ok() || r.remaining() != payload_header_bytes) return false;
+  if (!r.ok() || r.remaining() < payload_header_bytes) return false;
+  r.skip(payload_header_bytes);
+  const std::size_t extra = r.remaining();
+  if (extra == net::TraceContext::kWireBytes) {
+    if (!net::TraceContext::decode(r, event.trace)) return false;
+  } else if (extra != 0) {
+    return false;
+  }
   event.frame = frame;
   event.payload_offset = kFrameHeaderBytes;
+  event.payload_bytes = payload_header_bytes;
   return true;
 }
 
-}  // namespace
-
 SimDuration Channel::submit(const net::MessagePtr& payload) {
+  return submit_impl(payload, nullptr);
+}
+
+SimDuration Channel::submit(const net::MessagePtr& payload,
+                            net::TraceContext trace) {
+  telemetry::Registry& tm = node_.host().telemetry();
+  if (!tm.trace_enabled() || !trace.valid()) {
+    return submit_impl(payload, nullptr);
+  }
+  const std::int64_t now_ns = node_.host().engine().now().ns();
+  tm.record_hop(telemetry::Hop{
+      trace.trace_id, trace.origin, id_, telemetry::HopStage::kSubmit, now_ns,
+      now_ns - trace.prev_hop_ns});
+  trace.hop = static_cast<std::uint8_t>(telemetry::HopStage::kSubmit);
+  trace.prev_hop_ns = now_ns;
+  return submit_impl(payload, &trace);
+}
+
+SimDuration Channel::submit_impl(const net::MessagePtr& payload,
+                                 const net::TraceContext* trace) {
   ++submitted_;
   const KechoCosts& costs = node_.costs();
   const SimTime now = node_.host().engine().now();
   const net::MessagePtr frame =
-      encode_event(id_, node_.nic().node(), now, payload);
+      encode_event(id_, node_.nic().node(), now, payload, trace);
   // Every member is charged the same marshalling cost for the same frame;
   // compute it once outside the fan-out loop.
   const double per_member_cycles =
@@ -81,6 +116,15 @@ SimDuration Channel::submit(const net::MessagePtr& payload) {
 }
 
 std::size_t Channel::remote_member_count() const { return members_.size(); }
+
+std::vector<std::pair<ChannelId, std::string>> Node::channels() const {
+  std::vector<std::pair<ChannelId, std::string>> out;
+  out.reserve(poll_list_.size());
+  for (const Channel* channel : poll_list_) {
+    out.emplace_back(channel->id(), channel->name());
+  }
+  return out;
+}
 
 Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
            net::Port registry_port, KechoCosts costs, LivenessConfig liveness)
@@ -463,9 +507,21 @@ net::TcpConnection::Ptr& Node::transport_to(net::NodeId peer) {
 
 void Node::on_peer_message(const net::MessagePtr& message) {
   Event event;
-  if (!decode_event(message, event)) {
+  if (!decode_event_frame(message, event)) {
     DPROC_WARN() << "kecho node " << nic_.node() << ": malformed event frame";
     return;
+  }
+  if (event.trace.valid() && host_.telemetry().trace_enabled()) {
+    // Wire latency: time between the sender's submit stamp and this frame
+    // reaching our kernel. The event then sits in the channel rx queue
+    // until the next poll(), which stamps kDeliver with the queueing delay.
+    const std::int64_t now_ns = host_.engine().now().ns();
+    host_.telemetry().record_hop(telemetry::Hop{
+        event.trace.trace_id, event.trace.origin, event.channel,
+        telemetry::HopStage::kArrive, now_ns,
+        now_ns - event.trace.prev_hop_ns});
+    event.trace.hop = static_cast<std::uint8_t>(telemetry::HopStage::kArrive);
+    event.trace.prev_hop_ns = now_ns;
   }
   if (liveness_.enabled) {
     auto it = peer_liveness_.find(event.source);
@@ -486,6 +542,7 @@ void Node::on_peer_message(const net::MessagePtr& message) {
 PollStats Node::poll() {
   PollStats stats;
   const SimTime poll_start = host_.engine().now();
+  const bool tracing = host_.telemetry().trace_enabled();
   double cycles = costs_.poll_base_cycles;
   for (Channel* channel : poll_list_) {
     while (!channel->rx_queue_.empty()) {
@@ -496,6 +553,17 @@ PollStats Node::poll() {
                     static_cast<double>(event.payload_size());
       ++channel->received_;
       ++stats.events_delivered;
+      if (tracing && event.trace.valid()) {
+        // Queueing delay: rx-queue arrival (kArrive) to this poll drain.
+        const std::int64_t now_ns = poll_start.ns();
+        host_.telemetry().record_hop(telemetry::Hop{
+            event.trace.trace_id, event.trace.origin, event.channel,
+            telemetry::HopStage::kDeliver, now_ns,
+            now_ns - event.trace.prev_hop_ns});
+        event.trace.hop =
+            static_cast<std::uint8_t>(telemetry::HopStage::kDeliver);
+        event.trace.prev_hop_ns = now_ns;
+      }
       if (channel->handler_) channel->handler_(event);
     }
   }

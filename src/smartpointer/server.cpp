@@ -242,6 +242,31 @@ std::pair<Representation, double> Server::choose(ClientState& client) {
   return {best_any, best_any_fraction};
 }
 
+void Server::note_decision(const ClientState& client) {
+  telemetry::Registry& tm = host_.telemetry();
+  if (!tm.trace_enabled() || dmon_ == nullptr) return;
+  // The dynamic policy reads several of the client's metrics; attribute the
+  // decision to the freshest one that carried a trace id — the sample whose
+  // arrival most plausibly steered this frame.
+  static constexpr const char* kConsulted[] = {"rtt", "net_in", "loadavg",
+                                               "diskusage", "stream_lag"};
+  const core::RemoteMetric* freshest = nullptr;
+  for (const char* key : kConsulted) {
+    const core::RemoteMetric* m = dmon_->remote_metric(client.node, key);
+    if (m == nullptr || m->trace_id == 0) continue;
+    if (freshest == nullptr || m->received_at > freshest->received_at) {
+      freshest = m;
+    }
+  }
+  if (freshest == nullptr) return;
+  const std::int64_t now_ns = host_.engine().now().ns();
+  // dur: how long the rendered value waited before steering a stream.
+  tm.record_hop(telemetry::Hop{
+      freshest->trace_id, client.node, dmon_->monitor_channel_id(),
+      telemetry::HopStage::kDecision, now_ns,
+      now_ns - freshest->received_at.ns()});
+}
+
 void Server::tick() {
   const workload::MdFrame frame = source_.next_frame(host_.engine().now());
   ++frames_;
@@ -268,9 +293,19 @@ void Server::send_frame(ClientState& client, const workload::MdFrame& frame) {
         ++client.stale_fallbacks;
         break;
       }
+      if (dmon_ != nullptr && !dmon_->feed_within_slo(client.node)) {
+        // The feed updates but its samples arrive past their staleness
+        // budget: the values describe a cluster state that is budget-old
+        // by the time they steer, so distrust them the same way.
+        rep = config_.stale_fallback_rep;
+        fraction = config_.stale_fallback_fraction;
+        ++client.slo_distrusts;
+        break;
+      }
       auto [chosen_rep, chosen_fraction] = choose(client);
       rep = chosen_rep;
       fraction = chosen_fraction;
+      note_decision(client);
       break;
     }
   }

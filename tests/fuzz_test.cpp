@@ -6,6 +6,7 @@
 #include "dproc/core/history.hpp"
 #include "dproc/core/tuning.hpp"
 #include "dproc/ecode/ecode.hpp"
+#include "dproc/kecho/node.hpp"
 #include "dproc/net/wire.hpp"
 #include "dproc/util/rng.hpp"
 
@@ -160,6 +161,113 @@ TEST(FuzzCodec, HistoryTraceDecoderRejectsBitFlips) {
       corrupted[at] ^= 0x5A;
     }
     (void)core::HistoryRecorder::import_trace(corrupted);
+  }
+}
+
+// Builds a well-formed KECho event frame: fixed header + payload header +
+// optionally one trace-context trailer.
+net::MessagePtr event_frame(std::size_t payload_bytes,
+                            const net::TraceContext* trace) {
+  net::ByteWriter w;
+  w.u32(3);             // channel
+  w.u32(7);             // source
+  w.i64(1'000'000);     // submit time
+  w.u32(static_cast<std::uint32_t>(payload_bytes));
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    w.u8(static_cast<std::uint8_t>(i));
+  }
+  if (trace != nullptr) trace->encode(w);
+  return net::make_message(w.take());
+}
+
+TEST(FuzzTraceContext, FrameDecoderHandlesEveryTruncation) {
+  net::TraceContext ctx;
+  ctx.trace_id = (7ull << 32) | 42;
+  ctx.origin = 7;
+  ctx.publish_ns = 1'000'000;
+  ctx.prev_hop_ns = 1'000'000;
+  const net::MessagePtr full = event_frame(24, &ctx);
+
+  for (std::size_t len = 0; len <= full->header.size(); ++len) {
+    auto truncated = std::make_shared<net::Message>();
+    truncated->header.assign(full->header.begin(),
+                             full->header.begin() + static_cast<long>(len));
+    kecho::Event event;
+    const bool ok = kecho::decode_event_frame(truncated, event);
+    // Exactly two prefixes are valid: payload with no trailer, and the
+    // full frame. Everything between is a truncated trailer → reject.
+    const std::size_t payload_end = 20 + 24;
+    if (len == payload_end) {
+      EXPECT_TRUE(ok);
+      EXPECT_EQ(event.trace.trace_id, 0u);  // no context decoded
+    } else if (len == full->header.size()) {
+      EXPECT_TRUE(ok);
+      EXPECT_EQ(event.trace.trace_id, ctx.trace_id);
+      EXPECT_EQ(event.trace.origin, ctx.origin);
+    } else {
+      EXPECT_FALSE(ok) << "accepted truncation at " << len;
+    }
+  }
+}
+
+TEST(FuzzTraceContext, BadMagicByteRejectsTrailer) {
+  net::TraceContext ctx;
+  ctx.trace_id = 99;
+  const net::MessagePtr frame = event_frame(8, &ctx);
+  auto mangled = std::make_shared<net::Message>();
+  mangled->header = frame->header;
+  // The trailer starts right after the 8-byte payload header.
+  mangled->header[20 + 8] ^= 0xFF;
+  kecho::Event event;
+  EXPECT_FALSE(kecho::decode_event_frame(mangled, event));
+}
+
+TEST(FuzzTraceContext, FrameBitFlipsNeverCrash) {
+  Rng rng{0x7C7C};
+  net::TraceContext ctx;
+  ctx.trace_id = (3ull << 32) | 1;
+  ctx.origin = 3;
+  const net::MessagePtr base = event_frame(40, &ctx);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto corrupted = std::make_shared<net::Message>();
+    corrupted->header = base->header;
+    if (rng.bernoulli(0.5)) {
+      corrupted->header.resize(static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted->header.size()))));
+    }
+    for (int flips = 0; flips < 3 && !corrupted->header.empty(); ++flips) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted->header.size()) - 1));
+      corrupted->header[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    kecho::Event event;
+    if (kecho::decode_event_frame(corrupted, event)) {
+      // Whatever decodes must stay inside the frame.
+      EXPECT_LE(event.payload_offset + event.payload_bytes,
+                corrupted->header.size());
+      (void)event.payload_header();
+    }
+  }
+}
+
+TEST(FuzzTraceContext, RawDecodeNeverReadsPastBuffer) {
+  Rng rng{0x7CAB};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(
+        rng.uniform_int(0, 2 * net::TraceContext::kWireBytes)));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    // Half the trials lead with the real magic so the body path runs too.
+    if (!bytes.empty() && rng.bernoulli(0.5)) {
+      bytes[0] = net::TraceContext::kMagic;
+    }
+    net::ByteReader r{bytes};
+    net::TraceContext ctx;
+    const bool ok = net::TraceContext::decode(r, ctx);
+    if (ok) {
+      EXPECT_GE(bytes.size(), net::TraceContext::kWireBytes);
+    }
   }
 }
 

@@ -1,38 +1,36 @@
-// Runs the paper's 8-node cluster with self-monitoring enabled and exports
-// every node's telemetry spans as one Chrome trace_event JSON document,
-// loadable in chrome://tracing or Perfetto (ui.perfetto.dev). Each node is
-// a pid lane; spans cover the kernel CPU time the simulator charged for
-// KECho submits/polls and d-mon polls on the virtual clock.
+// Runs the paper's cluster with self-monitoring and causal tracing enabled
+// and exports every node's telemetry as one Chrome trace_event JSON
+// document, loadable in chrome://tracing or Perfetto (ui.perfetto.dev).
+// Each node is a pid lane with per-subsystem named threads; spans cover the
+// kernel CPU time the simulator charged for KECho submits/polls and d-mon
+// polls on the virtual clock, and cross-node flow arrows stitch each traced
+// monitoring event's publish → submit → deliver → render path together.
 //
-//   $ ./trace_export [output.json] [seconds]
+//   $ ./trace_export [--out PATH] [--seconds S] [--nodes N] [--slo-ms MS]
+//   $ ./trace_export [output.json] [seconds]        # legacy positional form
 //
-// Defaults: dproc_trace.json, 10 simulated seconds. A per-node telemetry
-// summary is printed to stdout alongside the export.
+// Defaults: dproc_trace.json, 10 simulated seconds, 8 nodes. A per-node
+// telemetry summary is printed to stdout alongside the export.
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dproc/core/cluster.hpp"
 #include "dproc/telemetry/telemetry.hpp"
+#include "trace_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace dproc;
 
-  const std::string out_path = argc > 1 ? argv[1] : "dproc_trace.json";
-  const double run_seconds = argc > 2 ? std::atof(argv[2]) : 10.0;
-  if (run_seconds <= 0.0) {
-    std::fprintf(stderr, "usage: %s [output.json] [seconds > 0]\n", argv[0]);
-    return 1;
-  }
+  tools::TraceToolOptions opts;
+  opts.out_path = "dproc_trace.json";
+  if (!tools::parse_trace_tool_args(argc, argv, opts)) return 1;
 
   sim::Engine engine;
-  core::ClusterConfig config;  // paper platform: 8 nodes, Fast Ethernet
-  config.self_monitor = true;
-  core::Cluster cluster{engine, config};
+  core::Cluster cluster{engine, tools::traced_cluster_config(opts)};
   cluster.start_dproc();
-  engine.run_until(SimTime{} + seconds(run_seconds));
+  engine.run_until(SimTime{} + seconds(opts.run_seconds));
 
   std::vector<std::pair<int, const telemetry::Registry*>> registries;
   registries.reserve(cluster.size());
@@ -44,14 +42,15 @@ int main(int argc, char** argv) {
   }
 
   const std::string json = telemetry::merge_chrome_trace(registries);
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  std::FILE* out = std::fopen(opts.out_path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 opts.out_path.c_str());
     return 1;
   }
   std::fwrite(json.data(), 1, json.size(), out);
   std::fclose(out);
   std::printf("wrote %zu bytes to %s (load in chrome://tracing or Perfetto)\n",
-              json.size(), out_path.c_str());
+              json.size(), opts.out_path.c_str());
   return 0;
 }
