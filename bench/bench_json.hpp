@@ -31,6 +31,9 @@ struct JsonBenchEntry {
   double ns_per_event = 0.0;
   double allocs_per_event = 0.0;
   std::uint64_t iterations = 0;
+  /// Additional bench-specific numbers, emitted verbatim as extra keys
+  /// (the checker validates the core schema and ignores extras).
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 inline std::string bench_json_path(const std::string& bench_name) {
@@ -58,11 +61,14 @@ inline bool write_bench_json(const std::string& bench_name,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"ops_per_sec\": %.6g, "
                  "\"ns_per_event\": %.6g, \"allocs_per_event\": %.6g, "
-                 "\"iterations\": %llu}%s\n",
+                 "\"iterations\": %llu",
                  e.name.c_str(), e.ops_per_sec, e.ns_per_event,
                  e.allocs_per_event,
-                 static_cast<unsigned long long>(e.iterations),
-                 i + 1 < entries.size() ? "," : "");
+                 static_cast<unsigned long long>(e.iterations));
+    for (const auto& [key, value] : e.extras) {
+      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -60,6 +60,10 @@ struct ClusterConfig {
   /// default for the same byte-identity reason as self_monitor. Copied
   /// into DmonConfig::trace for every d-mon the builder creates.
   TraceConfig trace{};
+  /// Batched per-period publishing, delta suppression and interest-scoped
+  /// fan-out. Off by default for the same byte-identity reason. Copied
+  /// into DmonConfig::batch for every d-mon the builder creates.
+  BatchConfig batch{};
 };
 
 /// One fully wired cluster node.

@@ -64,6 +64,31 @@ struct TraceConfig {
   }
 };
 
+/// Per-period batch publishing, delta suppression and interest-scoped
+/// fan-out. Everything defaults off: the wire format, the golden trace and
+/// the baseline benchmarks are byte-identical to per-module publishing.
+struct BatchConfig {
+  /// Coalesce every module's post-filter samples into one MonitorBatch
+  /// frame per poll period — one KECho submit (base cost, frame header,
+  /// trace trailer) instead of one per module.
+  bool enabled = false;
+  /// Delta suppression: a batch entry whose value moved by no more than
+  /// epsilon since this publisher last sent it is skipped. Negative
+  /// disables. Only applies when `enabled`.
+  double delta_epsilon = -1.0;
+  /// Every Nth batch is a keyframe carrying all post-filter samples
+  /// regardless of delta suppression, so restarted peers (whose caches are
+  /// empty) converge within N periods. Values <= 1 make every batch a
+  /// keyframe. Only meaningful with delta suppression on.
+  int keyframe_every = 10;
+  /// Honour peers' declared per-module interest sets (declare_interest):
+  /// each channel member receives only the modules it registered for, via
+  /// KECho's per-member payload selection — a node that only reads
+  /// /proc/cluster/<n>/cpu never receives DISK/NET bytes. Peers that never
+  /// declared anything receive the full batch. Only applies when `enabled`.
+  bool interest = false;
+};
+
 struct DmonConfig {
   SimDuration poll_period = seconds(1.0);
   std::string monitor_channel = "dproc.monitor";
@@ -74,6 +99,9 @@ struct DmonConfig {
   int stale_after_periods = 3;
   /// Causal tracing + staleness SLO watchdog (off by default).
   TraceConfig trace{};
+  /// Batched publishing, delta suppression, interest fan-out (off by
+  /// default).
+  BatchConfig batch{};
 };
 
 /// Degradation state of one peer's monitoring feed, derived from update
@@ -101,7 +129,29 @@ struct PollRecord {
   std::size_t events_submitted = 0;
   std::size_t events_received = 0;
   std::uint64_t filter_instructions = 0;
+  /// Samples actually published this period (post-filter, post-delta).
+  std::size_t samples_published = 0;
+  /// Batch entries skipped by delta suppression this period.
+  std::size_t delta_suppressed = 0;
+  /// The batch published this period carried the keyframe flag.
+  bool keyframe = false;
 };
+
+/// Contiguous metric-id range owned by one monitoring module.
+struct MetricRange {
+  MetricId first = 0;
+  std::size_t count = 0;
+};
+
+/// Partitions `sorted` (ascending metric id) into one group per range
+/// (`groups` is reset to ranges.size() entries). A sample whose id falls
+/// outside every range — a stale or never-registered id emitted by a
+/// filter — is grouped nowhere: it must not ride along in a neighbouring
+/// module's frame under the wrong module. Returns the stray count.
+/// `ranges` must be ascending and disjoint (d-mon's are contiguous from 0).
+std::size_t group_by_range(const std::vector<MetricSample>& sorted,
+                           const std::vector<MetricRange>& ranges,
+                           std::vector<std::vector<MetricSample>>& groups);
 
 class DMon {
  public:
@@ -210,6 +260,45 @@ class DMon {
     return last_control_error_;
   }
 
+  // --- interest-scoped fan-out -------------------------------------------
+
+  /// Broadcasts this node's module interest set on the control channel:
+  /// publishers running with BatchConfig::interest then send this node only
+  /// the listed modules' samples. An empty list restores the default
+  /// (interested in everything). The declaration is remembered and
+  /// re-broadcast whenever a new peer joins, so publishers that come up
+  /// later converge without application help. Also writable as module names
+  /// through /proc/dproc/interest ("all" clears).
+  Status declare_interest(std::vector<std::string> modules);
+
+  /// This node's current interest declaration (empty = everything).
+  [[nodiscard]] const std::vector<std::string>& local_interest() const {
+    return local_interest_;
+  }
+
+  /// Publisher-side view: interest sets peers have declared to us.
+  [[nodiscard]] const std::map<net::NodeId, std::vector<std::string>>&
+  peer_interests() const {
+    return peer_interests_;
+  }
+
+  // --- error / savings accounting (plain counters; the telemetry twins
+  // --- only move when the registry is enabled) ---------------------------
+
+  /// Module collections dropped for returning the wrong sample count.
+  [[nodiscard]] std::uint64_t collect_errors() const { return collect_errors_; }
+  /// Publish-ready samples whose id fit no registered module range.
+  [[nodiscard]] std::uint64_t stray_samples() const { return stray_samples_; }
+  /// Wire bytes avoided by interest-filtered fan-out versus sending every
+  /// member the full batch frame.
+  [[nodiscard]] std::uint64_t interest_bytes_saved() const {
+    return interest_bytes_saved_;
+  }
+  /// Batch entries skipped by delta suppression since start.
+  [[nodiscard]] std::uint64_t delta_suppressed_total() const {
+    return delta_suppressed_total_;
+  }
+
  private:
   struct ModuleEntry {
     std::unique_ptr<MonitoringModule> module;
@@ -229,6 +318,19 @@ class DMon {
 
   void on_monitor_event(const kecho::Event& event);
   void on_control_event(const kecho::Event& event);
+  /// Stores a peer's interest declaration (control-channel kOpInterest).
+  void on_interest_event(const kecho::Event& event, net::ByteReader& r);
+  /// Legacy per-module publication (one frame per module with samples).
+  void submit_per_module(const std::vector<MetricSample>& sorted,
+                         PollRecord& record);
+  /// Batched publication: one MonitorBatch frame per period, with delta
+  /// suppression, keyframes and (optionally) interest-filtered fan-out.
+  void submit_batch(std::vector<MetricSample>& sorted, PollRecord& record);
+  /// Re-sends the local interest declaration (no-op before the control
+  /// channel is ready; errors are ignored — the next join retries).
+  void broadcast_interest();
+  /// Counts samples outside every registered range; warns on first sight.
+  void note_strays(std::size_t count);
   /// Allocates the next publish-side trace context (publish hop stamped).
   [[nodiscard]] net::TraceContext begin_trace(kecho::ChannelId channel);
   /// Stamps the render hop for a delivered traced event and runs the
@@ -265,6 +367,29 @@ class DMon {
 
   std::uint32_t trace_seq_ = 0;  // per-node trace-id sequence
 
+  // --- batching state ----------------------------------------------------
+  /// Last value this publisher sent per metric id (delta suppression).
+  struct PublishedState {
+    bool published = false;
+    double value = 0.0;
+  };
+  std::vector<PublishedState> last_published_;
+  std::uint64_t batch_seq_ = 0;  // batches submitted; phase for keyframes
+  /// Module ranges in id order (mirror of modules_, for grouping).
+  std::vector<MetricRange> module_ranges_;
+  std::vector<std::vector<MetricSample>> groups_scratch_;
+  /// Interest sets declared *by* peers (publisher side), sorted + deduped.
+  std::map<net::NodeId, std::vector<std::string>> peer_interests_;
+  /// Interest this node declared (subscriber side); re-broadcast on joins.
+  std::vector<std::string> local_interest_;
+  bool interest_declared_ = false;
+  bool warned_strays_ = false;
+
+  std::uint64_t collect_errors_ = 0;
+  std::uint64_t stray_samples_ = 0;
+  std::uint64_t interest_bytes_saved_ = 0;
+  std::uint64_t delta_suppressed_total_ = 0;
+
   std::vector<SampleObserver> sample_observers_;
   PollRecord last_poll_;
   StreamingStats submit_cost_us_;
@@ -280,6 +405,13 @@ class DMon {
   telemetry::Counter& tm_filter_compiles_;
   telemetry::Counter& tm_filter_insns_;
   telemetry::Counter& tm_slo_violations_;
+  telemetry::Counter& tm_collect_errors_;
+  telemetry::Counter& tm_stray_samples_;
+  telemetry::Counter& tm_batch_submits_;
+  telemetry::Counter& tm_batch_samples_;
+  telemetry::Counter& tm_batch_delta_suppressed_;
+  telemetry::Counter& tm_batch_keyframes_;
+  telemetry::Counter& tm_bytes_saved_;
   telemetry::LatencyRecorder& tm_poll_us_;
   telemetry::LatencyRecorder& tm_submit_us_;
   telemetry::LatencyRecorder& tm_receive_us_;

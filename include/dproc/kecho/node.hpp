@@ -133,6 +133,19 @@ class Channel {
   /// when tracing is disabled on this host or `trace` is invalid.
   SimDuration submit(const net::MessagePtr& payload, net::TraceContext trace);
 
+  /// Per-member payload selection, for interest-scoped fan-out: `select`
+  /// returns the payload one member should receive — or nullptr to skip
+  /// that member entirely (it is neither sent to nor charged for). Members
+  /// whose selector returns the *same* MessagePtr share one encoded wire
+  /// frame, so callers should cache payloads per interest group. Counts as
+  /// one submitted event however many members were reached; the kernel
+  /// cost charged is per member actually sent to, sized by its own frame.
+  using PayloadSelector = std::function<net::MessagePtr(net::NodeId)>;
+  SimDuration submit_to_each(const PayloadSelector& select);
+  /// Traced variant; same fallback rules as the traced submit().
+  SimDuration submit_to_each(const PayloadSelector& select,
+                             net::TraceContext trace);
+
   [[nodiscard]] ChannelId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool ready() const { return ready_; }
@@ -149,6 +162,8 @@ class Channel {
   /// Shared fan-out path; `trace` non-null appends the wire trailer.
   SimDuration submit_impl(const net::MessagePtr& payload,
                           const net::TraceContext* trace);
+  SimDuration submit_each_impl(const PayloadSelector& select,
+                               const net::TraceContext* trace);
 
   Node& node_;
   std::string name_;

@@ -116,6 +116,80 @@ class ByteReader {
   bool ok_ = true;
 };
 
+/// One polling period's monitoring samples coalesced into a single wire
+/// message — the per-period batch frame that replaces d-mon's one event per
+/// module per period (O(modules × N²) monitoring traffic on an N-node
+/// cluster collapses to O(N²) events with the same sample payload).
+///
+/// Layout (little-endian, no padding):
+///   version u8 | flags u8 | count u32 | count × (id u32, value f64,
+///   sampled_ns i64)
+///
+/// Versioning rules: the batch opcode is distinct from the legacy
+/// single-module opcode at the layer above, so old frames keep decoding
+/// through the old path forever; within the batch, `version` gates the
+/// entry layout. Readers reject versions above the one they implement
+/// (never guess at an unknown layout) and version 0 (reserved as
+/// malformed). New fields must either bump the version or ride in `flags`
+/// bits that old readers can ignore.
+struct MonitorBatch {
+  static constexpr std::uint8_t kVersion = 1;
+  /// Keyframe: carries every post-filter sample regardless of delta
+  /// suppression, so a peer that restarted (losing its cache) reconverges.
+  static constexpr std::uint8_t kFlagKeyframe = 0x01;
+  static constexpr std::size_t kHeaderBytes = 1 + 1 + 4;
+  static constexpr std::size_t kEntryBytes = 4 + 8 + 8;
+
+  struct Entry {
+    std::uint32_t id = 0;       // cluster-convention metric id
+    double value = 0.0;
+    std::int64_t sampled_ns = 0;  // publisher's virtual sample time
+  };
+
+  std::uint8_t flags = 0;
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool keyframe() const { return (flags & kFlagKeyframe) != 0; }
+  [[nodiscard]] std::size_t encoded_bytes() const {
+    return kHeaderBytes + entries.size() * kEntryBytes;
+  }
+
+  void encode(ByteWriter& w) const {
+    w.u8(kVersion);
+    w.u8(flags);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const Entry& e : entries) {
+      w.u32(e.id);
+      w.f64(e.value);
+      w.i64(e.sampled_ns);
+    }
+  }
+
+  /// Decodes one batch; false (and reader !ok where truncated) on any
+  /// malformation. The declared count is checked against the bytes actually
+  /// present *before* reserving, so a corrupted count can neither trigger a
+  /// huge allocation nor yield a partially decoded batch.
+  [[nodiscard]] static bool decode(ByteReader& r, MonitorBatch& out) {
+    const std::uint8_t version = r.u8();
+    out.flags = r.u8();
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || version == 0 || version > kVersion) return false;
+    if (r.remaining() < static_cast<std::size_t>(count) * kEntryBytes) {
+      return false;
+    }
+    out.entries.clear();
+    out.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Entry e;
+      e.id = r.u32();
+      e.value = r.f64();
+      e.sampled_ns = r.i64();
+      out.entries.push_back(e);
+    }
+    return r.ok();
+  }
+};
+
 /// Causal-tracing context carried on the wire behind a KECho event payload.
 ///
 /// When tracing is enabled the publisher appends one TraceContext to each

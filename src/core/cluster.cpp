@@ -122,6 +122,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     if (!runs_dproc[i]) continue;
     DmonConfig dmon_config = config_.dmon;
     if (config_.trace.enabled) dmon_config.trace = config_.trace;
+    if (config_.batch.enabled) dmon_config.batch = config_.batch;
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
                                        *node.procfs, std::move(dmon_config));
     if (config_.module_factory) {

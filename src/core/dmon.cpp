@@ -1,6 +1,7 @@
 #include "dproc/core/dmon.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -13,6 +14,13 @@ namespace {
 
 constexpr std::uint8_t kOpMonitor = 1;
 constexpr std::uint8_t kOpControl = 2;
+constexpr std::uint8_t kOpMonitorBatch = 3;
+constexpr std::uint8_t kOpInterest = 4;
+
+// Fixed KECho frame header (channel, source, submit time, payload length):
+// the extra wire bytes an interest-skipped member never receives, on top of
+// the payload itself.
+constexpr std::size_t kKechoHeaderBytes = 4 + 4 + 8 + 4;
 
 net::MessagePtr encode_monitor_event(const std::vector<MetricSample>& samples) {
   net::ByteWriter w;
@@ -23,6 +31,14 @@ net::MessagePtr encode_monitor_event(const std::vector<MetricSample>& samples) {
     w.f64(s.value);
     w.i64(s.sampled_at.ns());
   }
+  return net::make_message(w.take());
+}
+
+net::MessagePtr encode_batch_event(const net::MonitorBatch& batch) {
+  net::ByteWriter w;
+  w.reserve(1 + batch.encoded_bytes());
+  w.u8(kOpMonitorBatch);
+  batch.encode(w);
   return net::make_message(w.take());
 }
 
@@ -57,6 +73,32 @@ std::string render_value(const RemoteMetric& metric, SimTime now,
 
 }  // namespace
 
+std::size_t group_by_range(const std::vector<MetricSample>& sorted,
+                           const std::vector<MetricRange>& ranges,
+                           std::vector<std::vector<MetricSample>>& groups) {
+  groups.resize(ranges.size());
+  for (std::vector<MetricSample>& group : groups) group.clear();
+  std::size_t strays = 0;
+  std::size_t cursor = 0;
+  for (std::size_t gi = 0; gi < ranges.size(); ++gi) {
+    const MetricRange& range = ranges[gi];
+    // Ids below this range fit no earlier range either (both sides are
+    // ascending): they are strays, not members of whichever group happens
+    // to come next.
+    while (cursor < sorted.size() && sorted[cursor].id < range.first) {
+      ++strays;
+      ++cursor;
+    }
+    while (cursor < sorted.size() &&
+           sorted[cursor].id < range.first + range.count) {
+      groups[gi].push_back(sorted[cursor]);
+      ++cursor;
+    }
+  }
+  strays += sorted.size() - cursor;  // beyond the last range
+  return strays;
+}
+
 const char* to_string(PeerState state) {
   switch (state) {
     case PeerState::kLive:
@@ -80,6 +122,14 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
       tm_filter_compiles_(host.telemetry().counter("dmon", "filter_compiles")),
       tm_filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
       tm_slo_violations_(host.telemetry().counter("trace", "slo_violations")),
+      tm_collect_errors_(host.telemetry().counter("dmon", "collect_errors")),
+      tm_stray_samples_(host.telemetry().counter("dmon", "stray_samples")),
+      tm_batch_submits_(host.telemetry().counter("dmon", "batch_submits")),
+      tm_batch_samples_(host.telemetry().counter("dmon", "batch_samples")),
+      tm_batch_delta_suppressed_(
+          host.telemetry().counter("dmon", "batch_delta_suppressed")),
+      tm_batch_keyframes_(host.telemetry().counter("dmon", "batch_keyframes")),
+      tm_bytes_saved_(host.telemetry().counter("kecho", "bytes_saved")),
       tm_poll_us_(host.telemetry().latency("dmon", "poll_us")),
       tm_submit_us_(host.telemetry().latency("dmon", "submit_us")),
       tm_receive_us_(host.telemetry().latency("dmon", "receive_us")) {
@@ -114,12 +164,46 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
         << "metrics " << metric_table_.size() << "\n"
         << "last_submit_cost_us " << last_poll_.submit_cost.us() << "\n"
         << "last_receive_cost_us " << last_poll_.receive_cost.us() << "\n";
+    if (config_.batch.enabled) {
+      out << "batching on epsilon " << config_.batch.delta_epsilon
+          << " keyframe_every " << config_.batch.keyframe_every
+          << " interest " << (config_.batch.interest ? 1 : 0) << "\n"
+          << "delta_suppressed " << delta_suppressed_total_ << "\n"
+          << "interest_bytes_saved " << interest_bytes_saved_ << "\n";
+    }
+    if (collect_errors_ > 0) out << "collect_errors " << collect_errors_ << "\n";
+    if (stray_samples_ > 0) out << "stray_samples " << stray_samples_ << "\n";
     if (!last_control_error_.empty()) {
       out << "last_control_error " << last_control_error_ << "\n";
     }
     if (tuning_) out << tuning_->describe();
     return out.str();
   });
+  procfs_.register_file(
+      "/proc/dproc/interest",
+      [this] {
+        std::ostringstream out;
+        out << "local";
+        if (local_interest_.empty()) out << " all";
+        for (const std::string& name : local_interest_) out << " " << name;
+        out << "\n";
+        for (const auto& [node, set] : peer_interests_) {
+          out << "peer " << node;
+          for (const std::string& name : set) out << " " << name;
+          out << "\n";
+        }
+        return out.str();
+      },
+      [this](const std::string& text) {
+        std::istringstream in(text);
+        std::vector<std::string> modules;
+        std::string word;
+        while (in >> word) {
+          if (word == "all") return declare_interest({});
+          modules.push_back(word);
+        }
+        return declare_interest(std::move(modules));
+      });
   kecho_.add_membership_listener(
       [this](kecho::MemberEventKind kind, net::NodeId node) {
         on_membership(kind, node);
@@ -157,7 +241,10 @@ void DMon::register_module(std::unique_ptr<MonitoringModule> module) {
     });
   }
   modules_.push_back(std::move(entry));
+  const ModuleEntry& added = modules_.back();
+  module_ranges_.push_back(MetricRange{added.first_id, added.metric_count});
   last_collected_.resize(metric_table_.size());
+  last_published_.resize(metric_table_.size());
   rebuild_tuning();
 
   // Peers declared before this module gained metrics: create their files.
@@ -300,6 +387,17 @@ PeerState DMon::peer_state(net::NodeId node) const {
 }
 
 void DMon::on_membership(kecho::MemberEventKind kind, net::NodeId node) {
+  if (kind == kecho::MemberEventKind::kJoined) {
+    // The joiner may be a publisher that has never seen this node's
+    // interest declaration (it joined after we declared, or it restarted
+    // and lost its table): re-broadcast so late publishers converge.
+    broadcast_interest();
+  } else if (kind == kecho::MemberEventKind::kLeft) {
+    // A confirmed departure forgets the peer's interest; an eviction does
+    // not (it may be spurious, and a wrongly-narrowed feed is worse than a
+    // few extra bytes to a dead node).
+    peer_interests_.erase(node);
+  }
   auto it = peers_.find(node);
   if (it == peers_.end()) return;
   switch (kind) {
@@ -437,8 +535,14 @@ void DMon::note_render(const kecho::Event& event,
 
 void DMon::on_monitor_event(const kecho::Event& event) {
   net::ByteReader r{event.payload_header()};
-  if (r.u8() != kOpMonitor) return;
-  const std::uint32_t count = r.u32();
+  const std::uint8_t op = r.u8();
+  if (op != kOpMonitor && op != kOpMonitorBatch) return;
+  net::MonitorBatch batch;
+  if (op == kOpMonitorBatch && !net::MonitorBatch::decode(r, batch)) {
+    DPROC_WARN() << "dmon " << nic_.node() << ": malformed batch event from "
+                 << event.source;
+    return;
+  }
 
   auto it = peers_.find(event.source);
   if (it == peers_.end()) {
@@ -453,13 +557,24 @@ void DMon::on_monitor_event(const kecho::Event& event) {
   peer.has_data = true;
   peer.dead = false;
 
-  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
-    const MetricId id = r.u32();
-    const double value = r.f64();
-    const SimTime sampled{r.i64()};
-    if (id < peer.metrics.size()) {
-      peer.metrics[id] = RemoteMetric{value, sampled, host_.engine().now(),
-                                      true, event.trace.trace_id};
+  if (op == kOpMonitor) {
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+      const MetricId id = r.u32();
+      const double value = r.f64();
+      const SimTime sampled{r.i64()};
+      if (id < peer.metrics.size()) {
+        peer.metrics[id] = RemoteMetric{value, sampled, host_.engine().now(),
+                                        true, event.trace.trace_id};
+      }
+    }
+  } else {
+    for (const net::MonitorBatch::Entry& e : batch.entries) {
+      if (e.id < peer.metrics.size()) {
+        peer.metrics[e.id] =
+            RemoteMetric{e.value, SimTime{e.sampled_ns}, host_.engine().now(),
+                         true, event.trace.trace_id};
+      }
     }
   }
   note_render(event, config_.monitor_channel, &peer);
@@ -471,7 +586,12 @@ void DMon::on_monitor_event(const kecho::Event& event) {
 void DMon::on_control_event(const kecho::Event& event) {
   const std::span<const std::uint8_t> header = event.payload_header();
   net::ByteReader r{header};
-  if (r.u8() != kOpControl) return;
+  const std::uint8_t op = r.u8();
+  if (op == kOpInterest) {
+    on_interest_event(event, r);
+    return;
+  }
+  if (op != kOpControl) return;
   const net::NodeId target = r.u32();
   if (target != nic_.node()) return;
   const std::uint32_t body_size = r.u32();
@@ -497,6 +617,211 @@ void DMon::on_control_event(const kecho::Event& event) {
   }
 }
 
+void DMon::on_interest_event(const kecho::Event& event, net::ByteReader& r) {
+  const std::uint32_t count = r.u32();
+  std::vector<std::string> modules;
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    modules.push_back(r.str());
+  }
+  if (!r.ok()) {
+    DPROC_WARN() << "dmon " << nic_.node()
+                 << ": malformed interest event from " << event.source;
+    return;
+  }
+  std::sort(modules.begin(), modules.end());
+  modules.erase(std::unique(modules.begin(), modules.end()), modules.end());
+  if (modules.empty()) {
+    // Empty set = interested in everything again.
+    peer_interests_.erase(event.source);
+  } else {
+    peer_interests_[event.source] = std::move(modules);
+  }
+  // Storing the declaration is its render hop: it became effective.
+  note_render(event, config_.control_channel, nullptr);
+  const double cycles = config_.overheads.procfs_update_cycles_per_event;
+  charge(cycles);
+  handler_cost_ += seconds(cycles / host_.cpu().config().clock_hz);
+}
+
+Status DMon::declare_interest(std::vector<std::string> modules) {
+  std::sort(modules.begin(), modules.end());
+  modules.erase(std::unique(modules.begin(), modules.end()), modules.end());
+  local_interest_ = std::move(modules);
+  interest_declared_ = true;
+  if (control_channel_ == nullptr || !control_channel_->ready()) {
+    // Remembered anyway: the declaration goes out when membership events
+    // fire after the channel comes up.
+    return Status::failed_precondition("control channel not established yet");
+  }
+  broadcast_interest();
+  return Status::ok();
+}
+
+void DMon::broadcast_interest() {
+  if (!interest_declared_ || control_channel_ == nullptr ||
+      !control_channel_->ready()) {
+    return;
+  }
+  net::ByteWriter w;
+  w.u8(kOpInterest);
+  w.u32(static_cast<std::uint32_t>(local_interest_.size()));
+  for (const std::string& name : local_interest_) w.str(name);
+  const net::MessagePtr frame = net::make_message(w.take());
+  if (host_.telemetry().trace_enabled()) {
+    control_channel_->submit(frame, begin_trace(control_channel_->id()));
+  } else {
+    control_channel_->submit(frame);
+  }
+}
+
+void DMon::note_strays(std::size_t count) {
+  if (count == 0) return;
+  stray_samples_ += count;
+  tm_stray_samples_.add(count);
+  if (!warned_strays_) {
+    warned_strays_ = true;
+    DPROC_WARN() << "dmon " << nic_.node() << ": dropped " << count
+                 << " publish-ready sample(s) whose id fits no registered "
+                    "module range (stale or unregistered metric id)";
+  }
+}
+
+void DMon::submit_per_module(const std::vector<MetricSample>& sorted,
+                             PollRecord& record) {
+  const std::size_t strays =
+      group_by_range(sorted, module_ranges_, groups_scratch_);
+  note_strays(strays);
+  for (const std::vector<MetricSample>& group : groups_scratch_) {
+    if (group.empty()) continue;
+    const net::MessagePtr frame = encode_monitor_event(group);
+    if (host_.telemetry().trace_enabled()) {
+      record.submit_cost +=
+          monitor_channel_->submit(frame, begin_trace(monitor_channel_->id()));
+    } else {
+      record.submit_cost += monitor_channel_->submit(frame);
+    }
+    ++record.events_submitted;
+    record.samples_published += group.size();
+  }
+}
+
+void DMon::submit_batch(std::vector<MetricSample>& sorted, PollRecord& record) {
+  // Strays cannot ride in a batch either: peers index their metric tables
+  // by id, and a stale id would overwrite some other metric's slot there.
+  std::size_t strays = 0;
+  std::erase_if(sorted, [&](const MetricSample& s) {
+    if (s.id < metric_table_.size()) return false;
+    ++strays;
+    return true;
+  });
+  note_strays(strays);
+
+  const bool keyframe =
+      config_.batch.keyframe_every <= 1 ||
+      batch_seq_ %
+              static_cast<std::uint64_t>(config_.batch.keyframe_every) ==
+          0;
+  ++batch_seq_;
+  if (last_published_.size() < metric_table_.size()) {
+    last_published_.resize(metric_table_.size());
+  }
+
+  net::MonitorBatch batch;
+  batch.entries.reserve(sorted.size());
+  for (const MetricSample& s : sorted) {
+    if (!keyframe && config_.batch.delta_epsilon >= 0 &&
+        last_published_[s.id].published &&
+        std::abs(s.value - last_published_[s.id].value) <=
+            config_.batch.delta_epsilon) {
+      ++record.delta_suppressed;
+      continue;
+    }
+    batch.entries.push_back(
+        net::MonitorBatch::Entry{s.id, s.value, s.sampled_at.ns()});
+  }
+  delta_suppressed_total_ += record.delta_suppressed;
+  tm_batch_delta_suppressed_.add(record.delta_suppressed);
+  // A period where everything was suppressed sends no frame at all — same
+  // as a period where the filter kept everything back.
+  if (batch.entries.empty()) return;
+
+  if (keyframe) batch.flags |= net::MonitorBatch::kFlagKeyframe;
+  record.keyframe = keyframe;
+  for (const net::MonitorBatch::Entry& e : batch.entries) {
+    last_published_[e.id] = PublishedState{true, e.value};
+  }
+  record.samples_published = batch.entries.size();
+
+  const net::MessagePtr full = encode_batch_event(batch);
+  if (!config_.batch.interest || peer_interests_.empty()) {
+    if (host_.telemetry().trace_enabled()) {
+      record.submit_cost +=
+          monitor_channel_->submit(full, begin_trace(monitor_channel_->id()));
+    } else {
+      record.submit_cost += monitor_channel_->submit(full);
+    }
+  } else {
+    // Per-member payload selection: one filtered frame per distinct
+    // interest set (members sharing a set share the encoding), the full
+    // frame for members that never declared, nullptr (skip) for members
+    // whose set matches nothing in this batch.
+    std::vector<std::pair<const std::vector<std::string>*, net::MessagePtr>>
+        cache;
+    std::uint64_t saved = 0;
+    auto interested = [this](const std::vector<std::string>& set,
+                             MetricId id) {
+      for (std::size_t mi = 0; mi < module_ranges_.size(); ++mi) {
+        const MetricRange& range = module_ranges_[mi];
+        if (id >= range.first && id < range.first + range.count) {
+          return std::binary_search(set.begin(), set.end(),
+                                    modules_[mi].module->name());
+        }
+      }
+      return false;
+    };
+    auto select = [&](net::NodeId member) -> net::MessagePtr {
+      auto it = peer_interests_.find(member);
+      if (it == peer_interests_.end() || it->second.empty()) return full;
+      net::MessagePtr frame;
+      bool cached = false;
+      for (const auto& [set, cached_frame] : cache) {
+        if (*set == it->second) {
+          frame = cached_frame;
+          cached = true;
+          break;
+        }
+      }
+      if (!cached) {
+        net::MonitorBatch filtered;
+        filtered.flags = batch.flags;
+        for (const net::MonitorBatch::Entry& e : batch.entries) {
+          if (interested(it->second, e.id)) filtered.entries.push_back(e);
+        }
+        if (!filtered.entries.empty()) frame = encode_batch_event(filtered);
+        cache.emplace_back(&it->second, frame);
+      }
+      if (frame == nullptr) {
+        saved += full->size() + kKechoHeaderBytes;
+      } else if (frame != full) {
+        saved += full->size() - frame->size();
+      }
+      return frame;
+    };
+    if (host_.telemetry().trace_enabled()) {
+      record.submit_cost += monitor_channel_->submit_to_each(
+          select, begin_trace(monitor_channel_->id()));
+    } else {
+      record.submit_cost += monitor_channel_->submit_to_each(select);
+    }
+    interest_bytes_saved_ += saved;
+    tm_bytes_saved_.add(saved);
+  }
+  ++record.events_submitted;
+  tm_batch_submits_.add();
+  tm_batch_samples_.add(batch.entries.size());
+  if (keyframe) tm_batch_keyframes_.add();
+}
+
 PollRecord DMon::poll() {
   PollRecord record;
   const SimTime poll_start = host_.engine().now();
@@ -514,13 +839,28 @@ PollRecord DMon::poll() {
   const SimTime now = host_.engine().now();
   std::vector<MetricSample> collected;
   collected.reserve(metric_table_.size());
+  std::vector<MetricRange> dropped;
   for (ModuleEntry& entry : modules_) {
     const std::size_t before = collected.size();
     entry.module->collect(collected, now);
     if (collected.size() - before != entry.metric_count) {
+      // A misbehaving module must not publish default-constructed zeros
+      // under valid metric ids cluster-wide. The vector has to stay
+      // id-dense (the tuning layer and the local procfs readers index it
+      // by id), so backfill the range from the last good collection and
+      // drop it from this period's publication below.
       DPROC_ERROR() << "module " << entry.module->name()
-                    << " returned wrong sample count";
+                    << " returned wrong sample count; dropping its samples "
+                       "this period";
+      ++collect_errors_;
+      tm_collect_errors_.add();
       collected.resize(before + entry.metric_count);
+      for (std::size_t i = 0; i < entry.metric_count; ++i) {
+        const MetricId id = static_cast<MetricId>(entry.first_id + i);
+        collected[before + i] =
+            id < last_collected_.size() ? last_collected_[id] : MetricSample{};
+      }
+      dropped.push_back(MetricRange{entry.first_id, entry.metric_count});
     }
     for (std::size_t i = 0; i < entry.metric_count; ++i) {
       collected[before + i].id = static_cast<MetricId>(entry.first_id + i);
@@ -533,6 +873,17 @@ PollRecord DMon::poll() {
 
   // --- decide + submit ---------------------------------------------------
   Decision decision = tuning_->decide(collected, now);
+  if (!dropped.empty()) {
+    // Nothing from a dropped module goes on the wire this period.
+    std::erase_if(decision.to_send, [&dropped](const MetricSample& s) {
+      for (const MetricRange& range : dropped) {
+        if (s.id >= range.first && s.id < range.first + range.count) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
   record.filter_instructions = decision.filter_instructions;
   tm_filter_insns_.add(decision.filter_instructions);
   // Samples collected but filtered out of this period's publication — the
@@ -545,29 +896,16 @@ PollRecord DMon::poll() {
 
   if (monitor_channel_ != nullptr && monitor_channel_->ready() &&
       monitor_channel_->remote_member_count() > 0) {
-    // Filters may emit metrics in any order; per-module grouping needs
-    // ascending ids.
+    // Filters may emit metrics in any order; per-module grouping and batch
+    // encoding need ascending ids.
     std::sort(decision.to_send.begin(), decision.to_send.end(),
               [](const MetricSample& a, const MetricSample& b) {
                 return a.id < b.id;
               });
-    std::size_t cursor = 0;
-    for (const ModuleEntry& entry : modules_) {
-      std::vector<MetricSample> group;
-      while (cursor < decision.to_send.size() &&
-             decision.to_send[cursor].id < entry.first_id + entry.metric_count) {
-        group.push_back(decision.to_send[cursor]);
-        ++cursor;
-      }
-      if (group.empty()) continue;
-      const net::MessagePtr frame = encode_monitor_event(group);
-      if (host_.telemetry().trace_enabled()) {
-        record.submit_cost +=
-            monitor_channel_->submit(frame, begin_trace(monitor_channel_->id()));
-      } else {
-        record.submit_cost += monitor_channel_->submit(frame);
-      }
-      ++record.events_submitted;
+    if (config_.batch.enabled) {
+      submit_batch(decision.to_send, record);
+    } else {
+      submit_per_module(decision.to_send, record);
     }
   }
 

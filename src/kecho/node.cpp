@@ -115,6 +115,70 @@ SimDuration Channel::submit_impl(const net::MessagePtr& payload,
   return cost;
 }
 
+SimDuration Channel::submit_to_each(const PayloadSelector& select) {
+  return submit_each_impl(select, nullptr);
+}
+
+SimDuration Channel::submit_to_each(const PayloadSelector& select,
+                                    net::TraceContext trace) {
+  telemetry::Registry& tm = node_.host().telemetry();
+  if (!tm.trace_enabled() || !trace.valid()) {
+    return submit_each_impl(select, nullptr);
+  }
+  const std::int64_t now_ns = node_.host().engine().now().ns();
+  tm.record_hop(telemetry::Hop{
+      trace.trace_id, trace.origin, id_, telemetry::HopStage::kSubmit, now_ns,
+      now_ns - trace.prev_hop_ns});
+  trace.hop = static_cast<std::uint8_t>(telemetry::HopStage::kSubmit);
+  trace.prev_hop_ns = now_ns;
+  return submit_each_impl(select, &trace);
+}
+
+SimDuration Channel::submit_each_impl(const PayloadSelector& select,
+                                      const net::TraceContext* trace) {
+  ++submitted_;
+  const KechoCosts& costs = node_.costs();
+  const SimTime now = node_.host().engine().now();
+  // One wire frame per *distinct* payload, shared by every member that
+  // selected it — the common case is one payload per interest group, so
+  // the cache is a short linear scan keyed by payload identity.
+  std::vector<std::pair<const net::Message*, net::MessagePtr>> frames;
+  std::vector<Member> sent;
+  double cycles = 0.0;
+  for (const Member& member : members_) {
+    const net::MessagePtr payload = select(member.node);
+    if (payload == nullptr) continue;  // member opted out of this event
+    net::MessagePtr frame;
+    for (const auto& [key, cached] : frames) {
+      if (key == payload.get()) {
+        frame = cached;
+        break;
+      }
+    }
+    if (frame == nullptr) {
+      frame = encode_event(id_, node_.nic().node(), now, payload, trace);
+      frames.emplace_back(payload.get(), frame);
+    }
+    if (transport_ == ChannelTransport::kDatagram) {
+      node_.nic().send_datagram(member.node, Node::kDatagramEventPort, frame,
+                                Node::kDatagramEventPort);
+    } else {
+      node_.transport_to(member.node)->send(frame);
+    }
+    cycles += costs.submit_base_cycles +
+              costs.submit_per_byte_cycles * static_cast<double>(frame->size());
+    if (node_.liveness_.enabled) sent.push_back(member);
+  }
+  if (node_.liveness_.enabled && !sent.empty()) node_.note_submission(sent);
+  const SimDuration cost =
+      seconds(cycles / node_.host().cpu().config().clock_hz);
+  if (cost > SimDuration::zero()) node_.host().cpu().consume_kernel(cost);
+  node_.tm_submits_.add();
+  node_.tm_submit_us_.record(cost);
+  node_.host().telemetry().record_span("kecho", "submit", now, now + cost);
+  return cost;
+}
+
 std::size_t Channel::remote_member_count() const { return members_.size(); }
 
 std::vector<std::pair<ChannelId, std::string>> Node::channels() const {

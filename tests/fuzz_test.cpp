@@ -250,6 +250,89 @@ TEST(FuzzTraceContext, FrameBitFlipsNeverCrash) {
   }
 }
 
+net::MonitorBatch sample_batch(std::size_t entries, std::uint8_t flags) {
+  net::MonitorBatch batch;
+  batch.flags = flags;
+  for (std::size_t i = 0; i < entries; ++i) {
+    batch.entries.push_back(net::MonitorBatch::Entry{
+        static_cast<std::uint32_t>(i), 0.5 + static_cast<double>(i),
+        static_cast<std::int64_t>(1'000'000 * (i + 1))});
+  }
+  return batch;
+}
+
+TEST(FuzzMonitorBatch, RoundTripPreservesEveryEntry) {
+  const net::MonitorBatch batch =
+      sample_batch(13, net::MonitorBatch::kFlagKeyframe);
+  net::ByteWriter w;
+  batch.encode(w);
+  EXPECT_EQ(w.size(), batch.encoded_bytes());
+
+  net::ByteReader r{w.bytes()};
+  net::MonitorBatch decoded;
+  ASSERT_TRUE(net::MonitorBatch::decode(r, decoded));
+  EXPECT_TRUE(decoded.keyframe());
+  ASSERT_EQ(decoded.entries.size(), batch.entries.size());
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i].id, batch.entries[i].id);
+    EXPECT_DOUBLE_EQ(decoded.entries[i].value, batch.entries[i].value);
+    EXPECT_EQ(decoded.entries[i].sampled_ns, batch.entries[i].sampled_ns);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(FuzzMonitorBatch, EveryTruncationIsRejected) {
+  net::ByteWriter w;
+  sample_batch(5, 0).encode(w);
+  const std::vector<std::uint8_t> full = w.bytes();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{full.data(), len}};
+    net::MonitorBatch out;
+    EXPECT_FALSE(net::MonitorBatch::decode(r, out))
+        << "accepted truncation at " << len;
+  }
+}
+
+TEST(FuzzMonitorBatch, RejectsUnknownVersionAndReservedZero) {
+  net::ByteWriter w;
+  sample_batch(2, 0).encode(w);
+  for (const std::uint8_t version :
+       {std::uint8_t{0}, std::uint8_t{net::MonitorBatch::kVersion + 1},
+        std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes[0] = version;
+    net::ByteReader r{bytes};
+    net::MonitorBatch out;
+    EXPECT_FALSE(net::MonitorBatch::decode(r, out))
+        << "accepted version " << int(version);
+  }
+}
+
+TEST(FuzzMonitorBatch, CorruptCountCannotOverAllocateOrCrash) {
+  Rng rng{0xBA7C};
+  net::ByteWriter w;
+  sample_batch(8, net::MonitorBatch::kFlagKeyframe).encode(w);
+  const std::vector<std::uint8_t> base = w.bytes();
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> corrupted = base;
+    if (rng.bernoulli(0.5)) {
+      corrupted.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()))));
+    }
+    for (int flips = 0; flips < 4 && !corrupted.empty(); ++flips) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted.size()) - 1));
+      corrupted[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    net::ByteReader r{corrupted};
+    net::MonitorBatch out;
+    if (net::MonitorBatch::decode(r, out)) {
+      // Whatever decodes must have fit inside the buffer.
+      EXPECT_LE(out.encoded_bytes(), corrupted.size());
+    }
+  }
+}
+
 TEST(FuzzTraceContext, RawDecodeNeverReadsPastBuffer) {
   Rng rng{0x7CAB};
   for (int trial = 0; trial < 2000; ++trial) {

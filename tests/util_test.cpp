@@ -158,6 +158,29 @@ TEST(SampleSet, QuantileAfterMoreSamples) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);  // re-sorts after new data
 }
 
+TEST(SampleSet, InterleavedAddAndQuantileNeverServesStaleOrder) {
+  // Regression guard for the lazy sort cache: every mutation must reset
+  // sorted_, or a quantile after an out-of-order add would read the old
+  // permutation. Descending inserts make a stale cache maximally visible.
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) {
+    s.add(static_cast<double>(i));
+    // Quantile between every add: forces the cache then invalidates it.
+    const double expected_max = 100.0;
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), expected_max) << "after adding " << i;
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+
+  // clear() must also invalidate, not just empty the vector.
+  s.clear();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  s.add(7.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+}
+
 TEST(Ewma, ConvergesToConstant) {
   Ewma e{0.5};
   for (int i = 0; i < 32; ++i) e.add(10.0);
