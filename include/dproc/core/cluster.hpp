@@ -64,6 +64,13 @@ struct ClusterConfig {
   /// fan-out. Off by default for the same byte-identity reason. Copied
   /// into DmonConfig::batch for every d-mon the builder creates.
   BatchConfig batch{};
+  /// Hierarchical aggregation overlay: zone aggregators, roll-up
+  /// republish, drill-down. Off by default for the same byte-identity
+  /// reason. The builder constructs one HierarchyLayout for the cluster
+  /// and shares it with every d-mon. With the overlay on, peer declaration
+  /// is zone-scoped (each node pre-declares only its zone mates; everyone
+  /// else is learned lazily) instead of all-pairs.
+  HierarchyConfig hierarchy{};
 };
 
 /// One fully wired cluster node.

@@ -17,9 +17,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "dproc/core/hierarchy.hpp"
 #include "dproc/core/monitors.hpp"
 #include "dproc/core/tuning.hpp"
 #include "dproc/kecho/node.hpp"
@@ -102,6 +104,12 @@ struct DmonConfig {
   /// Batched publishing, delta suppression, interest fan-out (off by
   /// default).
   BatchConfig batch{};
+  /// Hierarchical aggregation overlay (off by default; see hierarchy.hpp).
+  HierarchyConfig hierarchy{};
+  /// The cluster-wide zone layout, built once (build_hierarchy) and shared
+  /// by every d-mon so they all derive identical election answers. Required
+  /// when hierarchy.enabled; ignored otherwise.
+  std::shared_ptr<const HierarchyLayout> hierarchy_layout;
 };
 
 /// Degradation state of one peer's monitoring feed, derived from update
@@ -282,6 +290,36 @@ class DMon {
     return peer_interests_;
   }
 
+  // --- hierarchical aggregation overlay ----------------------------------
+
+  /// True when this node runs the zone overlay (enabled config + layout,
+  /// after start()).
+  [[nodiscard]] bool hierarchy_active() const { return hier_; }
+
+  /// Latest root summary this node received (or built, at the acting
+  /// root); nullptr before the first summary or with the overlay off.
+  [[nodiscard]] const net::AggregateBatch* cluster_summary() const {
+    return summary_valid_ ? &summary_ : nullptr;
+  }
+  [[nodiscard]] SimTime cluster_summary_at() const { return summary_at_; }
+
+  /// The acting aggregator this node currently derives for a zone: the
+  /// first election candidate not believed dead by the local membership
+  /// view. nullopt off-hierarchy or when every candidate is down.
+  [[nodiscard]] std::optional<std::size_t> zone_acting(
+      std::uint32_t zone_id) const;
+
+  /// Drill-down: temporarily pull `target`'s raw feed through the tree
+  /// (enable), or cancel the pull. The subscription rides the summary
+  /// channel, is re-announced every poll while active, and expires at the
+  /// aggregators drill_ttl_periods after the last refresh — so a crashed
+  /// requester's drill ages out on its own. Requires summary membership.
+  Status drill_down(net::NodeId target, bool enable);
+  /// Targets this node is currently drilling into (requester side).
+  [[nodiscard]] const std::set<net::NodeId>& drill_targets() const {
+    return local_drills_;
+  }
+
   // --- error / savings accounting (plain counters; the telemetry twins
   // --- only move when the registry is enabled) ---------------------------
 
@@ -316,6 +354,24 @@ class DMon {
     SimTime last_slo_violation;    // most recent violation (watchdog)
   };
 
+  /// Per-zone aggregator duty: roll-up state, channel handles and
+  /// drill-down routing of one zone this node is an election candidate
+  /// for. Every node has at least its leaf-zone duty (leaf candidates are
+  /// the zone members); standby candidates keep the state warm so failover
+  /// needs no handoff protocol.
+  struct ZoneDuty {
+    const HierarchyZone* zone = nullptr;
+    ZoneRollup rollup;
+    kecho::Channel* channel = nullptr;         // channel(zone)
+    kecho::Channel* parent_channel = nullptr;  // channel(parent)/summary
+    /// Drill-down routing state: target -> (requester -> expiry).
+    std::map<net::NodeId, std::map<net::NodeId, SimTime>> drills;
+    /// Latest aggregate this node built for the zone (procfs rendering).
+    net::AggregateBatch last_built;
+    SimTime last_built_at;
+    bool last_built_valid = false;
+  };
+
   void on_monitor_event(const kecho::Event& event);
   void on_control_event(const kecho::Event& event);
   /// Stores a peer's interest declaration (control-channel kOpInterest).
@@ -326,6 +382,46 @@ class DMon {
   /// Batched publication: one MonitorBatch frame per period, with delta
   /// suppression, keyframes and (optionally) interest-filtered fan-out.
   void submit_batch(std::vector<MetricSample>& sorted, PollRecord& record);
+  /// Builds this period's publish batch (stray removal, keyframe phase,
+  /// delta suppression) into `batch`, updating the published-value cache
+  /// and the record; false when nothing survives (no frame goes out).
+  bool build_publish_batch(std::vector<MetricSample>& sorted,
+                           PollRecord& record, net::MonitorBatch& batch);
+
+  // --- hierarchy ---------------------------------------------------------
+  /// Joins zone channels, installs handlers and registers the overlay's
+  /// procfs files, per this node's duties in the shared layout.
+  void start_hierarchy();
+  kecho::Channel* join_zone_channel(std::uint32_t zone_id);
+  [[nodiscard]] ZoneDuty* duty_of(std::uint32_t zone_id);
+  [[nodiscard]] bool hier_alive(std::size_t node) const;
+  void on_zone_event(std::uint32_t zone_id, const kecho::Event& event);
+  /// Leaf publication into the zone aggregator — a single-member submit,
+  /// or a local fold (no wire frame) when this node is itself acting.
+  void submit_hier(std::vector<MetricSample>& sorted, PollRecord& record);
+  /// Aggregator duty: builds and republishes every acting zone's roll-up
+  /// to the parent tier (the root's goes to the summary channel).
+  void publish_rollups(PollRecord& record);
+  /// Records a drill subscription on `duty` and propagates it down the
+  /// tree (wire to remote child candidates, directly to own child duties).
+  void apply_drill(ZoneDuty& duty, net::NodeId requester, net::NodeId target,
+                   bool enable, SimTime expiry);
+  /// Requester side: (re-)announces a drill on the summary channel and
+  /// applies it locally when this node is itself a root candidate.
+  void send_drill_request(net::NodeId target, bool enable);
+  /// Forwards a drilled origin's raw batch one hop up the acting chain,
+  /// or to the requesters at the root.
+  void send_drill_up(ZoneDuty& duty, net::NodeId origin,
+                     const net::MessagePtr& frame, PollRecord* record);
+  /// Leaf capture: wraps `batch` as drill data if `origin` is drilled.
+  void maybe_forward_drill(ZoneDuty& leaf_duty, net::NodeId origin,
+                           const net::MonitorBatch& batch, PollRecord* record);
+  void prune_drills(SimTime now);
+  void register_hier_files();
+  /// Looks up (or lazily declares, from the fabric name table) a peer.
+  Peer& ensure_peer(net::NodeId origin);
+  void apply_batch_to_peer(Peer& peer, const net::MonitorBatch& batch,
+                           std::uint64_t trace_id);
   /// Re-sends the local interest declaration (no-op before the control
   /// channel is ready; errors are ignored — the next join retries).
   void broadcast_interest();
@@ -384,6 +480,44 @@ class DMon {
   std::vector<std::string> local_interest_;
   bool interest_declared_ = false;
   bool warned_strays_ = false;
+
+  // --- receive/encode scratch, reused across periods so the steady state
+  // --- allocates nothing (see perf_regression_test) ----------------------
+  net::MonitorBatch rx_batch_;        // on_monitor_event / on_zone_event
+  net::MonitorBatch batch_scratch_;   // this period's outgoing batch
+  net::MonitorBatch filtered_scratch_;  // interest-filtered variant
+  net::AggregateBatch agg_scratch_;   // outgoing roll-up
+  net::AggregateBatch agg_rx_;        // incoming roll-up
+  /// Per-distinct-interest-set frame cache (cleared, capacity kept).
+  std::vector<std::pair<const std::vector<std::string>*, net::MessagePtr>>
+      interest_cache_;
+
+  // --- hierarchy state ---------------------------------------------------
+  bool hier_ = false;
+  const HierarchyZone* leaf_zone_ = nullptr;
+  std::vector<ZoneDuty> duties_;  // leaf duty first
+  std::map<std::uint32_t, kecho::Channel*> zone_channels_;
+  /// Nodes this d-mon believes dead (membership evictions/leaves) — the
+  /// local view the deterministic election runs against.
+  std::set<std::size_t> hier_dead_;
+  std::set<net::NodeId> local_drills_;  // requester-side drill targets
+  net::AggregateBatch summary_;         // latest root summary
+  SimTime summary_at_;
+  bool summary_valid_ = false;
+  bool hier_files_registered_ = false;
+
+  /// Per-tier overlay telemetry (indexed by the publishing zone's tier),
+  /// resolved when the overlay starts.
+  struct TierTelemetry {
+    telemetry::Counter* tx_events = nullptr;
+    telemetry::Counter* tx_bytes = nullptr;
+    telemetry::Counter* rx_events = nullptr;
+    telemetry::Counter* rx_bytes = nullptr;
+  };
+  std::vector<TierTelemetry> tm_tier_;
+  telemetry::Counter* tm_hier_rollups_ = nullptr;
+  telemetry::Counter* tm_hier_drill_req_ = nullptr;
+  telemetry::Counter* tm_hier_drill_data_ = nullptr;
 
   std::uint64_t collect_errors_ = 0;
   std::uint64_t stray_samples_ = 0;

@@ -46,6 +46,16 @@ class Filter {
     return Vm{limits}.run(bytecode_, input);
   }
 
+  /// Pooled evaluation: runs on a Vm leased from `pool` into the caller's
+  /// reusable `result`. With a persistent pool and result this is the
+  /// steady-state path for callers without their own long-lived Vm — zero
+  /// heap allocations once the leased arenas and `result` have warmed up.
+  Status run(VmPool& pool, std::span<const Sample> input,
+             FilterResult& result) const {
+    VmPool::Lease lease = pool.acquire();
+    return lease.vm().run(bytecode_, input, result);
+  }
+
   [[nodiscard]] const Bytecode& bytecode() const { return bytecode_; }
   [[nodiscard]] const std::string& source() const { return source_; }
 

@@ -146,6 +146,16 @@ class Channel {
   SimDuration submit_to_each(const PayloadSelector& select,
                              net::TraceContext trace);
 
+  /// Publishes to one specific member only — the hierarchical overlay's
+  /// leaf-to-aggregator path. Other members are neither sent to nor
+  /// charged; a `member` not currently on the channel makes the call a
+  /// zero-cost no-op (the frame would reach nobody). Counts as one
+  /// submitted event, like a submit_to_each that skipped everyone else.
+  SimDuration submit_to(net::NodeId member, const net::MessagePtr& payload);
+  /// Traced variant; same fallback rules as the traced submit().
+  SimDuration submit_to(net::NodeId member, const net::MessagePtr& payload,
+                        net::TraceContext trace);
+
   [[nodiscard]] ChannelId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool ready() const { return ready_; }
@@ -164,6 +174,8 @@ class Channel {
                           const net::TraceContext* trace);
   SimDuration submit_each_impl(const PayloadSelector& select,
                                const net::TraceContext* trace);
+  SimDuration submit_to_impl(net::NodeId member, const net::MessagePtr& payload,
+                             const net::TraceContext* trace);
 
   Node& node_;
   std::string name_;
@@ -175,6 +187,8 @@ class Channel {
   std::deque<Event> rx_queue_;
   std::uint64_t submitted_ = 0;
   std::uint64_t received_ = 0;
+  /// Reused one-element member list for submit_to's heartbeat suppression.
+  std::vector<Member> single_member_scratch_;
   std::vector<std::function<void(Channel&)>> on_ready_;
   int join_attempts_ = 0;        // backoff exponent for the next retry
   sim::EventHandle join_retry_;  // pending retry; cancelled on response

@@ -84,6 +84,11 @@ class RegistryServer {
   [[nodiscard]] std::vector<Member> channel_members(
       const std::string& name) const;
 
+  /// Names of every channel ever created, in name order. The hierarchy
+  /// tests use this to assert the zone-scoped channel set (one channel per
+  /// zone, not one flat channel with N members).
+  [[nodiscard]] std::vector<std::string> channel_names() const;
+
   /// Mirrors the op counters into `telemetry` (typically the hosting node's
   /// registry) under "registry/..."; nullptr detaches. Purely additive: the
   /// plain RegistryStats keep counting either way.

@@ -124,6 +124,10 @@ class Fabric {
   /// Canonical cluster topology: every node gets an uplink and downlink to
   /// one non-blocking switch; route a→b = [uplink(a), downlink(b)].
   /// Returns per-node (uplink, downlink) pairs for stat inspection.
+  /// Routing is implicit — the route is derived from the two port links at
+  /// send time instead of materializing all N² (src, dst) entries, so a
+  /// 4096-node star costs O(N) memory. Explicit set_route entries still
+  /// take precedence for the pairs they cover.
   std::vector<std::pair<LinkId, LinkId>> build_star(
       const std::vector<NodeId>& nodes, const LinkConfig& config);
 
@@ -175,12 +179,20 @@ class Fabric {
  private:
   void forward(Packet packet, const std::vector<LinkId>& route,
                std::size_t hop, std::function<void(const Packet&)> on_drop);
+  /// Star-topology forwarding without a route table: hop 0 = sender's
+  /// uplink, hop 1 = destination's downlink, hop 2 = delivery.
+  void forward_star(Packet packet, std::size_t hop,
+                    std::function<void(const Packet&)> on_drop);
+  void deliver(const Packet& packet);
   void count_drop(DropCause cause);
 
   sim::Engine& engine_;
   std::vector<std::string> node_names_;
   std::vector<std::unique_ptr<Link>> links_;
   std::map<std::pair<NodeId, NodeId>, std::vector<LinkId>> routes_;
+  /// Implicit star routing (build_star): per-node (uplink, downlink) port
+  /// pairs, indexed by NodeId. Empty when no star was built.
+  std::vector<std::pair<LinkId, LinkId>> star_ports_;
   std::vector<DeliveryHandler> delivery_;
   std::vector<std::uint64_t> delivered_bytes_;
   std::vector<bool> node_down_;

@@ -190,6 +190,153 @@ struct MonitorBatch {
   }
 };
 
+/// One zone's per-metric roll-up, republished up the aggregation tree by a
+/// zone aggregator — the compact frame that replaces N raw MonitorBatch
+/// feeds above the leaf tier. Which statistics ride in each entry is
+/// selected per channel through the flag bits, so a summary channel can
+/// carry mean-only entries while a capacity channel keeps min/max/top-k.
+///
+/// Layout (little-endian, no padding):
+///   version u8 | flags u8 | tier u8 | zone u32 | count u32 | count × entry
+///   entry: id u32 | count u32 | latest_ns i64
+///          | min f64 (kFlagMin) | max f64 (kFlagMax) | sum f64 (kFlagMean)
+///          | top_count u8 + top_count × (node u32, value f64) (kFlagTopK)
+///
+/// Versioning rules match MonitorBatch: readers reject version 0 and
+/// versions above their own; new statistics ride in new flag bits (the
+/// entry layout is self-describing through `flags`), layout changes bump
+/// the version. The `zone` field keys the receiving aggregator's child
+/// table, so a re-elected aggregator republishing the same zone overwrites
+/// rather than double-counts.
+struct AggregateBatch {
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kFlagMin = 0x01;
+  static constexpr std::uint8_t kFlagMax = 0x02;
+  static constexpr std::uint8_t kFlagMean = 0x04;  // sum rides; mean = sum/count
+  static constexpr std::uint8_t kFlagTopK = 0x08;
+  static constexpr std::uint8_t kKnownFlags =
+      kFlagMin | kFlagMax | kFlagMean | kFlagTopK;
+  /// Hard cap on the per-entry top-k list: bounds both the wire size and
+  /// what a corrupted top_count can make a reader allocate.
+  static constexpr std::uint8_t kMaxTopK = 16;
+  static constexpr std::size_t kHeaderBytes = 1 + 1 + 1 + 4 + 4;
+  static constexpr std::size_t kEntryFixedBytes = 4 + 4 + 8;
+  static constexpr std::size_t kTopBytes = 4 + 8;
+
+  struct Top {
+    std::uint32_t node = 0;  // origin node id of the extreme value
+    double value = 0.0;
+
+    friend bool operator==(const Top&, const Top&) = default;
+  };
+
+  struct Entry {
+    std::uint32_t id = 0;      // cluster-convention metric id
+    std::uint32_t count = 0;   // origins folded into this entry (>= 1)
+    std::int64_t latest_ns = 0;  // newest contributing sample time
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;          // mean = sum / count
+    std::vector<Top> top;      // descending by value, <= kMaxTopK
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  std::uint8_t flags = 0;
+  std::uint8_t tier = 0;     // tier of the *publishing* zone (0 = leaf)
+  std::uint32_t zone = 0;    // publishing zone id within the layout
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const {
+    return (flags & flag) != 0;
+  }
+  /// Smallest possible encoded entry under `flags` (top list empty).
+  [[nodiscard]] static std::size_t min_entry_bytes(std::uint8_t flags) {
+    std::size_t n = kEntryFixedBytes;
+    if ((flags & kFlagMin) != 0) n += 8;
+    if ((flags & kFlagMax) != 0) n += 8;
+    if ((flags & kFlagMean) != 0) n += 8;
+    if ((flags & kFlagTopK) != 0) n += 1;
+    return n;
+  }
+  [[nodiscard]] std::size_t encoded_bytes() const {
+    std::size_t n = kHeaderBytes + entries.size() * min_entry_bytes(flags);
+    if (has(kFlagTopK)) {
+      for (const Entry& e : entries) n += e.top.size() * kTopBytes;
+    }
+    return n;
+  }
+
+  void encode(ByteWriter& w) const {
+    w.u8(kVersion);
+    w.u8(flags);
+    w.u8(tier);
+    w.u32(zone);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const Entry& e : entries) {
+      w.u32(e.id);
+      w.u32(e.count);
+      w.i64(e.latest_ns);
+      if (has(kFlagMin)) w.f64(e.min);
+      if (has(kFlagMax)) w.f64(e.max);
+      if (has(kFlagMean)) w.f64(e.sum);
+      if (has(kFlagTopK)) {
+        w.u8(static_cast<std::uint8_t>(e.top.size()));
+        for (const Top& t : e.top) {
+          w.u32(t.node);
+          w.f64(t.value);
+        }
+      }
+    }
+  }
+
+  /// Decodes one aggregate batch; false (and reader !ok where truncated) on
+  /// any malformation: bad version, unknown flag bits, an entry count that
+  /// cannot fit the remaining bytes (checked *before* reserving, so a
+  /// corrupted count cannot trigger a huge allocation), a zero-origin
+  /// entry, or a top list past kMaxTopK.
+  [[nodiscard]] static bool decode(ByteReader& r, AggregateBatch& out) {
+    const std::uint8_t version = r.u8();
+    out.flags = r.u8();
+    out.tier = r.u8();
+    out.zone = r.u32();
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || version == 0 || version > kVersion) return false;
+    if ((out.flags & ~kKnownFlags) != 0) return false;
+    const std::size_t floor = min_entry_bytes(out.flags);
+    if (r.remaining() < static_cast<std::size_t>(count) * floor) return false;
+    out.entries.clear();
+    out.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Entry e;
+      e.id = r.u32();
+      e.count = r.u32();
+      e.latest_ns = r.i64();
+      if (out.has(kFlagMin)) e.min = r.f64();
+      if (out.has(kFlagMax)) e.max = r.f64();
+      if (out.has(kFlagMean)) e.sum = r.f64();
+      if (out.has(kFlagTopK)) {
+        const std::uint8_t top_count = r.u8();
+        if (top_count > kMaxTopK ||
+            r.remaining() < static_cast<std::size_t>(top_count) * kTopBytes) {
+          return false;
+        }
+        e.top.clear();
+        e.top.reserve(top_count);
+        for (std::uint8_t t = 0; t < top_count; ++t) {
+          Top top;
+          top.node = r.u32();
+          top.value = r.f64();
+          e.top.push_back(top);
+        }
+      }
+      if (!r.ok() || e.count == 0) return false;
+      out.entries.push_back(std::move(e));
+    }
+    return r.ok();
+  }
+};
+
 /// Causal-tracing context carried on the wire behind a KECho event payload.
 ///
 /// When tracing is enabled the publisher appends one TraceContext to each

@@ -114,6 +114,15 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     for (std::size_t i : *config_.dproc_nodes) runs_dproc.at(i) = true;
   }
 
+  // One layout shared by every d-mon: the zone tree is a pure function of
+  // (node_count, hierarchy config), so all nodes agree on it without a
+  // topology protocol.
+  std::shared_ptr<const HierarchyLayout> hierarchy_layout;
+  if (config_.hierarchy.enabled) {
+    hierarchy_layout = std::make_shared<const HierarchyLayout>(
+        build_hierarchy(config_.node_count, config_.hierarchy));
+  }
+
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     ClusterNode& node = nodes_[i];
     node.kecho = std::make_unique<kecho::Node>(
@@ -123,6 +132,10 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     DmonConfig dmon_config = config_.dmon;
     if (config_.trace.enabled) dmon_config.trace = config_.trace;
     if (config_.batch.enabled) dmon_config.batch = config_.batch;
+    if (config_.hierarchy.enabled) {
+      dmon_config.hierarchy = config_.hierarchy;
+      dmon_config.hierarchy_layout = hierarchy_layout;
+    }
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
                                        *node.procfs, std::move(dmon_config));
     if (config_.module_factory) {
@@ -138,12 +151,32 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     }
   }
 
-  // Every d-mon learns every other node as a peer (names + control files).
-  for (std::size_t i = 0; i < config_.node_count; ++i) {
-    if (!nodes_[i].dmon) continue;
-    for (std::size_t j = 0; j < config_.node_count; ++j) {
-      if (i == j) continue;
-      nodes_[i].dmon->add_peer(node_ids[j], fabric_->node_name(node_ids[j]));
+  // Peer pre-declaration (names + control files). Flat clusters declare
+  // all pairs — O(N^2) state, fine at the paper's 8-node scale. With the
+  // hierarchy on, each node pre-declares only its leaf-zone mates (or
+  // nothing when declare_zone_peers is off); everyone else is learned
+  // lazily from the fabric name table on first contact, keeping per-node
+  // state O(zone) at 4096-node scale.
+  if (config_.hierarchy.enabled) {
+    if (config_.hierarchy.declare_zone_peers && hierarchy_layout) {
+      for (std::size_t i = 0; i < config_.node_count; ++i) {
+        if (!nodes_[i].dmon) continue;
+        if (i >= hierarchy_layout->node_count()) continue;
+        const HierarchyZone& leaf = hierarchy_layout->leaf_of(i);
+        for (std::size_t j : leaf.members) {
+          if (i == j || j >= node_ids.size()) continue;
+          nodes_[i].dmon->add_peer(node_ids[j],
+                                   fabric_->node_name(node_ids[j]));
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < config_.node_count; ++i) {
+      if (!nodes_[i].dmon) continue;
+      for (std::size_t j = 0; j < config_.node_count; ++j) {
+        if (i == j) continue;
+        nodes_[i].dmon->add_peer(node_ids[j], fabric_->node_name(node_ids[j]));
+      }
     }
   }
 }

@@ -115,6 +115,66 @@ SimDuration Channel::submit_impl(const net::MessagePtr& payload,
   return cost;
 }
 
+SimDuration Channel::submit_to(net::NodeId member,
+                               const net::MessagePtr& payload) {
+  return submit_to_impl(member, payload, nullptr);
+}
+
+SimDuration Channel::submit_to(net::NodeId member,
+                               const net::MessagePtr& payload,
+                               net::TraceContext trace) {
+  telemetry::Registry& tm = node_.host().telemetry();
+  if (!tm.trace_enabled() || !trace.valid()) {
+    return submit_to_impl(member, payload, nullptr);
+  }
+  const std::int64_t now_ns = node_.host().engine().now().ns();
+  tm.record_hop(telemetry::Hop{
+      trace.trace_id, trace.origin, id_, telemetry::HopStage::kSubmit, now_ns,
+      now_ns - trace.prev_hop_ns});
+  trace.hop = static_cast<std::uint8_t>(telemetry::HopStage::kSubmit);
+  trace.prev_hop_ns = now_ns;
+  return submit_to_impl(member, payload, &trace);
+}
+
+SimDuration Channel::submit_to_impl(net::NodeId member,
+                                    const net::MessagePtr& payload,
+                                    const net::TraceContext* trace) {
+  ++submitted_;
+  const Member* target = nullptr;
+  for (const Member& m : members_) {
+    if (m.node == member) {
+      target = &m;
+      break;
+    }
+  }
+  if (target == nullptr) return SimDuration::zero();  // not (yet) a member
+  const KechoCosts& costs = node_.costs();
+  const SimTime now = node_.host().engine().now();
+  const net::MessagePtr frame =
+      encode_event(id_, node_.nic().node(), now, payload, trace);
+  if (transport_ == ChannelTransport::kDatagram) {
+    node_.nic().send_datagram(target->node, Node::kDatagramEventPort, frame,
+                              Node::kDatagramEventPort);
+  } else {
+    node_.transport_to(target->node)->send(frame);
+  }
+  if (node_.liveness_.enabled) {
+    // Only the targeted member got a frame; only its heartbeat suppresses.
+    single_member_scratch_.assign(1, *target);
+    node_.note_submission(single_member_scratch_);
+  }
+  const double cycles =
+      costs.submit_base_cycles +
+      costs.submit_per_byte_cycles * static_cast<double>(frame->size());
+  const SimDuration cost =
+      seconds(cycles / node_.host().cpu().config().clock_hz);
+  if (cost > SimDuration::zero()) node_.host().cpu().consume_kernel(cost);
+  node_.tm_submits_.add();
+  node_.tm_submit_us_.record(cost);
+  node_.host().telemetry().record_span("kecho", "submit", now, now + cost);
+  return cost;
+}
+
 SimDuration Channel::submit_to_each(const PayloadSelector& select) {
   return submit_each_impl(select, nullptr);
 }

@@ -97,6 +97,13 @@ std::vector<Member> RegistryServer::channel_members(
   return it == channels_.end() ? std::vector<Member>{} : it->second.members;
 }
 
+std::vector<std::string> RegistryServer::channel_names() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, record] : channels_) names.push_back(name);
+  return names;
+}
+
 void RegistryServer::handle_request(net::NodeId from, net::Port from_port,
                                     const net::MessagePtr& message) {
   if (!online_) {

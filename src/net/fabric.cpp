@@ -1,5 +1,6 @@
 #include "dproc/net/fabric.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -94,11 +95,17 @@ std::vector<std::pair<LinkId, LinkId>> Fabric::build_star(
     (void)node;
     ports.emplace_back(add_link(config), add_link(config));
   }
+  // Routes stay implicit (derived per packet in forward_star): the port
+  // table is O(N) where the explicit (src, dst) map would be O(N²) —
+  // gigabytes at 4096 nodes. star_ports_ is indexed by NodeId, so pad for
+  // any nodes added before this call that are not part of the star.
+  if (star_ports_.size() < node_names_.size()) {
+    star_ports_.resize(node_names_.size(),
+                       {std::numeric_limits<LinkId>::max(),
+                        std::numeric_limits<LinkId>::max()});
+  }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = 0; j < nodes.size(); ++j) {
-      if (i == j) continue;
-      set_route(nodes[i], nodes[j], {ports[i].first, ports[j].second});
-    }
+    star_ports_.at(nodes[i]) = ports[i];
   }
   return ports;
 }
@@ -146,11 +153,60 @@ void Fabric::send(Packet packet, std::function<void(const Packet&)> on_drop) {
     return;
   }
   auto it = routes_.find({packet.src, packet.dst});
-  if (it == routes_.end()) {
-    throw std::logic_error{"Fabric::send: no route " + node_name(packet.src) +
-                           " -> " + node_name(packet.dst)};
+  if (it != routes_.end()) {
+    forward(std::move(packet), it->second, 0, std::move(on_drop));
+    return;
   }
-  forward(std::move(packet), it->second, 0, std::move(on_drop));
+  if (packet.src < star_ports_.size() && packet.dst < star_ports_.size() &&
+      star_ports_[packet.src].first != std::numeric_limits<LinkId>::max() &&
+      star_ports_[packet.dst].second != std::numeric_limits<LinkId>::max()) {
+    forward_star(std::move(packet), 0, std::move(on_drop));
+    return;
+  }
+  throw std::logic_error{"Fabric::send: no route " + node_name(packet.src) +
+                         " -> " + node_name(packet.dst)};
+}
+
+void Fabric::deliver(const Packet& packet) {
+  if (trace_) {
+    trace_(TraceEvent::kDeliver, DropCause::kNone, packet, engine_.now());
+  }
+  ++stats_.packets_delivered;
+  delivered_bytes_.at(packet.dst) += packet.wire_bytes();
+  auto& handler = delivery_.at(packet.dst);
+  if (handler) {
+    handler(packet);
+  } else {
+    DPROC_DEBUG() << "fabric: packet to " << node_name(packet.dst)
+                  << " with no NIC attached; discarded";
+  }
+}
+
+void Fabric::forward_star(Packet packet, std::size_t hop,
+                          std::function<void(const Packet&)> on_drop) {
+  if (hop == 2) {
+    if (node_down_.at(packet.dst)) {
+      count_drop(DropCause::kNodeDown);
+      if (trace_) {
+        trace_(TraceEvent::kDrop, DropCause::kNodeDown, packet, engine_.now());
+      }
+      return;  // vanished at the dead NIC
+    }
+    deliver(packet);
+    return;
+  }
+  const LinkId id = hop == 0 ? star_ports_[packet.src].first
+                             : star_ports_[packet.dst].second;
+  Link& link = *links_.at(id);
+  const DropCause verdict =
+      link.transmit(packet, [this, hop, on_drop](const Packet& p) {
+        forward_star(p, hop + 1, on_drop);
+      });
+  if (verdict != DropCause::kNone) {
+    count_drop(verdict);
+    if (trace_) trace_(TraceEvent::kDrop, verdict, packet, engine_.now());
+    if (on_drop) on_drop(packet);
+  }
 }
 
 void Fabric::forward(Packet packet, const std::vector<LinkId>& route,
@@ -163,18 +219,7 @@ void Fabric::forward(Packet packet, const std::vector<LinkId>& route,
       }
       return;  // vanished at the dead NIC
     }
-    if (trace_) {
-      trace_(TraceEvent::kDeliver, DropCause::kNone, packet, engine_.now());
-    }
-    ++stats_.packets_delivered;
-    delivered_bytes_.at(packet.dst) += packet.wire_bytes();
-    auto& handler = delivery_.at(packet.dst);
-    if (handler) {
-      handler(packet);
-    } else {
-      DPROC_DEBUG() << "fabric: packet to " << node_name(packet.dst)
-                    << " with no NIC attached; discarded";
-    }
+    deliver(packet);
     return;
   }
   Link& link = *links_.at(route[hop]);

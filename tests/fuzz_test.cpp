@@ -333,6 +333,134 @@ TEST(FuzzMonitorBatch, CorruptCountCannotOverAllocateOrCrash) {
   }
 }
 
+net::AggregateBatch sample_aggregate(std::size_t entries, std::uint8_t flags,
+                                     std::size_t top) {
+  net::AggregateBatch batch;
+  batch.flags = flags;
+  batch.tier = 1;
+  batch.zone = 7;
+  for (std::size_t i = 0; i < entries; ++i) {
+    net::AggregateBatch::Entry entry;
+    entry.id = static_cast<std::uint32_t>(i);
+    entry.count = static_cast<std::uint32_t>(8 + i);
+    entry.latest_ns = static_cast<std::int64_t>(1'000'000 * (i + 1));
+    entry.min = 0.25 * static_cast<double>(i);
+    entry.max = 4.0 + static_cast<double>(i);
+    entry.sum = 10.0 * static_cast<double>(i + 1);
+    for (std::size_t t = 0; t < top; ++t) {
+      entry.top.push_back(net::AggregateBatch::Top{
+          static_cast<std::uint32_t>(t), entry.max - static_cast<double>(t)});
+    }
+    batch.entries.push_back(std::move(entry));
+  }
+  return batch;
+}
+
+TEST(FuzzAggregateBatch, RoundTripPreservesEveryEntry) {
+  const net::AggregateBatch batch =
+      sample_aggregate(9, net::AggregateBatch::kKnownFlags, 3);
+  net::ByteWriter w;
+  batch.encode(w);
+  EXPECT_EQ(w.size(), batch.encoded_bytes());
+
+  net::ByteReader r{w.bytes()};
+  net::AggregateBatch decoded;
+  ASSERT_TRUE(net::AggregateBatch::decode(r, decoded));
+  EXPECT_EQ(decoded.flags, batch.flags);
+  EXPECT_EQ(decoded.tier, batch.tier);
+  EXPECT_EQ(decoded.zone, batch.zone);
+  ASSERT_EQ(decoded.entries.size(), batch.entries.size());
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i], batch.entries[i]);
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(FuzzAggregateBatch, EveryTruncationIsRejected) {
+  net::ByteWriter w;
+  sample_aggregate(4, net::AggregateBatch::kKnownFlags, 2).encode(w);
+  const std::vector<std::uint8_t> full = w.bytes();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{full.data(), len}};
+    net::AggregateBatch out;
+    EXPECT_FALSE(net::AggregateBatch::decode(r, out))
+        << "accepted truncation at " << len;
+  }
+}
+
+TEST(FuzzAggregateBatch, RejectsUnknownVersionFlagsAndOversizedTopList) {
+  net::ByteWriter w;
+  sample_aggregate(2, net::AggregateBatch::kFlagMean, 0).encode(w);
+  for (const std::uint8_t version :
+       {std::uint8_t{0}, std::uint8_t{net::AggregateBatch::kVersion + 1},
+        std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes[0] = version;
+    net::ByteReader r{bytes};
+    net::AggregateBatch out;
+    EXPECT_FALSE(net::AggregateBatch::decode(r, out))
+        << "accepted version " << int(version);
+  }
+  {
+    // Reserved flag bits must be rejected, not silently ignored.
+    std::vector<std::uint8_t> bytes = w.bytes();
+    bytes[1] = static_cast<std::uint8_t>(net::AggregateBatch::kKnownFlags + 1);
+    net::ByteReader r{bytes};
+    net::AggregateBatch out;
+    EXPECT_FALSE(net::AggregateBatch::decode(r, out));
+  }
+  {
+    // A top_count past kMaxTopK bounds what a reader will reserve. The
+    // top-count byte of entry 0 sits right after the fixed fields.
+    net::ByteWriter wt;
+    sample_aggregate(1, net::AggregateBatch::kFlagTopK, 1).encode(wt);
+    std::vector<std::uint8_t> bytes = wt.bytes();
+    const std::size_t top_at = net::AggregateBatch::kHeaderBytes +
+                               net::AggregateBatch::kEntryFixedBytes;
+    bytes[top_at] = net::AggregateBatch::kMaxTopK + 1;
+    net::ByteReader r{bytes};
+    net::AggregateBatch out;
+    EXPECT_FALSE(net::AggregateBatch::decode(r, out));
+  }
+  {
+    // A zero-origin entry is nonsense (count >= 1 by construction).
+    net::ByteWriter wz;
+    sample_aggregate(1, 0, 0).encode(wz);
+    std::vector<std::uint8_t> bytes = wz.bytes();
+    const std::size_t count_at = net::AggregateBatch::kHeaderBytes + 4;
+    bytes[count_at] = bytes[count_at + 1] = bytes[count_at + 2] =
+        bytes[count_at + 3] = 0;
+    net::ByteReader r{bytes};
+    net::AggregateBatch out;
+    EXPECT_FALSE(net::AggregateBatch::decode(r, out));
+  }
+}
+
+TEST(FuzzAggregateBatch, CorruptCountCannotOverAllocateOrCrash) {
+  Rng rng{0xA66B};
+  net::ByteWriter w;
+  sample_aggregate(6, net::AggregateBatch::kKnownFlags, 2).encode(w);
+  const std::vector<std::uint8_t> base = w.bytes();
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> corrupted = base;
+    if (rng.bernoulli(0.5)) {
+      corrupted.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()))));
+    }
+    for (int flips = 0; flips < 4 && !corrupted.empty(); ++flips) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted.size()) - 1));
+      corrupted[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    net::ByteReader r{corrupted};
+    net::AggregateBatch out;
+    if (net::AggregateBatch::decode(r, out)) {
+      // Whatever decodes must have fit inside the buffer.
+      EXPECT_LE(out.encoded_bytes(), corrupted.size());
+    }
+  }
+}
+
 TEST(FuzzTraceContext, RawDecodeNeverReadsPastBuffer) {
   Rng rng{0x7CAB};
   for (int trial = 0; trial < 2000; ++trial) {

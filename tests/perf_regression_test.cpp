@@ -8,9 +8,12 @@
 // in the test binary.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "../bench/alloc_counter.hpp"
+#include "dproc/core/cluster.hpp"
 #include "dproc/ecode/ecode.hpp"
 #include "dproc/sim/engine.hpp"
 
@@ -21,6 +24,7 @@ using dproc::ecode::Filter;
 using dproc::ecode::FilterResult;
 using dproc::ecode::Sample;
 using dproc::ecode::Vm;
+using dproc::ecode::VmPool;
 
 const char* kFigure3Filter = R"({
   int i = 0;
@@ -74,6 +78,32 @@ TEST(PerfRegressionTest, WarmVmRunAllocatesNothing) {
   EXPECT_EQ(result.outputs.size(), 4u);
 }
 
+TEST(PerfRegressionTest, PooledRunAllocatesNothingOnceWarm) {
+  // The pooled path (Filter::run(pool, ...)) must match the persistent-Vm
+  // guarantee: after the lease slot and the reused result have warmed up,
+  // evaluation never touches the heap — and the pool never grows past one
+  // Vm under sequential (per-channel) use.
+  const Filter filter = compile_figure3();
+  const std::vector<Sample> input = figure3_input();
+
+  VmPool pool;
+  FilterResult result;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(filter.run(pool, input, result).is_ok());
+  }
+  ASSERT_EQ(pool.created(), 1u);
+
+  const std::uint64_t before = dproc::bench::alloc_count();
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(filter.run(pool, input, result).is_ok());
+  }
+  EXPECT_EQ(dproc::bench::alloc_count() - before, 0u)
+      << "steady-state pooled evaluation must not touch the heap";
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(result.outputs.size(), 4u);
+}
+
 TEST(PerfRegressionTest, VmIsReentrant) {
   const Filter filter = compile_figure3();
   const std::vector<Sample> input = figure3_input();
@@ -94,6 +124,49 @@ TEST(PerfRegressionTest, VmIsReentrant) {
   ASSERT_TRUE(vm.run(filter.bytecode(), input, reused).is_ok());
   EXPECT_EQ(reused.outputs, first.value().outputs);
   EXPECT_EQ(reused.instructions_executed, first.value().instructions_executed);
+}
+
+// Steady-state heap traffic of one publishing flavour: allocations across
+// the whole cluster while the simulation advances a fixed window, after the
+// channels and caches have warmed up.
+std::uint64_t steady_state_allocs(const dproc::core::BatchConfig& batch,
+                                  const std::vector<std::string>& interest) {
+  dproc::sim::Engine engine;
+  dproc::core::ClusterConfig config;
+  config.node_count = 3;
+  config.batch = batch;
+  dproc::core::Cluster cluster{engine, config};
+  cluster.start_dproc();
+  engine.run_until(dproc::SimTime::zero() + dproc::seconds(2.0));
+  if (!interest.empty()) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      (void)cluster.dmon(i)->declare_interest(interest);
+    }
+  }
+  // Warm-up: scratch buffers, frame caches and procfs strings size
+  // themselves in the first periods.
+  engine.run_until(dproc::SimTime::zero() + dproc::seconds(10.0));
+  const std::uint64_t before = dproc::bench::alloc_count();
+  engine.run_until(dproc::SimTime::zero() + dproc::seconds(40.0));
+  return dproc::bench::alloc_count() - before;
+}
+
+TEST(PerfRegressionTest, BatchedPublishingAllocatesNoMoreThanPerModule) {
+  // The batched path coalesces 5 per-module frames into one — it must not
+  // give the saving back in heap churn. Encode buffers, the decode scratch
+  // and the per-distinct-interest frame cache are persistent, so a batched
+  // period allocates strictly less than five separate submissions.
+  const std::uint64_t per_module = steady_state_allocs({}, {});
+
+  dproc::core::BatchConfig batch;
+  batch.enabled = true;
+  batch.interest = true;
+  const std::uint64_t batched = steady_state_allocs(batch, {"cpu", "mem"});
+
+  ASSERT_GT(per_module, 0u);
+  EXPECT_LE(batched, per_module)
+      << "batched " << batched << " allocs vs per-module " << per_module
+      << " over the same simulated window";
 }
 
 TEST(PerfRegressionTest, FireAndForgetScheduleAllocatesNoCancelFlags) {
