@@ -85,15 +85,15 @@ ScalePoint measure(std::size_t nodes, bool hierarchy, std::uint64_t periods) {
     config.hierarchy.declare_zone_peers = false;
     config.hierarchy.subscribers = std::vector<std::size_t>{nodes - 1};
   }
+  // Every node boots at t=0. Thousands of simultaneous joins tail-drop on
+  // the registry link, but join retries (capped backoff, deterministic
+  // per-node jitter) re-spread the collisions until every join lands — no
+  // staggered boot needed, and the warmup absorbs the retry tail.
+  config.liveness.join_retries = true;
+  config.liveness.retry_jitter = 1.0;
   core::Cluster cluster{engine, config};
-  // Staggered boot: thousands of simultaneous channel joins at t=0 would
-  // tail-drop on the registry link, and with liveness off dropped joins are
-  // never retried — the node would stay dark and the measurement would
-  // undercount. Spreading the starts across the first second keeps the
-  // join rate far below link capacity.
   for (std::size_t i = 0; i < nodes; ++i) {
-    engine.schedule_after(milliseconds(static_cast<double>(i % 1024)),
-                          [&cluster, i] { cluster.dmon(i)->start(); });
+    cluster.dmon(i)->start();
   }
   engine.run_until(SimTime::zero() + seconds(kWarmupSec));
 

@@ -1,0 +1,226 @@
+// Replicated-registry benchmark: join-completion latency through a join
+// storm, with and without replication + client caching, and under a leader
+// kill landing mid-storm.
+//
+// Every node (minus the three replica hosts) joins one channel at t=1.0 —
+// the ISSUE's 512-node join storm. Three scenarios:
+//
+//   single          one registry server, no replication, no cache
+//   replicated      3 replicas + client-side channel cache, no fault
+//   leader_kill     same, with the lease leader killed 1 ms into the storm
+//
+// Join-completion latency is measured per node from the join() call to the
+// channel turning ready; the table reports p50/p99 per scenario. Emits
+// BENCH_micro_registry.json. CI bar (exit code): p99 under the leader kill
+// must stay within 3x of the no-fault single-server baseline — failover
+// (lease expiry + queued-write drain) may cost a bounded constant, not a
+// multiple of the storm itself.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "dproc/core/cluster.hpp"
+#include "dproc/sim/fault.hpp"
+
+namespace dproc::bench {
+namespace {
+
+constexpr double kStormAt = 1.0;
+
+struct StormResult {
+  std::string name;
+  std::size_t joiners = 0;
+  std::size_t completed = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t failovers = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t events = 0;
+};
+
+std::size_t bench_nodes() {
+  if (const char* s = std::getenv("DPROC_BENCH_NODES")) {
+    const unsigned long v = std::strtoul(s, nullptr, 10);
+    if (v >= 8) return static_cast<std::size_t>(v);
+  }
+  return 512;
+}
+
+/// Replica heartbeat period in ms (DPROC_BENCH_HB_MS, default 100). The
+/// failover cost is a constant of roughly one lease (heartbeat x misses)
+/// plus one queue-drain tick, so the ratio bar against the no-fault
+/// baseline only binds when the lease is sized against the storm: the
+/// 512-node default storm tail is seconds, the 96-node smoke tail tens of
+/// milliseconds, hence the smoke test passes a 25 ms heartbeat.
+double bench_heartbeat_ms() {
+  if (const char* s = std::getenv("DPROC_BENCH_HB_MS")) {
+    const double v = std::strtod(s, nullptr);
+    if (v >= 1.0) return v;
+  }
+  return 100.0;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// One storm run. Replication keeps a deliberately short lease (100 ms
+/// heartbeats, 3 misses) so the failover constant is visible next to the
+/// storm's own queueing tail rather than dwarfing it.
+StormResult run_storm(std::size_t nodes, bool replicated, bool leader_kill,
+                      const std::string& name) {
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = nodes;
+  config.dproc_nodes = std::vector<std::size_t>{};  // directory traffic only
+  config.liveness.join_retries = true;
+  config.liveness.retry_jitter = 1.0;
+  config.liveness.retry_base = milliseconds(50.0);
+  config.liveness.retry_cap = seconds(1.0);
+  if (replicated) {
+    config.registry.enabled = true;
+    config.registry.replicas = 3;
+    config.registry.heartbeat_period = milliseconds(bench_heartbeat_ms());
+    config.registry.miss_threshold = 3;
+    config.registry.client_cache = true;
+  }
+  core::Cluster cluster{engine, config};
+
+  // Nodes 0..2 host the replicas; everyone else joins the storm channel, so
+  // the kill never takes a joiner down with it.
+  const std::size_t first_joiner = 3;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(nodes - first_joiner);
+  engine.schedule_at(SimTime::zero() + seconds(kStormAt), [&] {
+    for (std::size_t i = first_joiner; i < cluster.size(); ++i) {
+      cluster.node(i).kecho->join("storm", [&engine, &latencies_ms](
+                                               kecho::Channel&) {
+        latencies_ms.push_back(
+            (engine.now() - (SimTime::zero() + seconds(kStormAt))).ms());
+      });
+    }
+  });
+  if (leader_kill) {
+    sim::FaultPlan plan;
+    plan.kill_registry_leader(SimTime::zero() + seconds(kStormAt + 0.001));
+    cluster.inject(plan);
+  }
+  engine.run_until(SimTime::zero() + seconds(30.0));
+
+  StormResult result;
+  result.name = name;
+  result.joiners = nodes - first_joiner;
+  result.completed = latencies_ms.size();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  result.max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  for (std::size_t r = 0; r < cluster.registry_replica_count(); ++r) {
+    const kecho::RegistryStats& stats = cluster.registry_replica(r).stats();
+    result.failovers += stats.failovers;
+    result.forwards += stats.forwards;
+    result.queued += stats.queued_writes;
+  }
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    result.cache_hits += cluster.node(i).kecho->cache_stats().hits;
+  }
+  result.events = engine.events_processed();
+  return result;
+}
+
+JsonBenchEntry to_entry(const StormResult& result) {
+  JsonBenchEntry entry;
+  entry.name = result.name;
+  entry.iterations = result.joiners;
+  entry.ns_per_event = result.p99_ms * 1e6;  // p99 join latency, in ns
+  entry.ops_per_sec =
+      entry.ns_per_event > 0.0 ? 1e9 / entry.ns_per_event : 0.0;
+  entry.allocs_per_event = 0.0;
+  entry.extras.emplace_back("joins_completed",
+                            static_cast<double>(result.completed));
+  entry.extras.emplace_back("p50_ms", result.p50_ms);
+  entry.extras.emplace_back("p99_ms", result.p99_ms);
+  entry.extras.emplace_back("max_ms", result.max_ms);
+  entry.extras.emplace_back("failovers",
+                            static_cast<double>(result.failovers));
+  entry.extras.emplace_back("forwards", static_cast<double>(result.forwards));
+  entry.extras.emplace_back("queued_writes",
+                            static_cast<double>(result.queued));
+  entry.extras.emplace_back("cache_hits",
+                            static_cast<double>(result.cache_hits));
+  return entry;
+}
+
+}  // namespace
+}  // namespace dproc::bench
+
+int main(int argc, char** argv) {
+  using namespace dproc::bench;
+  std::size_t nodes = bench_nodes();
+  if (argc > 1) {
+    const int v = std::atoi(argv[1]);
+    if (v >= 8) nodes = static_cast<std::size_t>(v);
+  }
+
+  const StormResult single =
+      run_storm(nodes, /*replicated=*/false, /*leader_kill=*/false, "single");
+  const StormResult replicated = run_storm(nodes, /*replicated=*/true,
+                                           /*leader_kill=*/false,
+                                           "replicated_cached");
+  const StormResult killed = run_storm(nodes, /*replicated=*/true,
+                                       /*leader_kill=*/true, "leader_kill");
+
+  Table table({"scenario", "completed", "p50_ms", "p99_ms", "max_ms",
+               "failovers"});
+  std::vector<JsonBenchEntry> entries;
+  std::size_t row = 0;
+  for (const StormResult* result : {&single, &replicated, &killed}) {
+    table.add_row({static_cast<double>(row++),
+                   static_cast<double>(result->completed), result->p50_ms,
+                   result->p99_ms, result->max_ms,
+                   static_cast<double>(result->failovers)});
+    entries.push_back(to_entry(*result));
+  }
+  table.print("micro_registry_join_storm");
+  std::printf(
+      "\njoin storm at %zu nodes: p99 %.1f ms single, %.1f ms replicated, "
+      "%.1f ms under leader kill (%.2fx baseline)\n",
+      nodes, single.p99_ms, replicated.p99_ms, killed.p99_ms,
+      single.p99_ms > 0.0 ? killed.p99_ms / single.p99_ms : 0.0);
+
+  const bool ok = write_bench_json("micro_registry", entries);
+  bool pass = ok;
+  // Correctness gates first: every join completes in every scenario, and
+  // the kill actually exercised a failover.
+  for (const StormResult* result : {&single, &replicated, &killed}) {
+    if (result->completed != result->joiners) {
+      std::fprintf(stderr, "micro_registry: %s completed %zu/%zu joins\n",
+                   result->name.c_str(), result->completed, result->joiners);
+      pass = false;
+    }
+  }
+  if (killed.failovers == 0) {
+    std::fprintf(stderr, "micro_registry: leader kill caused no failover\n");
+    pass = false;
+  }
+  // The ISSUE acceptance bar: p99 join latency under the leader kill stays
+  // within 3x of the no-fault single-server baseline.
+  if (killed.p99_ms > 3.0 * single.p99_ms) {
+    std::fprintf(stderr,
+                 "micro_registry: leader-kill p99 %.1f ms exceeds 3x "
+                 "baseline %.1f ms\n",
+                 killed.p99_ms, single.p99_ms);
+    pass = false;
+  }
+  return pass ? 0 : 1;
+}

@@ -33,6 +33,12 @@ struct ClusterConfig {
   /// default so baseline experiments are byte-identical to the
   /// failure-unaware stack; chaos tests turn it on.
   kecho::LivenessConfig liveness{};
+  /// Registry replication + client-side channel cache. Disabled by default:
+  /// one directory server on node 0, no replica traffic, no cache — the
+  /// golden trace stays byte-identical. Enabled, replica r runs on node r
+  /// (r < registry.replicas) and every kecho::Node gets the replica list
+  /// and the lease-stamped cache.
+  kecho::RegistryReplication registry{};
   std::uint64_t seed = 0x5eed;
   /// Node names; generated ("node0", ...) when empty. The paper's 3-node
   /// example uses {"alan", "maui", "etna"}.
@@ -103,7 +109,21 @@ class Cluster {
     return *nodes_.at(i).procfs;
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
-  [[nodiscard]] kecho::RegistryServer& registry() { return *registry_; }
+  /// The registry: the single server, or replica 0 when replicated.
+  [[nodiscard]] kecho::RegistryServer& registry() {
+    return registry_ ? *registry_ : *registry_replicas_.front();
+  }
+  /// Replicated-registry observability (valid when config().registry
+  /// is enabled).
+  [[nodiscard]] std::size_t registry_replica_count() const {
+    return registry_ ? 1 : registry_replicas_.size();
+  }
+  [[nodiscard]] kecho::RegistryServer& registry_replica(std::size_t r) {
+    return registry_ ? *registry_ : *registry_replicas_.at(r);
+  }
+  /// The replica currently claiming leadership (by its own lease view), or
+  /// nullptr mid-failover / when no online replica claims the lease.
+  [[nodiscard]] kecho::RegistryServer* registry_leader();
 
   /// Access links of node `i` in the fabric (both topologies): uplink
   /// carries its traffic toward the switch, downlink toward the node.
@@ -144,7 +164,9 @@ class Cluster {
   sim::Engine& engine_;
   ClusterConfig config_;
   std::unique_ptr<net::Fabric> fabric_;
-  std::unique_ptr<kecho::RegistryServer> registry_;
+  std::unique_ptr<kecho::RegistryServer> registry_;  // single-server mode
+  /// Replica r on node r (replicated mode; registry_ is null then).
+  std::vector<std::unique_ptr<kecho::RegistryServer>> registry_replicas_;
   std::vector<ClusterNode> nodes_;
   std::vector<std::pair<net::LinkId, net::LinkId>> ports_;  // per-node
   std::unique_ptr<sim::FaultInjector> injector_;

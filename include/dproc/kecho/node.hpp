@@ -69,6 +69,42 @@ struct LivenessConfig {
   /// delay(n) = min(retry_base * 2^n, retry_cap).
   SimDuration retry_base = milliseconds(100.0);
   SimDuration retry_cap = seconds(2.0);
+  /// Join retries only, without the rest of the liveness machinery (no
+  /// heartbeats, no eviction timers) — lets a benchmark boot every node at
+  /// t=0 and ride the backoff through the join storm without paying for
+  /// heartbeat traffic. Implied by `enabled`.
+  bool join_retries = false;
+  /// Deterministic per-node jitter on the retry backoff: the delay is
+  /// stretched by up to this fraction, keyed by a hash of (node id,
+  /// attempt). 0 keeps the legacy synchronized backoff; 1.0 spreads a
+  /// simultaneous join storm across a full extra backoff step so the
+  /// retries do not re-collide every round.
+  double retry_jitter = 0.0;
+};
+
+/// Client-side view of the (possibly replicated) channel registry.
+struct RegistryClientConfig {
+  /// Fabric node of every registry replica, indexed by replica id. Empty
+  /// means the single registry node passed to the Node constructor; when
+  /// set, join/removal retries rotate across the replicas (attempt n goes
+  /// to replica n mod R) and lookups spread across followers.
+  std::vector<net::NodeId> replicas;
+  /// Lease-stamped local channel cache: join responses, membership
+  /// notifications and lookup responses populate it; kCacheInvalidate and
+  /// lease expiry (checked lazily, no timers) bound its staleness.
+  bool cache = false;
+  SimDuration cache_lease = seconds(5.0);
+};
+
+/// Client cache counters (observability for tests and telemetry).
+struct ClientCacheStats {
+  std::uint64_t hits = 0;    // lookups served from a fresh cached record
+  std::uint64_t misses = 0;  // absent or expired — went to the registry
+  std::uint64_t invalidations = 0;  // kCacheInvalidate frames processed
+  std::uint64_t expiries = 0;       // entries discarded past their lease
+  /// Worst record age ever served from the cache; by construction at most
+  /// the lease (the staleness bound the chaos test asserts).
+  std::int64_t max_served_staleness_ns = 0;
 };
 
 /// Membership change observed by this node (for d-mon degradation logic).
@@ -210,7 +246,8 @@ class Node {
 
   Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
        net::Port registry_port = RegistryServer::kDefaultPort,
-       KechoCosts costs = {}, LivenessConfig liveness = {});
+       KechoCosts costs = {}, LivenessConfig liveness = {},
+       RegistryClientConfig registry_client = {});
   ~Node();
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -226,6 +263,20 @@ class Node {
   /// Drains every channel's receive queue, charging receive costs and
   /// invoking handlers. d-mon calls this once per polling period.
   PollStats poll();
+
+  /// Cache-first membership lookup by channel name. A fresh cached record
+  /// answers synchronously (a hit); otherwise a kLookupRequest goes to a
+  /// registry replica (followers serve reads) and the callback fires when
+  /// the response arrives — `found == false` reports a channel the
+  /// registry does not know. Concurrent lookups of the same name share one
+  /// in-flight request; with retries enabled a lost request is re-sent
+  /// with the same capped backoff as joins, rotating replicas.
+  using LookupCallback = std::function<void(const JoinResponse&)>;
+  void lookup_members(const std::string& name, LookupCallback callback);
+
+  [[nodiscard]] const ClientCacheStats& cache_stats() const {
+    return cache_stats_;
+  }
 
   /// Observes membership changes this node learns about (its own joins
   /// excluded): a new peer, a graceful leave, an eviction. Fired once per
@@ -279,13 +330,44 @@ class Node {
   /// Lazily opens (or reuses) the transport to a peer kernel.
   net::TcpConnection::Ptr& transport_to(net::NodeId peer);
 
-  /// Sends the join request for `channel` and, when liveness is on, arms a
-  /// backoff retry that refires until the join response arrives.
+  /// Sends the join request for `channel` and, when retries are on, arms a
+  /// backoff retry that refires until the join response arrives. Retries
+  /// rotate across the registry replicas so a dead leader cannot absorb
+  /// the whole storm.
   void send_join(Channel& channel);
   /// Sends a leave/evict to the registry; with liveness on, retried with
   /// capped backoff until the matching kOpAck arrives.
   void send_registry_removal(RegistryOp op, Member member, int attempt);
   [[nodiscard]] SimDuration backoff_delay(int attempt) const;
+  /// True when join/lookup retries are armed (full liveness or the
+  /// join-retries-only mode).
+  [[nodiscard]] bool retries_enabled() const {
+    return liveness_.enabled || liveness_.join_retries;
+  }
+  /// The registry endpoint attempt `attempt` addresses.
+  [[nodiscard]] net::NodeId registry_target(int attempt) const;
+  /// Applies an authoritative membership record to `channel`: cancels the
+  /// join retry, rebuilds the member list, marks the channel ready and
+  /// fires the on-ready callbacks. Shared by the join-response path and
+  /// the cache-adoption path.
+  void apply_membership(Channel& channel, ChannelId id,
+                        const std::vector<Member>& members);
+  /// Re-join fast path: adopts a fresh cached record into `channel` (the
+  /// registry is still asked, its response re-applies authoritatively).
+  /// Returns true on a cache hit.
+  bool try_cache_adopt(Channel& channel);
+  /// Fresh (unexpired) cached record for `name`, or nullptr; expired
+  /// entries are discarded and counted on the way.
+  struct CachedRecord {
+    ChannelId id = 0;
+    bool found = true;
+    std::vector<Member> members;
+    SimTime stamped;
+  };
+  [[nodiscard]] const CachedRecord* fresh_cache_entry(const std::string& name);
+  void cache_store(const std::string& name, ChannelId id, bool found,
+                   const std::vector<Member>& members);
+  void send_lookup(const std::string& name);
 
   void start_heartbeat_timer();
   /// Periodic liveness pass: evicts peers silent past the miss threshold,
@@ -316,6 +398,7 @@ class Node {
   net::Port registry_port_;
   KechoCosts costs_;
   LivenessConfig liveness_;
+  RegistryClientConfig registry_client_;
 
   std::map<std::string, std::unique_ptr<Channel>> channels_by_name_;
   /// Poll drain order, kept sorted by channel name (matching the name-map
@@ -343,6 +426,17 @@ class Node {
       pending_removals_;
   sim::EventHandle heartbeat_timer_;
   net::MessagePtr heartbeat_payload_;  // shared empty payload
+  /// Lease-stamped channel cache plus the lookups waiting on the registry
+  /// (one in-flight request per name, shared by all concurrent callers).
+  std::map<std::string, CachedRecord> channel_cache_;
+  struct PendingLookup {
+    std::vector<LookupCallback> callbacks;
+    int attempts = 0;
+    sim::EventHandle retry;
+  };
+  std::map<std::string, PendingLookup> pending_lookups_;
+  std::uint64_t lookup_rr_ = 0;  // read fan-out across replicas
+  ClientCacheStats cache_stats_;
   bool crashed_ = false;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t evictions_initiated_ = 0;
@@ -355,6 +449,9 @@ class Node {
   telemetry::Counter& tm_evictions_;
   telemetry::Counter& tm_join_retries_;
   telemetry::Counter& tm_removal_retries_;
+  telemetry::Counter& tm_cache_hits_;
+  telemetry::Counter& tm_cache_misses_;
+  telemetry::Counter& tm_cache_invalidations_;
   telemetry::LatencyRecorder& tm_submit_us_;
 };
 

@@ -337,6 +337,121 @@ struct AggregateBatch {
   }
 };
 
+/// One channel record streamed from the registry leader to its follower
+/// replicas (kOpRegistrySync) — the unit of replication. Each mutation the
+/// leader serializes (join, leave, evict) bumps the table version and fans
+/// one RegistrySync per affected channel to every follower; a recovery
+/// snapshot replays the whole table as a sequence of these frames. Record
+/// overwrite is keyed by (name, version), so duplicated or reordered syncs
+/// are idempotent: a follower applies a record only when its version is
+/// newer than the one it holds.
+///
+/// Layout (little-endian, no padding):
+///   version u8 | table_version u64 | next_id u32 | channel_id u32
+///   | name str (u32 length prefix) | count u32 | count × (node u32,
+///   port u16)
+///
+/// Versioning rules match MonitorBatch: readers reject version 0 and
+/// versions above their own; layout changes bump the version byte.
+struct RegistrySync {
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kMemberBytes = 4 + 2;
+  /// Fixed bytes before the variable-length name: version, table_version,
+  /// next_id, channel_id, name length prefix.
+  static constexpr std::size_t kFixedBytes = 1 + 8 + 4 + 4 + 4;
+
+  struct Member {
+    std::uint32_t node = 0;
+    std::uint16_t port = 0;
+
+    friend bool operator==(const Member&, const Member&) = default;
+  };
+
+  std::uint64_t table_version = 0;  // leader's version after the mutation
+  std::uint32_t next_id = 0;        // leader's next channel id (failover gap)
+  std::uint32_t channel_id = 0;
+  std::string name;
+  std::vector<Member> members;
+
+  [[nodiscard]] std::size_t encoded_bytes() const {
+    return kFixedBytes + name.size() + 4 + members.size() * kMemberBytes;
+  }
+
+  void encode(ByteWriter& w) const {
+    w.u8(kVersion);
+    w.u64(table_version);
+    w.u32(next_id);
+    w.u32(channel_id);
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(members.size()));
+    for (const Member& m : members) {
+      w.u32(m.node);
+      w.u16(m.port);
+    }
+  }
+
+  /// Decodes one sync record; false (and reader !ok where truncated) on any
+  /// malformation. The member count is checked against the bytes actually
+  /// present *before* reserving, so a corrupted count can neither trigger a
+  /// huge allocation nor yield a partially decoded record. A zero table
+  /// version is rejected (versions start at 1; 0 is the follower's "never
+  /// synced" sentinel).
+  [[nodiscard]] static bool decode(ByteReader& r, RegistrySync& out) {
+    const std::uint8_t version = r.u8();
+    out.table_version = r.u64();
+    out.next_id = r.u32();
+    out.channel_id = r.u32();
+    out.name = r.str();
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || version == 0 || version > kVersion) return false;
+    if (out.table_version == 0) return false;
+    if (r.remaining() < static_cast<std::size_t>(count) * kMemberBytes) {
+      return false;
+    }
+    out.members.clear();
+    out.members.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Member m;
+      m.node = r.u32();
+      m.port = r.u16();
+      out.members.push_back(m);
+    }
+    return r.ok();
+  }
+};
+
+/// Lease invalidation fanned out by the registry leader when a channel
+/// mutates (kOpCacheInvalidate): every member of the affected channel — and
+/// the member just removed, who is exactly the node most likely to hold a
+/// stale entry — drops its cached record for `name` so the next lookup
+/// refetches. Carries the post-mutation table version for observability.
+///
+/// Layout: version u8 | table_version u64 | name str.
+struct CacheInvalidate {
+  static constexpr std::uint8_t kVersion = 1;
+
+  std::uint64_t table_version = 0;
+  std::string name;
+
+  void encode(ByteWriter& w) const {
+    w.u8(kVersion);
+    w.u64(table_version);
+    w.str(name);
+  }
+
+  /// Decodes one invalidation; false on truncation, a bad version byte, a
+  /// zero table version, or trailing garbage masquerading as a name (the
+  /// string length prefix is validated against the remaining bytes by the
+  /// reader itself).
+  [[nodiscard]] static bool decode(ByteReader& r, CacheInvalidate& out) {
+    const std::uint8_t version = r.u8();
+    out.table_version = r.u64();
+    out.name = r.str();
+    if (!r.ok() || version == 0 || version > kVersion) return false;
+    return out.table_version != 0;
+  }
+};
+
 /// Causal-tracing context carried on the wire behind a KECho event payload.
 ///
 /// When tracing is enabled the publisher appends one TraceContext to each

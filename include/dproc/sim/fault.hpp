@@ -33,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kLinkLossStop,   // target = link: loss burst ends
   kRegistryDown,   // channel registry stops answering
   kRegistryUp,     // registry resumes
+  kRegistryLeaderKill,  // crash whichever node hosts the leader replica
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -66,6 +67,12 @@ class FaultPlan {
 
   FaultPlan& registry_outage(SimTime from, SimTime until);
 
+  /// Crashes whichever node hosts the *current* registry leader replica —
+  /// resolved at fire time, not plan-build time, so the plan composes with
+  /// earlier failovers. Requires a replicated registry (the hook is a no-op
+  /// otherwise).
+  FaultPlan& kill_registry_leader(SimTime at);
+
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
@@ -84,6 +91,8 @@ struct FaultHooks {
   std::function<void(std::uint32_t link, double p, std::uint64_t seed)>
       link_loss;
   std::function<void(bool down)> registry_down;
+  /// Resolves the current leader replica and crashes its host node.
+  std::function<void()> registry_leader_kill;
 };
 
 class FaultInjector {

@@ -67,10 +67,32 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     node.procfs = std::make_unique<procfs::ProcFs>();
   }
 
-  // Channel registry on node 0 (the paper's user-level directory server).
-  registry_ = std::make_unique<kecho::RegistryServer>(*nodes_[0].nic);
+  // Channel registry on node 0 (the paper's user-level directory server),
+  // or a replica set on nodes 0..R-1 when replication is enabled.
+  std::vector<net::NodeId> registry_replica_nodes;
+  if (config_.registry.enabled) {
+    const std::size_t replica_count =
+        std::min(std::max<std::size_t>(config_.registry.replicas, 1),
+                 config_.node_count);
+    registry_replica_nodes.reserve(replica_count);
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      registry_replica_nodes.push_back(node_ids[r]);
+    }
+    registry_replicas_.reserve(replica_count);
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      registry_replicas_.push_back(std::make_unique<kecho::RegistryServer>(
+          *nodes_[r].nic,
+          kecho::ReplicaSetup{static_cast<std::uint32_t>(r),
+                              registry_replica_nodes, config_.registry}));
+      if (config_.self_monitor) {
+        registry_replicas_[r]->set_telemetry(&nodes_[r].host->telemetry());
+      }
+    }
+  } else {
+    registry_ = std::make_unique<kecho::RegistryServer>(*nodes_[0].nic);
+  }
   if (config_.self_monitor) {
-    registry_->set_telemetry(&nodes_[0].host->telemetry());
+    if (registry_) registry_->set_telemetry(&nodes_[0].host->telemetry());
 
     // Per-node packet accounting piggybacked on the fabric trace hook.
     // Handles are pre-resolved: the hook runs once per packet event and
@@ -123,11 +145,18 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
         build_hierarchy(config_.node_count, config_.hierarchy));
   }
 
+  kecho::RegistryClientConfig registry_client;
+  if (config_.registry.enabled) {
+    registry_client.replicas = registry_replica_nodes;
+    registry_client.cache = config_.registry.client_cache;
+    registry_client.cache_lease = config_.registry.cache_lease;
+  }
+
   for (std::size_t i = 0; i < config_.node_count; ++i) {
     ClusterNode& node = nodes_[i];
     node.kecho = std::make_unique<kecho::Node>(
         *node.host, *node.nic, node_ids[0], kecho::RegistryServer::kDefaultPort,
-        kecho::KechoCosts{}, config_.liveness);
+        kecho::KechoCosts{}, config_.liveness, registry_client);
     if (!runs_dproc[i]) continue;
     DmonConfig dmon_config = config_.dmon;
     if (config_.trace.enabled) dmon_config.trace = config_.trace;
@@ -202,16 +231,28 @@ void Cluster::start_dproc() {
   }
 }
 
+kecho::RegistryServer* Cluster::registry_leader() {
+  if (registry_) return registry_.get();
+  for (auto& replica : registry_replicas_) {
+    if (replica->online() && replica->is_leader()) return replica.get();
+  }
+  return nullptr;
+}
+
 void Cluster::crash_node(std::size_t i) {
   ClusterNode& node = nodes_.at(i);
   fabric_->set_node_down(node.nic->node(), true);
   if (node.dmon) node.dmon->stop();
   node.kecho->crash();
+  // A crashed node takes its registry replica down with it: the replica
+  // process stops serving (and heartbeating) until the node restarts.
+  if (i < registry_replicas_.size()) registry_replicas_[i]->set_online(false);
 }
 
 void Cluster::restart_node(std::size_t i) {
   ClusterNode& node = nodes_.at(i);
   fabric_->set_node_down(node.nic->node(), false);
+  if (i < registry_replicas_.size()) registry_replicas_[i]->set_online(true);
   node.kecho->restart();
   if (node.dmon) node.dmon->restart();
 }
@@ -237,7 +278,29 @@ sim::FaultHooks Cluster::fault_hooks() {
   hooks.link_loss = [this](std::uint32_t link, double p, std::uint64_t seed) {
     fabric_->set_link_loss(link, p, seed);
   };
-  hooks.registry_down = [this](bool down) { registry_->set_online(!down); };
+  hooks.registry_down = [this](bool down) {
+    // A registry outage takes the whole directory service down — every
+    // replica at once (the single-server semantic, preserved).
+    if (registry_) {
+      registry_->set_online(!down);
+    } else {
+      for (auto& replica : registry_replicas_) replica->set_online(!down);
+    }
+  };
+  hooks.registry_leader_kill = [this] {
+    if (registry_replicas_.empty()) return;  // needs a replica set
+    // Resolve the leader at fire time; fall back to replica 0 (the birth
+    // leader) if no replica currently claims the lease.
+    std::size_t target = 0;
+    for (std::size_t r = 0; r < registry_replicas_.size(); ++r) {
+      if (registry_replicas_[r]->online() &&
+          registry_replicas_[r]->is_leader()) {
+        target = r;
+        break;
+      }
+    }
+    crash_node(target);
+  };
   return hooks;
 }
 

@@ -251,13 +251,15 @@ std::vector<std::pair<ChannelId, std::string>> Node::channels() const {
 }
 
 Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
-           net::Port registry_port, KechoCosts costs, LivenessConfig liveness)
+           net::Port registry_port, KechoCosts costs, LivenessConfig liveness,
+           RegistryClientConfig registry_client)
     : host_(host),
       nic_(nic),
       registry_node_(registry_node),
       registry_port_(registry_port),
       costs_(costs),
       liveness_(liveness),
+      registry_client_(std::move(registry_client)),
       heartbeat_payload_(net::make_message({})),
       tm_submits_(host.telemetry().counter("kecho", "submits")),
       tm_receives_(host.telemetry().counter("kecho", "receives")),
@@ -265,6 +267,10 @@ Node::Node(host::Host& host, net::Nic& nic, net::NodeId registry_node,
       tm_evictions_(host.telemetry().counter("kecho", "evictions")),
       tm_join_retries_(host.telemetry().counter("kecho", "join_retries")),
       tm_removal_retries_(host.telemetry().counter("kecho", "removal_retries")),
+      tm_cache_hits_(host.telemetry().counter("registry", "cache_hits")),
+      tm_cache_misses_(host.telemetry().counter("registry", "cache_misses")),
+      tm_cache_invalidations_(
+          host.telemetry().counter("registry", "cache_invalidations")),
       tm_submit_us_(host.telemetry().latency("kecho", "submit_us")) {
   nic_.bind_datagram(kChannelPort,
                      [this](net::NodeId, net::Port, const net::MessagePtr& m) {
@@ -288,6 +294,7 @@ Node::~Node() {
   heartbeat_timer_.cancel();
   for (auto& [key, handle] : pending_removals_) handle.cancel();
   for (auto& [name, channel] : channels_by_name_) channel->join_retry_.cancel();
+  for (auto& [name, pending] : pending_lookups_) pending.retry.cancel();
 }
 
 Channel& Node::join(const std::string& name,
@@ -306,6 +313,10 @@ Channel& Node::join(const std::string& name,
                            return a->name() < b->name();
                          }),
         it->second.get());
+    // Cache-first re-join: a fresh cached record makes the channel usable
+    // immediately; the registry's response still re-applies authoritatively
+    // (and tells the registry about this member either way).
+    if (registry_client_.cache) try_cache_adopt(*it->second);
     send_join(*it->second);
   }
   Channel& channel = *it->second;
@@ -319,13 +330,23 @@ Channel& Node::join(const std::string& name,
   return channel;
 }
 
+net::NodeId Node::registry_target(int attempt) const {
+  const std::vector<net::NodeId>& replicas = registry_client_.replicas;
+  if (replicas.empty()) return registry_node_;
+  // Attempt 0 goes to replica 0 (the birth leader); retries rotate so a
+  // dead leader cannot absorb the whole storm — a follower forwards or
+  // queues the write toward whoever leads next.
+  return replicas[static_cast<std::size_t>(attempt) % replicas.size()];
+}
+
 void Node::send_join(Channel& channel) {
+  const int attempt = channel.join_attempts_;
   nic_.send_datagram(
-      registry_node_, registry_port_,
+      registry_target(attempt), registry_port_,
       encode_join_request(channel.name_, Member{nic_.node(), kChannelPort}),
       kChannelPort);
-  if (!liveness_.enabled) return;
-  const int attempt = channel.join_attempts_++;
+  if (!retries_enabled()) return;
+  channel.join_attempts_ = attempt + 1;
   channel.join_retry_.cancel();
   channel.join_retry_ = host_.engine().schedule_after(
       backoff_delay(attempt), [this, &channel] {
@@ -337,7 +358,7 @@ void Node::send_join(Channel& channel) {
 }
 
 void Node::send_registry_removal(RegistryOp op, Member member, int attempt) {
-  nic_.send_datagram(registry_node_, registry_port_,
+  nic_.send_datagram(registry_target(attempt), registry_port_,
                      encode_member_removal(op, member), kChannelPort);
   if (!liveness_.enabled) return;
   const auto key = std::pair{static_cast<std::uint8_t>(op), member.node};
@@ -355,7 +376,22 @@ void Node::send_registry_removal(RegistryOp op, Member member, int attempt) {
 SimDuration Node::backoff_delay(int attempt) const {
   const int shift = std::min(attempt, 20);
   const double factor = static_cast<double>(std::uint32_t{1} << shift);
-  return std::min(liveness_.retry_base * factor, liveness_.retry_cap);
+  SimDuration delay = std::min(liveness_.retry_base * factor,
+                               liveness_.retry_cap);
+  if (liveness_.retry_jitter > 0.0) {
+    // Deterministic per-(node, attempt) jitter: a splitmix64-style hash
+    // spreads a simultaneous storm's retries inside the jitter window, and
+    // replays identically run-to-run (no RNG state, no platform variance).
+    std::uint64_t h = (static_cast<std::uint64_t>(nic_.node()) << 20) ^
+                      static_cast<std::uint64_t>(static_cast<unsigned>(attempt));
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    delay = delay * (1.0 + liveness_.retry_jitter * unit);
+  }
+  return delay;
 }
 
 void Node::start_heartbeat_timer() {
@@ -494,13 +530,123 @@ void Node::crash() {
   for (auto& conn : accepted_) conn->close();
   accepted_.clear();
   peer_liveness_.clear();
+  // A kernel reboot loses the cached channel table with everything else.
+  channel_cache_.clear();
+  for (auto& [name, pending] : pending_lookups_) pending.retry.cancel();
+  pending_lookups_.clear();
 }
 
 void Node::restart() {
   if (!crashed_) return;
   crashed_ = false;
-  for (auto& [name, channel] : channels_by_name_) send_join(*channel);
+  for (auto& [name, channel] : channels_by_name_) {
+    if (registry_client_.cache) try_cache_adopt(*channel);
+    send_join(*channel);
+  }
   if (liveness_.enabled) start_heartbeat_timer();
+}
+
+void Node::apply_membership(Channel& channel, ChannelId id,
+                            const std::vector<Member>& members) {
+  channel.join_retry_.cancel();
+  channel.join_attempts_ = 0;
+  channel.id_ = id;
+  // Rebuild (never append): a re-join response replaces the view, so a
+  // crash-restart cannot duplicate members.
+  channel.members_.clear();
+  for (const Member& member : members) {
+    if (member.node == nic_.node()) continue;
+    channel.members_.push_back(member);
+    if (member_learned(member)) {
+      notify_membership(MemberEventKind::kJoined, member.node);
+    }
+  }
+  channel.ready_ = true;
+  if (channels_by_id_.size() <= id) channels_by_id_.resize(id + 1, nullptr);
+  channels_by_id_[id] = &channel;
+  auto callbacks = std::move(channel.on_ready_);
+  channel.on_ready_.clear();
+  for (auto& fn : callbacks) fn(channel);
+}
+
+const Node::CachedRecord* Node::fresh_cache_entry(const std::string& name) {
+  auto it = channel_cache_.find(name);
+  if (it == channel_cache_.end()) return nullptr;
+  if (host_.engine().now() - it->second.stamped > registry_client_.cache_lease) {
+    channel_cache_.erase(it);
+    ++cache_stats_.expiries;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void Node::cache_store(const std::string& name, ChannelId id, bool found,
+                       const std::vector<Member>& members) {
+  if (!registry_client_.cache) return;
+  CachedRecord& record = channel_cache_[name];
+  record.id = id;
+  record.found = found;
+  record.members = members;
+  record.stamped = host_.engine().now();
+}
+
+bool Node::try_cache_adopt(Channel& channel) {
+  const CachedRecord* record = fresh_cache_entry(channel.name_);
+  if (record == nullptr || !record->found) return false;
+  ++cache_stats_.hits;
+  tm_cache_hits_.add();
+  const std::int64_t staleness =
+      (host_.engine().now() - record->stamped).ns();
+  cache_stats_.max_served_staleness_ns =
+      std::max(cache_stats_.max_served_staleness_ns, staleness);
+  apply_membership(channel, record->id, record->members);
+  return true;
+}
+
+void Node::lookup_members(const std::string& name, LookupCallback callback) {
+  if (registry_client_.cache) {
+    if (const CachedRecord* record = fresh_cache_entry(name)) {
+      ++cache_stats_.hits;
+      tm_cache_hits_.add();
+      cache_stats_.max_served_staleness_ns =
+          std::max(cache_stats_.max_served_staleness_ns,
+                   (host_.engine().now() - record->stamped).ns());
+      callback(JoinResponse{name, record->id, record->found, record->members});
+      return;
+    }
+    ++cache_stats_.misses;
+    tm_cache_misses_.add();
+  }
+  PendingLookup& pending = pending_lookups_[name];
+  pending.callbacks.push_back(std::move(callback));
+  if (pending.callbacks.size() > 1) return;  // request already in flight
+  send_lookup(name);
+}
+
+void Node::send_lookup(const std::string& name) {
+  auto it = pending_lookups_.find(name);
+  if (it == pending_lookups_.end()) return;
+  PendingLookup& pending = it->second;
+  const int attempt = pending.attempts;
+  // First attempt spreads reads across the replica set (followers serve
+  // lookups); retries rotate so a dead replica is skipped next round.
+  const std::vector<net::NodeId>& replicas = registry_client_.replicas;
+  const net::NodeId target =
+      replicas.empty()
+          ? registry_node_
+          : replicas[(lookup_rr_++ + static_cast<std::uint64_t>(attempt)) %
+                     replicas.size()];
+  nic_.send_datagram(target, registry_port_,
+                     encode_lookup_request(name, Member{nic_.node(),
+                                                        kChannelPort}),
+                     kChannelPort);
+  if (!retries_enabled()) return;
+  pending.attempts = attempt + 1;
+  pending.retry.cancel();
+  pending.retry =
+      host_.engine().schedule_after(backoff_delay(attempt), [this, name] {
+        if (!crashed_) send_lookup(name);
+      });
 }
 
 void Node::on_registry_datagram(const net::MessagePtr& message) {
@@ -508,41 +654,46 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
   const auto op = static_cast<RegistryOp>(r.u8());
   switch (op) {
     case RegistryOp::kJoinResponse: {
-      const std::string name = r.str();
-      const ChannelId id = r.u32();
-      const std::uint32_t count = r.u32();
-      auto it = channels_by_name_.find(name);
-      if (it == channels_by_name_.end()) {
+      JoinResponse response;
+      if (!decode_join_response(r, /*lookup=*/false, response)) {
         DPROC_WARN() << "kecho node " << nic_.node()
-                     << ": join response for unknown channel '" << name << "'";
+                     << ": malformed join response";
         return;
       }
-      std::vector<Member> members;
-      members.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        members.push_back(Member{r.u32(), r.u16()});
+      auto it = channels_by_name_.find(response.name);
+      if (it == channels_by_name_.end()) {
+        DPROC_WARN() << "kecho node " << nic_.node()
+                     << ": join response for unknown channel '"
+                     << response.name << "'";
+        return;
       }
-      if (!r.ok()) return;
-      Channel& channel = *it->second;
-      channel.join_retry_.cancel();
-      channel.join_attempts_ = 0;
-      channel.id_ = id;
-      // Rebuild (never append): a re-join response replaces the view, so a
-      // crash-restart cannot duplicate members.
-      channel.members_.clear();
-      for (const Member& member : members) {
-        if (member.node == nic_.node()) continue;
-        channel.members_.push_back(member);
-        if (member_learned(member)) {
-          notify_membership(MemberEventKind::kJoined, member.node);
-        }
+      cache_store(response.name, response.id, true, response.members);
+      apply_membership(*it->second, response.id, response.members);
+      return;
+    }
+    case RegistryOp::kLookupResponse: {
+      JoinResponse response;
+      if (!decode_join_response(r, /*lookup=*/true, response)) {
+        DPROC_WARN() << "kecho node " << nic_.node()
+                     << ": malformed lookup response";
+        return;
       }
-      channel.ready_ = true;
-      if (channels_by_id_.size() <= id) channels_by_id_.resize(id + 1, nullptr);
-      channels_by_id_[id] = &channel;
-      auto callbacks = std::move(channel.on_ready_);
-      channel.on_ready_.clear();
-      for (auto& fn : callbacks) fn(channel);
+      cache_store(response.name, response.id, response.found,
+                  response.members);
+      auto it = pending_lookups_.find(response.name);
+      if (it == pending_lookups_.end()) return;
+      it->second.retry.cancel();
+      auto callbacks = std::move(it->second.callbacks);
+      pending_lookups_.erase(it);
+      for (LookupCallback& fn : callbacks) fn(response);
+      return;
+    }
+    case RegistryOp::kCacheInvalidate: {
+      net::CacheInvalidate invalidate;
+      if (!net::CacheInvalidate::decode(r, invalidate)) return;
+      channel_cache_.erase(invalidate.name);
+      ++cache_stats_.invalidations;
+      tm_cache_invalidations_.add();
       return;
     }
     case RegistryOp::kMemberNotify: {
@@ -553,11 +704,23 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
         return;
       }
       if (member.node == nic_.node()) return;
-      auto& members = channels_by_id_[id]->members_;
+      Channel& channel = *channels_by_id_[id];
+      auto& members = channel.members_;
       if (std::find(members.begin(), members.end(), member) == members.end()) {
         members.push_back(member);
         if (member_learned(member)) {
           notify_membership(MemberEventKind::kJoined, member.node);
+        }
+      }
+      // The push is authoritative: refresh the cached record in place.
+      if (registry_client_.cache) {
+        auto cached = channel_cache_.find(channel.name_);
+        if (cached != channel_cache_.end()) {
+          auto& list = cached->second.members;
+          if (std::find(list.begin(), list.end(), member) == list.end()) {
+            list.push_back(member);
+          }
+          cached->second.stamped = host_.engine().now();
         }
       }
       return;
@@ -576,6 +739,7 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
         if (channel == nullptr || crashed_) return;
         channel->ready_ = false;
         channel->members_.clear();
+        channel_cache_.erase(channel->name_);  // stale by definition
         // Peers that processed the drop tore down their endpoints of our
         // cached transports; submitting into those half-open connections
         // would silently blackhole every future frame. Rebuild node-level
@@ -587,6 +751,13 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
       const bool known = peer_liveness_.contains(member.node);
       if (channel != nullptr) {
         std::erase(channel->members_, member);
+        if (registry_client_.cache) {
+          auto cached = channel_cache_.find(channel->name_);
+          if (cached != channel_cache_.end()) {
+            std::erase(cached->second.members, member);
+            cached->second.stamped = host_.engine().now();
+          }
+        }
       }
       if (known && !member_of_any_channel(member.node)) {
         forget_peer(member.node);
@@ -609,9 +780,7 @@ void Node::on_registry_datagram(const net::MessagePtr& message) {
       }
       return;
     }
-    case RegistryOp::kJoinRequest:
-    case RegistryOp::kMemberLeave:
-    case RegistryOp::kMemberEvict:
+    default:
       DPROC_WARN() << "kecho node " << nic_.node()
                    << ": unexpected registry op " << static_cast<int>(op);
       return;

@@ -12,6 +12,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLinkLossStop: return "link_loss_stop";
     case FaultKind::kRegistryDown: return "registry_down";
     case FaultKind::kRegistryUp: return "registry_up";
+    case FaultKind::kRegistryLeaderKill: return "registry_leader_kill";
   }
   return "unknown";
 }
@@ -69,6 +70,11 @@ FaultPlan& FaultPlan::registry_outage(SimTime from, SimTime until) {
   return *this;
 }
 
+FaultPlan& FaultPlan::kill_registry_leader(SimTime at) {
+  events_.push_back({at, FaultKind::kRegistryLeaderKill, 0, 0.0, 0});
+  return *this;
+}
+
 void FaultInjector::schedule(const FaultPlan& plan) {
   for (const FaultEvent& event : plan.events()) {
     ++scheduled_;
@@ -101,6 +107,9 @@ void FaultInjector::apply(const FaultEvent& event) {
       break;
     case FaultKind::kRegistryUp:
       if (hooks_.registry_down) hooks_.registry_down(false);
+      break;
+    case FaultKind::kRegistryLeaderKill:
+      if (hooks_.registry_leader_kill) hooks_.registry_leader_kill();
       break;
   }
   applied_.push_back(event);

@@ -3,6 +3,7 @@
 // a Status — never crash, hang, or accept silently corrupted state.
 #include <gtest/gtest.h>
 
+#include "dproc/core/cluster.hpp"
 #include "dproc/core/history.hpp"
 #include "dproc/core/tuning.hpp"
 #include "dproc/ecode/ecode.hpp"
@@ -459,6 +460,244 @@ TEST(FuzzAggregateBatch, CorruptCountCannotOverAllocateOrCrash) {
       EXPECT_LE(out.encoded_bytes(), corrupted.size());
     }
   }
+}
+
+// --- registry wire protocol -------------------------------------------------
+//
+// The directory server is the one component every node talks to, so its
+// request parser faces the whole cluster: truncations, corrupted counts,
+// unknown ops and replica-protocol frames aimed at an unreplicated server
+// must all be counted drops, never crashes or phantom registrations.
+
+/// A live single-server registry to aim frames at (2 nodes, no monitors).
+struct RegistryFuzzRig {
+  sim::Engine engine;
+  core::Cluster cluster;
+  RegistryFuzzRig() : cluster(engine, config()) {}
+  static core::ClusterConfig config() {
+    core::ClusterConfig config;
+    config.node_count = 2;
+    config.dproc_nodes = std::vector<std::size_t>{};
+    return config;
+  }
+  kecho::RegistryServer& registry() { return cluster.registry(); }
+  void pump() { engine.run_until(engine.now() + seconds(0.1)); }
+};
+
+TEST(FuzzRegistry, TruncatedJoinRequestIsCountedMalformed) {
+  RegistryFuzzRig rig;
+  const net::MessagePtr full =
+      kecho::encode_join_request("fuzzchan", kecho::Member{1, 7788});
+  for (std::size_t len = 0; len < full->header.size(); ++len) {
+    auto truncated = std::make_shared<net::Message>();
+    truncated->header.assign(full->header.begin(),
+                             full->header.begin() + static_cast<long>(len));
+    rig.registry().handle_request(1, 7788, truncated);
+  }
+  // Every proper prefix is malformed; none may register anything.
+  EXPECT_EQ(rig.registry().stats().drops_malformed, full->header.size());
+  EXPECT_EQ(rig.registry().stats().joins, 0u);
+  EXPECT_TRUE(rig.registry().channel_names().empty());
+  // The intact frame still works after the abuse.
+  rig.registry().handle_request(1, 7788, full);
+  rig.pump();
+  EXPECT_EQ(rig.registry().stats().joins, 1u);
+  EXPECT_EQ(rig.registry().channel_members("fuzzchan").size(), 1u);
+}
+
+TEST(FuzzRegistry, JoinResponseDecoderRejectsTruncationAndBadCount) {
+  // A well-formed response body (as the client sees it, op byte stripped).
+  net::ByteWriter w;
+  w.str("fuzzchan");
+  w.u32(5);  // channel id
+  w.u32(2);  // member count
+  w.u32(10);
+  w.u16(7788);
+  w.u32(11);
+  w.u16(7788);
+  const std::vector<std::uint8_t> full = w.take();
+
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{full.data(), len}};
+    kecho::JoinResponse out;
+    EXPECT_FALSE(kecho::decode_join_response(r, false, out))
+        << "accepted truncation at " << len;
+  }
+  {
+    net::ByteReader r{full};
+    kecho::JoinResponse out;
+    ASSERT_TRUE(kecho::decode_join_response(r, false, out));
+    EXPECT_EQ(out.id, 5u);
+    ASSERT_EQ(out.members.size(), 2u);
+    EXPECT_EQ(out.members[1].node, 11u);
+  }
+  {
+    // A corrupted member count far past the bytes present must be rejected
+    // up front — not reserve gigabytes or decode a partial list. The count
+    // sits right after the name (4 + 8 bytes) and the id (4 bytes).
+    std::vector<std::uint8_t> corrupted = full;
+    const std::size_t count_at = 4 + 8 + 4;
+    corrupted[count_at] = 0xFF;
+    corrupted[count_at + 1] = 0xFF;
+    corrupted[count_at + 2] = 0xFF;
+    corrupted[count_at + 3] = 0xFF;
+    net::ByteReader r{corrupted};
+    kecho::JoinResponse out;
+    EXPECT_FALSE(kecho::decode_join_response(r, false, out));
+    EXPECT_TRUE(out.members.empty());
+  }
+}
+
+TEST(FuzzRegistry, UnknownAndReplicaOpsDropAtUnreplicatedServer) {
+  RegistryFuzzRig rig;
+  std::uint64_t expected = 0;
+  // Genuinely unknown opcodes.
+  for (const std::uint8_t op : {std::uint8_t{16}, std::uint8_t{99},
+                                std::uint8_t{0xFF}, std::uint8_t{0}}) {
+    net::ByteWriter w;
+    w.u8(op);
+    w.u32(1);
+    rig.registry().handle_request(1, 7788, net::make_message(w.take()));
+    ++expected;
+    EXPECT_EQ(rig.registry().stats().drops_unknown_op, expected);
+  }
+  // Replica-protocol frames (heartbeat, sync, forward...) aimed at a server
+  // with replication off are protocol violations, not crashes.
+  for (const kecho::RegistryOp op :
+       {kecho::RegistryOp::kReplicaHeartbeat, kecho::RegistryOp::kRegistrySync,
+        kecho::RegistryOp::kSyncRequest, kecho::RegistryOp::kSyncDone,
+        kecho::RegistryOp::kForward}) {
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(op));
+    w.u32(0);
+    w.u32(7);
+    rig.registry().handle_request(1, 7788, net::make_message(w.take()));
+    ++expected;
+    EXPECT_EQ(rig.registry().stats().drops_unknown_op, expected);
+  }
+  EXPECT_TRUE(rig.registry().channel_names().empty());
+}
+
+TEST(FuzzRegistry, SyncFrameBitFlipsNeverCrashOrOverAllocate) {
+  net::RegistrySync sync;
+  sync.table_version = 42;
+  sync.next_id = 7;
+  sync.channel_id = 3;
+  sync.name = "fuzzchan";
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    sync.members.push_back(net::RegistrySync::Member{i + 1, 7788});
+  }
+  net::ByteWriter w;
+  sync.encode(w);
+  const std::vector<std::uint8_t> base = w.take();
+  {
+    net::ByteReader r{base};
+    net::RegistrySync out;
+    ASSERT_TRUE(net::RegistrySync::decode(r, out));
+    EXPECT_EQ(out.members.size(), 6u);
+  }
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{base.data(), len}};
+    net::RegistrySync out;
+    EXPECT_FALSE(net::RegistrySync::decode(r, out))
+        << "accepted truncation at " << len;
+  }
+  Rng rng{0x5FA6};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> corrupted = base;
+    if (rng.bernoulli(0.5)) {
+      corrupted.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()))));
+    }
+    for (int flips = 0; flips < 4 && !corrupted.empty(); ++flips) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted.size()) - 1));
+      corrupted[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    net::ByteReader r{corrupted};
+    net::RegistrySync out;
+    if (net::RegistrySync::decode(r, out)) {
+      // A decoded member list must have fit inside the buffer.
+      EXPECT_LE(out.members.size() * net::RegistrySync::kMemberBytes,
+                corrupted.size());
+      EXPECT_LE(out.name.size(), corrupted.size());
+    }
+  }
+}
+
+TEST(FuzzRegistry, CacheInvalidateBitFlipsNeverCrash) {
+  net::CacheInvalidate invalidate;
+  invalidate.table_version = 17;
+  invalidate.name = "fuzzchan";
+  net::ByteWriter w;
+  invalidate.encode(w);
+  const std::vector<std::uint8_t> base = w.take();
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    net::ByteReader r{std::span<const std::uint8_t>{base.data(), len}};
+    net::CacheInvalidate out;
+    EXPECT_FALSE(net::CacheInvalidate::decode(r, out))
+        << "accepted truncation at " << len;
+  }
+  Rng rng{0xCA5E};
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> corrupted = base;
+    if (rng.bernoulli(0.5)) {
+      corrupted.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()))));
+    }
+    for (int flips = 0; flips < 3 && !corrupted.empty(); ++flips) {
+      const auto at = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corrupted.size()) - 1));
+      corrupted[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    net::ByteReader r{corrupted};
+    net::CacheInvalidate out;
+    if (net::CacheInvalidate::decode(r, out)) {
+      EXPECT_LE(out.name.size(), corrupted.size());
+    }
+  }
+}
+
+TEST(FuzzRegistry, ReplicatedServerSurvivesCorruptedReplicaTraffic) {
+  sim::Engine engine;
+  core::ClusterConfig config;
+  config.node_count = 4;
+  config.registry.enabled = true;
+  config.dproc_nodes = std::vector<std::size_t>{};
+  core::Cluster cluster(engine, config);
+  engine.run_until(SimTime::zero() + seconds(1.0));
+
+  kecho::RegistryServer& leader = cluster.registry_replica(0);
+  Rng rng{0xF0D6};
+  // Corrupted heartbeats, syncs, sync requests, done markers and forwards,
+  // from a peer address: parsed or dropped, never fatal, and the leadership
+  // state stays sane throughout.
+  const std::uint8_t ops[] = {
+      static_cast<std::uint8_t>(kecho::RegistryOp::kReplicaHeartbeat),
+      static_cast<std::uint8_t>(kecho::RegistryOp::kRegistrySync),
+      static_cast<std::uint8_t>(kecho::RegistryOp::kSyncRequest),
+      static_cast<std::uint8_t>(kecho::RegistryOp::kSyncDone),
+      static_cast<std::uint8_t>(kecho::RegistryOp::kForward),
+      static_cast<std::uint8_t>(kecho::RegistryOp::kCacheInvalidate)};
+  for (int trial = 0; trial < 2000; ++trial) {
+    net::ByteWriter w;
+    w.u8(ops[rng.uniform_int(0, std::size(ops) - 1)]);
+    const int body = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < body; ++i) {
+      w.u8(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    leader.handle_request(2, kecho::RegistryServer::kDefaultPort,
+                          net::make_message(w.take()));
+  }
+  engine.run_until(engine.now() + seconds(2.0));
+  // The replica set still functions: replica 0 leads (or a successor does),
+  // and a real join still completes end to end.
+  ASSERT_NE(cluster.registry_leader(), nullptr);
+  cluster.node(3).kecho->join("after-the-storm");
+  engine.run_until(engine.now() + seconds(2.0));
+  EXPECT_GE(cluster.registry_leader()->channel_members("after-the-storm")
+                .size(),
+            1u);
 }
 
 TEST(FuzzTraceContext, RawDecodeNeverReadsPastBuffer) {

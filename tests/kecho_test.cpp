@@ -472,7 +472,7 @@ TEST_F(KechoLivenessTest, JoinRetriesThroughRegistryOutage) {
   Channel& channel = nodes[1]->join("monitor");
   settle(0.5);
   EXPECT_FALSE(channel.ready());
-  EXPECT_GT(registry->stats().dropped_while_offline, 0u);
+  EXPECT_GT(registry->stats().drops_offline, 0u);
 
   registry->set_online(true);
   settle(1.0);

@@ -1,0 +1,379 @@
+// Replicated-registry tests: leader-lease failover, follower sync, write
+// forwarding/queuing, crash recovery, and the client-side channel cache.
+//
+// The RegistryChaosSmoke suite is the fast fault subset wired into ctest as
+// `chaos_smoke_registry`; RegistryStorm holds the 512-node leader-kill
+// join-storm acceptance scenario from the ISSUE brief.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/sim/fault.hpp"
+
+namespace dproc::core {
+namespace {
+
+SimTime at(double sec) { return SimTime::zero() + seconds(sec); }
+
+void run_to(Cluster& cluster, double sec) {
+  cluster.engine().run_until(at(sec));
+}
+
+/// Replicated registry, no d-mons: the kecho layer is driven by hand so the
+/// directory traffic is the only thing on the wire.
+ClusterConfig replicated_config(std::size_t nodes, bool join_retries = true) {
+  ClusterConfig config;
+  config.node_count = nodes;
+  config.registry.enabled = true;
+  config.registry.replicas = 3;
+  config.liveness.join_retries = join_retries;
+  config.liveness.retry_jitter = 1.0;
+  config.dproc_nodes = std::vector<std::size_t>{};  // no monitors
+  return config;
+}
+
+/// Full channel table of one replica, for cross-replica agreement checks.
+std::map<std::string, std::vector<kecho::Member>> table_of(
+    kecho::RegistryServer& replica) {
+  std::map<std::string, std::vector<kecho::Member>> table;
+  for (std::string_view name : replica.channel_names()) {
+    const std::string key{name};
+    table.emplace(key, replica.channel_members(key));
+  }
+  return table;
+}
+
+void expect_tables_agree(Cluster& cluster,
+                         std::initializer_list<std::size_t> replicas) {
+  ASSERT_GE(replicas.size(), 2u);
+  auto it = replicas.begin();
+  const auto reference = table_of(cluster.registry_replica(*it));
+  const std::size_t ref_id = *it;
+  for (++it; it != replicas.end(); ++it) {
+    EXPECT_EQ(table_of(cluster.registry_replica(*it)), reference)
+        << "replica " << *it << " disagrees with replica " << ref_id;
+  }
+}
+
+TEST(RegistryReplication, ReplicaZeroLeadsFromBirth) {
+  sim::Engine engine;
+  Cluster cluster(engine, replicated_config(4));
+  run_to(cluster, 1.2);
+
+  ASSERT_EQ(cluster.registry_replica_count(), 3u);
+  EXPECT_TRUE(cluster.registry_replica(0).is_leader());
+  EXPECT_FALSE(cluster.registry_replica(1).is_leader());
+  EXPECT_FALSE(cluster.registry_replica(2).is_leader());
+  EXPECT_EQ(cluster.registry_leader(), &cluster.registry_replica(0));
+  // Birth leadership is not a failover and bumps no epoch.
+  EXPECT_EQ(cluster.registry_replica(0).epoch(), 0u);
+  EXPECT_EQ(cluster.registry_replica(0).stats().failovers, 0u);
+  for (std::size_t r = 1; r < 3; ++r) {
+    EXPECT_EQ(cluster.registry_replica(r).leader_id(), 0u);
+  }
+}
+
+TEST(RegistryReplication, SyncKeepsFollowerTablesIdentical) {
+  sim::Engine engine;
+  Cluster cluster(engine, replicated_config(6));
+  cluster.node(3).kecho->join("alpha");
+  cluster.node(4).kecho->join("alpha");
+  cluster.node(5).kecho->join("alpha");
+  cluster.node(4).kecho->join("beta");
+  cluster.node(5).kecho->join("beta");
+  run_to(cluster, 2.0);
+
+  kecho::RegistryServer& leader = cluster.registry_replica(0);
+  EXPECT_EQ(leader.channel_members("alpha").size(), 3u);
+  EXPECT_EQ(leader.channel_members("beta").size(), 2u);
+  EXPECT_GT(leader.stats().syncs_sent, 0u);
+  EXPECT_GT(cluster.registry_replica(1).stats().syncs_applied, 0u);
+  expect_tables_agree(cluster, {0, 1, 2});
+
+  // A mutation (graceful leave) propagates to every follower identically.
+  cluster.leave_node(4);
+  run_to(cluster, 3.0);
+  EXPECT_EQ(leader.channel_members("alpha").size(), 2u);
+  EXPECT_EQ(leader.channel_members("beta").size(), 1u);
+  expect_tables_agree(cluster, {0, 1, 2});
+}
+
+TEST(RegistryReplication, DisabledKeepsSingleServer) {
+  sim::Engine engine;
+  ClusterConfig config;
+  config.node_count = 4;
+  config.dproc_nodes = std::vector<std::size_t>{};
+  Cluster cluster(engine, config);
+  EXPECT_EQ(cluster.registry_replica_count(), 1u);
+  EXPECT_FALSE(cluster.registry().replicated());
+  EXPECT_TRUE(cluster.registry().is_leader());
+  EXPECT_EQ(cluster.registry_leader(), &cluster.registry());
+}
+
+// --- failover ---------------------------------------------------------------
+
+TEST(RegistryChaosSmoke, LeaderKillFailsOverAndJoinsComplete) {
+  sim::Engine engine;
+  Cluster cluster(engine, replicated_config(8));
+  // Kill the leader just before the joins, so the whole first attempt wave
+  // lands on a dead replica and has to ride retries through the failover.
+  sim::FaultPlan plan;
+  plan.kill_registry_leader(at(0.95));
+  cluster.inject(plan);
+
+  std::vector<kecho::Channel*> channels(cluster.size(), nullptr);
+  cluster.engine().schedule_at(at(1.0), [&cluster, &channels] {
+    for (std::size_t i = 3; i < cluster.size(); ++i) {
+      channels[i] = &cluster.node(i).kecho->join("storm");
+    }
+  });
+
+  // Replica 0's lease (heartbeat 500ms x miss 3) runs out of the last
+  // pre-kill heartbeat; replica 1 must claim within one lease plus a
+  // heartbeat round, and the queued/retried joins drain right after.
+  run_to(cluster, 4.0);
+  kecho::RegistryServer& successor = cluster.registry_replica(1);
+  EXPECT_EQ(cluster.registry_leader(), &successor);
+  EXPECT_TRUE(successor.is_leader());
+  EXPECT_GE(successor.epoch(), 1u);
+  EXPECT_EQ(successor.stats().failovers, 1u);
+
+  for (std::size_t i = 3; i < cluster.size(); ++i) {
+    ASSERT_NE(channels[i], nullptr);
+    EXPECT_TRUE(channels[i]->ready()) << "node " << i << " join incomplete";
+    EXPECT_EQ(channels[i]->id(), channels[3]->id());
+    EXPECT_NE(channels[i]->id(), 0u);
+  }
+  // The survivors agree on one membership with no duplicates.
+  expect_tables_agree(cluster, {1, 2});
+  const auto& members = successor.channel_members("storm");
+  EXPECT_EQ(members.size(), 5u);
+  std::set<net::NodeId> unique_nodes;
+  for (const kecho::Member& m : members) unique_nodes.insert(m.node);
+  EXPECT_EQ(unique_nodes.size(), members.size());
+  // The joins reached the successor as forwards or parked writes.
+  EXPECT_GT(successor.stats().forwards + successor.stats().queued_writes +
+                cluster.registry_replica(2).stats().forwards,
+            0u);
+}
+
+TEST(RegistryChaosSmoke, ReturnedLeaderRecoversAndReclaims) {
+  sim::Engine engine;
+  Cluster cluster(engine, replicated_config(8));
+  sim::FaultPlan plan;
+  plan.kill_registry_leader(at(0.95));
+  plan.restart_node(at(6.0), 0);
+  cluster.inject(plan);
+
+  cluster.engine().schedule_at(at(1.0), [&cluster] {
+    for (std::size_t i = 3; i < cluster.size(); ++i) {
+      cluster.node(i).kecho->join("storm");
+    }
+  });
+
+  run_to(cluster, 5.0);
+  EXPECT_EQ(cluster.registry_leader(), &cluster.registry_replica(1));
+
+  // The old leader returns with a cold table: it must snapshot from the
+  // survivors, wait out one grace lease, and only then — lowest live
+  // replica again — reclaim leadership with a fresh epoch.
+  run_to(cluster, 10.0);
+  kecho::RegistryServer& returned = cluster.registry_replica(0);
+  EXPECT_TRUE(returned.online());
+  EXPECT_FALSE(returned.recovering());
+  EXPECT_EQ(cluster.registry_leader(), &returned);
+  EXPECT_GE(returned.epoch(), 2u);
+  EXPECT_GT(returned.stats().syncs_applied, 0u);
+  expect_tables_agree(cluster, {0, 1, 2});
+  EXPECT_EQ(returned.channel_members("storm").size(), 5u);
+  // Replica 1 yielded cleanly.
+  EXPECT_FALSE(cluster.registry_replica(1).is_leader());
+}
+
+// --- client-side channel cache ---------------------------------------------
+
+ClusterConfig cache_config(std::size_t nodes) {
+  ClusterConfig config = replicated_config(nodes);
+  config.registry.client_cache = true;
+  config.registry.cache_lease = seconds(1.0);
+  return config;
+}
+
+TEST(RegistryClientCache, LookupHitsThenExpires) {
+  sim::Engine engine;
+  Cluster cluster(engine, cache_config(5));
+  cluster.node(1).kecho->join("metrics");
+  cluster.node(2).kecho->join("metrics");
+  run_to(cluster, 0.5);
+
+  kecho::Node& observer = *cluster.node(4).kecho;
+  std::size_t responses = 0;
+  std::vector<kecho::Member> seen;
+  auto record = [&](const kecho::JoinResponse& response) {
+    ++responses;
+    EXPECT_TRUE(response.found);
+    seen = response.members;
+  };
+  observer.lookup_members("metrics", record);
+  run_to(cluster, 1.0);
+  ASSERT_EQ(responses, 1u);
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(observer.cache_stats().misses, 1u);
+  EXPECT_EQ(observer.cache_stats().hits, 0u);
+
+  // A fresh cached record answers synchronously, without a round trip.
+  observer.lookup_members("metrics", record);
+  EXPECT_EQ(responses, 2u);
+  EXPECT_EQ(observer.cache_stats().hits, 1u);
+  EXPECT_EQ(seen.size(), 2u);
+
+  // Past the lease the entry is discarded lazily and the registry is asked
+  // again; the served staleness never exceeded the lease.
+  run_to(cluster, 2.5);
+  observer.lookup_members("metrics", record);
+  EXPECT_EQ(observer.cache_stats().expiries, 1u);
+  EXPECT_EQ(observer.cache_stats().misses, 2u);
+  run_to(cluster, 3.0);
+  EXPECT_EQ(responses, 3u);
+  EXPECT_LE(observer.cache_stats().max_served_staleness_ns,
+            seconds(1.0).ns());
+}
+
+TEST(RegistryClientCache, MutationInvalidatesLookupCachers) {
+  sim::Engine engine;
+  Cluster cluster(engine, cache_config(5));
+  cluster.node(1).kecho->join("metrics");
+  cluster.node(2).kecho->join("metrics");
+  run_to(cluster, 0.5);
+
+  kecho::Node& observer = *cluster.node(4).kecho;
+  observer.lookup_members("metrics", [](const kecho::JoinResponse&) {});
+  run_to(cluster, 0.8);
+  ASSERT_EQ(observer.cache_stats().misses, 1u);
+
+  // Node 2 leaves: the registry invalidates everyone it served a lookup
+  // for, so the observer's next lookup misses and sees one member.
+  cluster.leave_node(2);
+  run_to(cluster, 1.2);
+  EXPECT_GE(observer.cache_stats().invalidations, 1u);
+  std::vector<kecho::Member> seen;
+  observer.lookup_members("metrics",
+                          [&](const kecho::JoinResponse& response) {
+                            seen = response.members;
+                          });
+  EXPECT_EQ(observer.cache_stats().hits, 0u);
+  run_to(cluster, 1.6);
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_GT(cluster.registry_replica(0).stats().invalidations_sent, 0u);
+}
+
+TEST(RegistryClientCache, NegativeLookupIsCachedToo) {
+  sim::Engine engine;
+  Cluster cluster(engine, cache_config(4));
+  run_to(cluster, 0.2);
+
+  kecho::Node& observer = *cluster.node(3).kecho;
+  bool found = true;
+  observer.lookup_members("ghost", [&](const kecho::JoinResponse& response) {
+    found = response.found;
+  });
+  run_to(cluster, 0.6);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(observer.cache_stats().misses, 1u);
+
+  found = true;
+  observer.lookup_members("ghost", [&](const kecho::JoinResponse& response) {
+    found = response.found;
+  });
+  EXPECT_FALSE(found);  // served synchronously from the cached negative
+  EXPECT_EQ(observer.cache_stats().hits, 1u);
+}
+
+TEST(RegistryClientCache, JoinAdoptsCachedLookupInstantly) {
+  sim::Engine engine;
+  Cluster cluster(engine, cache_config(5));
+  cluster.node(1).kecho->join("metrics");
+  cluster.node(2).kecho->join("metrics");
+  run_to(cluster, 0.3);
+
+  // A lookup populates the cache; the join that follows within the lease
+  // adopts the cached record synchronously — the channel is ready before
+  // any registry round trip — while the registry's authoritative response
+  // still lands and re-applies afterwards.
+  kecho::Node& joiner = *cluster.node(4).kecho;
+  joiner.lookup_members("metrics", [](const kecho::JoinResponse&) {});
+  run_to(cluster, 0.6);
+  ASSERT_EQ(joiner.cache_stats().misses, 1u);
+
+  kecho::Channel& channel = joiner.join("metrics");
+  EXPECT_TRUE(channel.ready());
+  EXPECT_EQ(channel.members().size(), 2u);
+  EXPECT_GE(joiner.cache_stats().hits, 1u);
+  run_to(cluster, 1.0);
+  EXPECT_TRUE(channel.ready());
+  EXPECT_EQ(channel.members().size(), 2u);
+  EXPECT_EQ(cluster.registry_replica(0).channel_members("metrics").size(), 3u);
+  EXPECT_LE(joiner.cache_stats().max_served_staleness_ns, seconds(1.0).ns());
+}
+
+// --- the ISSUE acceptance scenario -----------------------------------------
+
+TEST(RegistryStorm, LeaderKillMidJoinStorm512) {
+  sim::Engine engine;
+  Cluster cluster(engine, replicated_config(512));
+
+  std::vector<kecho::Channel*> channels(cluster.size(), nullptr);
+  cluster.engine().schedule_at(at(1.0), [&cluster, &channels] {
+    for (std::size_t i = 3; i < cluster.size(); ++i) {
+      channels[i] = &cluster.node(i).kecho->join("storm");
+    }
+  });
+  // The kill lands 1ms into the storm: part of the wave was served by the
+  // old leader (whose responses and syncs still drain the wire), the rest
+  // is dropped at the dead NIC and must retry through the failover.
+  sim::FaultPlan plan;
+  plan.kill_registry_leader(at(1.001));
+  cluster.inject(plan);
+
+  // Bounded convergence: replica 0's lease expires 1.5s after its final
+  // heartbeat (t=1.0); replica 1 claims at the next tick, so leadership is
+  // settled by t=3.0 plus one heartbeat of slack.
+  run_to(cluster, 3.6);
+  kecho::RegistryServer& successor = cluster.registry_replica(1);
+  ASSERT_EQ(cluster.registry_leader(), &successor);
+  EXPECT_EQ(successor.stats().failovers, 1u);
+
+  run_to(cluster, 15.0);
+  // Every join completed, on one channel id, despite the mid-storm kill.
+  std::size_t ready = 0;
+  for (std::size_t i = 3; i < cluster.size(); ++i) {
+    ASSERT_NE(channels[i], nullptr);
+    if (channels[i]->ready()) ++ready;
+    EXPECT_EQ(channels[i]->id(), channels[3]->id());
+  }
+  EXPECT_EQ(ready, cluster.size() - 3);
+
+  // No lost or duplicated registrations: both survivors hold the identical
+  // 509-member table.
+  expect_tables_agree(cluster, {1, 2});
+  const auto& members = successor.channel_members("storm");
+  EXPECT_EQ(members.size(), cluster.size() - 3);
+  std::set<net::NodeId> unique_nodes;
+  for (const kecho::Member& m : members) unique_nodes.insert(m.node);
+  EXPECT_EQ(unique_nodes.size(), members.size());
+
+  // Cache-served state never exceeded the lease-staleness bound.
+  const std::int64_t lease_ns = cluster.config().registry.cache_lease.ns();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_LE(cluster.node(i).kecho->cache_stats().max_served_staleness_ns,
+              lease_ns);
+  }
+}
+
+}  // namespace
+}  // namespace dproc::core
