@@ -70,6 +70,10 @@ struct ClusterConfig {
   /// fan-out. Off by default for the same byte-identity reason. Copied
   /// into DmonConfig::batch for every d-mon the builder creates.
   BatchConfig batch{};
+  /// Self-adapting monitoring periods under an overhead budget. Off by
+  /// default for the same byte-identity reason. Copied into
+  /// DmonConfig::adapt for every d-mon the builder creates.
+  AdaptConfig adapt{};
   /// Hierarchical aggregation overlay: zone aggregators, roll-up
   /// republish, drill-down. Off by default for the same byte-identity
   /// reason. The builder constructs one HierarchyLayout for the cluster

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "dproc/core/adapt.hpp"
 #include "dproc/core/hierarchy.hpp"
 #include "dproc/core/monitors.hpp"
 #include "dproc/core/tuning.hpp"
@@ -104,6 +105,10 @@ struct DmonConfig {
   /// Batched publishing, delta suppression, interest fan-out (off by
   /// default).
   BatchConfig batch{};
+  /// Self-adapting periods under an overhead budget (off by default; see
+  /// adapt.hpp). Regions are built from the modules registered before
+  /// start(); later registrations keep their static periods.
+  AdaptConfig adapt{};
   /// Hierarchical aggregation overlay (off by default; see hierarchy.hpp).
   HierarchyConfig hierarchy{};
   /// The cluster-wide zone layout, built once (build_hierarchy) and shared
@@ -266,6 +271,13 @@ class DMon {
 
   [[nodiscard]] const std::string& last_control_error() const {
     return last_control_error_;
+  }
+
+  /// The period-adaptation controller; nullptr until start() with
+  /// DmonConfig::adapt.enabled.
+  [[nodiscard]] PeriodController* adaptation() { return adapter_.get(); }
+  [[nodiscard]] const PeriodController* adaptation() const {
+    return adapter_.get();
   }
 
   // --- interest-scoped fan-out -------------------------------------------
@@ -438,6 +450,10 @@ class DMon {
   void register_local_files(const ModuleEntry& entry);
   void rebuild_tuning();
   void charge(double cycles);
+  /// Tail of every poll(): accumulates this poll's kernel cost into the
+  /// adaptation window and, at interval boundaries, runs one controller
+  /// round and applies the resulting adaptive periods.
+  void run_adaptation(SimDuration kernel_before);
 
   host::Host& host_;
   net::Nic& nic_;
@@ -453,6 +469,11 @@ class DMon {
   std::unique_ptr<PublisherTuning> tuning_;
   std::map<net::NodeId, Peer> peers_;
 
+  // --- period adaptation (DmonConfig::adapt; see adapt.hpp) --------------
+  std::unique_ptr<PeriodController> adapter_;
+  int adapt_poll_count_ = 0;            // polls since the last round
+  SimDuration adapt_window_cost_{0};    // kernel cost over those polls
+
   kecho::Channel* monitor_channel_ = nullptr;
   kecho::Channel* control_channel_ = nullptr;
   sim::EventHandle poll_timer_;
@@ -464,12 +485,14 @@ class DMon {
   std::uint32_t trace_seq_ = 0;  // per-node trace-id sequence
 
   // --- batching state ----------------------------------------------------
-  /// Last value this publisher sent per metric id (delta suppression).
-  struct PublishedState {
-    bool published = false;
-    double value = 0.0;
-  };
+  /// Last value this publisher sent per metric id (delta suppression and
+  /// the adaptation controller's accuracy baseline; see adapt.hpp).
   std::vector<PublishedState> last_published_;
+  /// Next batch must be a keyframe regardless of phase: set on any
+  /// effective-period change (control write or adaptation round) so
+  /// delta-suppressed subscribers re-anchor instead of decoding against a
+  /// stale baseline until the next scheduled keyframe.
+  bool force_keyframe_ = false;
   std::uint64_t batch_seq_ = 0;  // batches submitted; phase for keyframes
   /// Module ranges in id order (mirror of modules_, for grouping).
   std::vector<MetricRange> module_ranges_;
@@ -546,6 +569,9 @@ class DMon {
   telemetry::Counter& tm_batch_delta_suppressed_;
   telemetry::Counter& tm_batch_keyframes_;
   telemetry::Counter& tm_bytes_saved_;
+  telemetry::Counter& tm_adapt_rounds_;
+  telemetry::Counter& tm_adapt_changes_;
+  telemetry::Gauge& tm_adapt_overhead_;
   telemetry::LatencyRecorder& tm_poll_us_;
   telemetry::LatencyRecorder& tm_submit_us_;
   telemetry::LatencyRecorder& tm_receive_us_;

@@ -190,6 +190,9 @@ class DprocMonitor : public MonitoringModule {
   telemetry::Counter& filter_insns_;
   telemetry::Counter& net_drops_;
   telemetry::Counter& slo_violations_;
+  telemetry::Counter& adapt_rounds_;
+  telemetry::Counter& adapt_changes_;
+  telemetry::Gauge& adapt_overhead_;
   telemetry::LatencyRecorder& submit_us_;
   telemetry::LatencyRecorder& receive_us_;
   telemetry::LatencyRecorder& poll_us_;

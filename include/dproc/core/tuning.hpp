@@ -115,6 +115,14 @@ class PublisherTuning {
   }
   [[nodiscard]] SimDuration default_period() const { return default_period_; }
 
+  /// Adaptation-owned per-metric periods (core/adapt). They sit between the
+  /// operator's rules and the default: an explicit `period <metric> ...`
+  /// rule always wins, an adaptive period overrides only the default.
+  /// Non-positive clears the metric's adaptive period.
+  void set_adaptive_period(MetricId id, SimDuration period);
+  void clear_adaptive_periods();
+  [[nodiscard]] std::optional<SimDuration> adaptive_period(MetricId id) const;
+
   /// Renders the active configuration (for the local status pseudo-file).
   [[nodiscard]] std::string describe() const;
 
@@ -146,6 +154,8 @@ class PublisherTuning {
   std::map<std::string, MetricId> metric_ids_;
 
   std::map<MetricId, ResolvedPeriod> periods_;
+  /// Controller-set periods, indexed by metric id; zero = unset.
+  std::vector<SimDuration> adaptive_;
   std::map<MetricId, std::vector<ResolvedThreshold>> thresholds_;
   std::optional<double> differential_pct_;
   std::optional<ecode::Filter> filter_;

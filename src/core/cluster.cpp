@@ -161,6 +161,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     DmonConfig dmon_config = config_.dmon;
     if (config_.trace.enabled) dmon_config.trace = config_.trace;
     if (config_.batch.enabled) dmon_config.batch = config_.batch;
+    if (config_.adapt.enabled) dmon_config.adapt = config_.adapt;
     if (config_.hierarchy.enabled) {
       dmon_config.hierarchy = config_.hierarchy;
       dmon_config.hierarchy_layout = hierarchy_layout;

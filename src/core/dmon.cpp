@@ -203,6 +203,9 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
           host.telemetry().counter("dmon", "batch_delta_suppressed")),
       tm_batch_keyframes_(host.telemetry().counter("dmon", "batch_keyframes")),
       tm_bytes_saved_(host.telemetry().counter("kecho", "bytes_saved")),
+      tm_adapt_rounds_(host.telemetry().counter("dmon", "adapt_rounds")),
+      tm_adapt_changes_(host.telemetry().counter("dmon", "adapt_changes")),
+      tm_adapt_overhead_(host.telemetry().gauge("dmon", "adapt_overhead")),
       tm_poll_us_(host.telemetry().latency("dmon", "poll_us")),
       tm_submit_us_(host.telemetry().latency("dmon", "submit_us")),
       tm_receive_us_(host.telemetry().latency("dmon", "receive_us")) {
@@ -276,6 +279,41 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
           modules.push_back(word);
         }
         return declare_interest(std::move(modules));
+      });
+  procfs_.register_file(
+      "/proc/dproc/adapt",
+      [this] {
+        if (!adapter_) return std::string{"adaptation disabled\n"};
+        return adapter_->describe();
+      },
+      [this](const std::string& text) {
+        if (!adapter_) {
+          return Status::failed_precondition("adaptation disabled");
+        }
+        // Knob language: `budget <fraction>` / `target <rate>`, one per
+        // line, applied in order; the first bad line rejects the write.
+        std::istringstream in(text);
+        std::string line;
+        while (std::getline(in, line)) {
+          std::istringstream words(line);
+          std::string command;
+          if (!(words >> command) || command.starts_with('#')) continue;
+          double value = 0.0;
+          if (!(words >> value)) {
+            return Status::invalid_argument(command + ": missing value");
+          }
+          Status status;
+          if (command == "budget") {
+            status = adapter_->set_budget(value);
+          } else if (command == "target") {
+            status = adapter_->set_target(value);
+          } else {
+            status = Status::invalid_argument("unknown adapt knob '" +
+                                              command + "'");
+          }
+          if (!status) return status;
+        }
+        return Status::ok();
       });
   kecho_.add_membership_listener(
       [this](kecho::MemberEventKind kind, net::NodeId node) {
@@ -398,6 +436,17 @@ void DMon::add_peer(net::NodeId node, const std::string& name) {
 void DMon::start() {
   if (started_) return;
   started_ = true;
+  if (config_.adapt.enabled && adapter_ == nullptr) {
+    // Regions mirror the module ranges registered so far (the cluster
+    // builder registers every module before start_dproc); modules added
+    // later keep their static periods.
+    adapter_ = std::make_unique<PeriodController>(config_.adapt,
+                                                  tuning_->default_period());
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      adapter_->add_region(modules_[i].module->name(),
+                           module_ranges_[i].first, module_ranges_[i].count);
+    }
+  }
   if (config_.hierarchy.enabled && config_.hierarchy_layout != nullptr) {
     start_hierarchy();
   } else {
@@ -438,6 +487,12 @@ void DMon::restart() {
   hier_dead_.clear();
   local_drills_.clear();
   summary_valid_ = false;
+  // A rebooted controller has no rate memory; periods restart at base.
+  if (adapter_) adapter_->reset();
+  tuning_->clear_adaptive_periods();
+  adapt_poll_count_ = 0;
+  adapt_window_cost_ = SimDuration::zero();
+  force_keyframe_ = false;
   start();
 }
 
@@ -545,25 +600,46 @@ Status DMon::apply_tuning(const TuningConfig& config) {
     tm_filter_compiles_.add();
   }
   // Module-internal sampling windows (e.g. CPU_MON's run-queue averaging
-  // period) are applied before the publication tuning so a failed lookup
-  // rejects the whole request atomically from the caller's perspective.
+  // period): resolve and validate every target before touching any module,
+  // so a request that half-fails leaves no window already rewritten — the
+  // whole request applies or none of it does.
+  std::vector<std::pair<MonitoringModule*, SimDuration>> window_updates;
+  window_updates.reserve(config.module_periods.size());
   for (const auto& [module_name, period] : config.module_periods) {
-    bool found = false;
+    if (period <= SimDuration::zero()) {
+      Status status =
+          Status::invalid_argument("module window must be positive");
+      last_control_error_ = status.to_string();
+      return status;
+    }
+    MonitoringModule* target = nullptr;
     for (ModuleEntry& entry : modules_) {
       if (entry.module->name() == module_name) {
-        entry.module->set_period(period);
-        found = true;
+        target = entry.module.get();
         break;
       }
     }
-    if (!found) {
+    if (target == nullptr) {
       Status status = Status::not_found("unknown module '" + module_name + "'");
       last_control_error_ = status.to_string();
       return status;
     }
+    window_updates.emplace_back(target, period);
   }
   Status status = tuning_->apply(config);
   last_control_error_ = status.is_ok() ? std::string{} : status.to_string();
+  if (!status) return status;
+  for (const auto& [module, period] : window_updates) {
+    module->set_period(period);
+  }
+  // Any effective-period change invalidates delta-suppressed subscribers'
+  // decode baselines (their next expected update may now be a slow period
+  // away): force a keyframe so they re-anchor immediately. Filter-only or
+  // threshold-only configs leave the cadence alone.
+  if (config.clear || config.default_period || !config.metric_periods.empty() ||
+      !config.module_periods.empty()) {
+    force_keyframe_ = true;
+  }
   return status;
 }
 
@@ -886,6 +962,7 @@ bool DMon::build_publish_batch(std::vector<MetricSample>& sorted,
   // always MonitorBatch frames); without BatchConfig every frame is a
   // keyframe and delta suppression stays inert.
   const bool keyframe =
+      force_keyframe_ ||
       !config_.batch.enabled || config_.batch.keyframe_every <= 1 ||
       batch_seq_ %
               static_cast<std::uint64_t>(config_.batch.keyframe_every) ==
@@ -915,6 +992,9 @@ bool DMon::build_publish_batch(std::vector<MetricSample>& sorted,
   // as a period where the filter kept everything back.
   if (batch.entries.empty()) return false;
 
+  // The pending force is satisfied only once a keyframe actually goes out;
+  // an all-suppressed or empty period keeps it armed for the next frame.
+  if (keyframe) force_keyframe_ = false;
   if (keyframe) batch.flags |= net::MonitorBatch::kFlagKeyframe;
   record.keyframe = keyframe;
   for (const net::MonitorBatch::Entry& e : batch.entries) {
@@ -1594,6 +1674,10 @@ PollRecord DMon::poll() {
   for (const SampleObserver& observer : sample_observers_) {
     observer(collected, now);
   }
+  // Rate tracking runs against the pre-decision samples: the controller
+  // must see what the metrics are doing even while slow periods keep them
+  // off the wire.
+  if (adapter_) adapter_->observe(collected, last_published_);
 
   // --- decide + submit ---------------------------------------------------
   Decision decision = tuning_->decide(collected, now);
@@ -1669,6 +1753,7 @@ PollRecord DMon::poll() {
   tm_events_received_.add(record.events_received);
   tm_submit_us_.record(record.submit_cost);
   tm_receive_us_.record(record.receive_cost);
+  run_adaptation(kernel_before);
   // The whole poll runs at one instant of virtual time; its duration is the
   // kernel CPU time it charged, which is also the span's extent.
   const SimDuration poll_cost = host_.cpu().kernel_cpu_time() - kernel_before;
@@ -1676,6 +1761,41 @@ PollRecord DMon::poll() {
   host_.telemetry().record_span("dmon", "poll", poll_start,
                                 poll_start + poll_cost);
   return record;
+}
+
+void DMon::run_adaptation(SimDuration kernel_before) {
+  if (!adapter_) return;
+  const int every = std::max(config_.adapt.adapt_every_periods, 1);
+  const bool boundary = adapt_poll_count_ + 1 >= every;
+  // The controller's decision pass is kernel work; charging it before the
+  // window cost is read keeps the measured overhead honest about the cost
+  // of adaptation itself.
+  if (boundary) charge(config_.overheads.control_apply_cycles);
+  adapt_window_cost_ += host_.cpu().kernel_cpu_time() - kernel_before;
+  if (!boundary) {
+    ++adapt_poll_count_;
+    return;
+  }
+  const double window_sec =
+      static_cast<double>(every) * config_.poll_period.sec();
+  const double overhead =
+      window_sec > 0.0 ? adapt_window_cost_.sec() / window_sec : 0.0;
+  adapt_poll_count_ = 0;
+  adapt_window_cost_ = SimDuration::zero();
+
+  const bool changed = adapter_->adapt(overhead);
+  for (const PeriodController::Region& region : adapter_->regions()) {
+    for (std::size_t i = 0; i < region.count; ++i) {
+      tuning_->set_adaptive_period(static_cast<MetricId>(region.first + i),
+                                   region.period);
+    }
+  }
+  // An adaptive period move invalidates subscribers' delta baselines the
+  // same way a control write does.
+  if (changed) force_keyframe_ = true;
+  tm_adapt_rounds_.add();
+  if (changed) tm_adapt_changes_.add();
+  tm_adapt_overhead_.set(overhead);
 }
 
 }  // namespace dproc::core

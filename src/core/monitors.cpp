@@ -240,6 +240,9 @@ DprocMonitor::DprocMonitor(host::Host& host)
       filter_insns_(host.telemetry().counter("ecode", "filter_insns")),
       net_drops_(host.telemetry().counter("net", "drops")),
       slo_violations_(host.telemetry().counter("trace", "slo_violations")),
+      adapt_rounds_(host.telemetry().counter("dmon", "adapt_rounds")),
+      adapt_changes_(host.telemetry().counter("dmon", "adapt_changes")),
+      adapt_overhead_(host.telemetry().gauge("dmon", "adapt_overhead")),
       submit_us_(host.telemetry().latency("dmon", "submit_us")),
       receive_us_(host.telemetry().latency("dmon", "receive_us")),
       poll_us_(host.telemetry().latency("dmon", "poll_us")) {}
@@ -256,7 +259,10 @@ std::vector<MetricDesc> DprocMonitor::metrics() const {
           {0, "dproc_suppressed", "dproc/suppressed"},
           {0, "dproc_heartbeats", "dproc/heartbeats"},
           {0, "dproc_net_drops", "dproc/net_drops"},
-          {0, "dproc_slo_violations", "dproc/slo_violations"}};
+          {0, "dproc_slo_violations", "dproc/slo_violations"},
+          {0, "dproc_adapt_rounds", "dproc/adapt_rounds"},
+          {0, "dproc_adapt_changes", "dproc/adapt_changes"},
+          {0, "dproc_adapt_overhead_pct", "dproc/adapt_overhead_pct"}};
 }
 
 void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
@@ -272,6 +278,9 @@ void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
   out.push_back(sample(0, static_cast<double>(heartbeats_.value()), now));
   out.push_back(sample(0, static_cast<double>(net_drops_.value()), now));
   out.push_back(sample(0, static_cast<double>(slo_violations_.value()), now));
+  out.push_back(sample(0, static_cast<double>(adapt_rounds_.value()), now));
+  out.push_back(sample(0, static_cast<double>(adapt_changes_.value()), now));
+  out.push_back(sample(0, adapt_overhead_.value() * 100.0, now));
 }
 
 // --- SyntheticMonitor --------------------------------------------------------

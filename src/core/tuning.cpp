@@ -40,6 +40,14 @@ Status PublisherTuning::validate(const TuningConfig& config) const {
       if (!cond) return cond.status();
     }
   }
+  // Module names stay remote-validated (module sets are per-node), but a
+  // zero or negative window is invalid everywhere: it would busy-loop the
+  // module's internal sampling.
+  for (const auto& [module_name, period] : config.module_periods) {
+    if (period <= SimDuration::zero()) {
+      return Status::invalid_argument("module window must be positive");
+    }
+  }
   for (const Threshold& t : config.thresholds) {
     auto id = resolve(t.metric);
     if (!id) return id.status();
@@ -84,6 +92,13 @@ Status PublisherTuning::apply(const TuningConfig& config) {
     if (!id) {
       restore();
       return id.status();
+    }
+    // Control events decoded off the wire bypass parse_control_commands, so
+    // the positivity check has to live here too: a zero period would make
+    // the metric publish every poll forever, a negative one always "due".
+    if (mp.period <= SimDuration::zero()) {
+      restore();
+      return Status::invalid_argument("update period must be positive");
     }
     ResolvedPeriod rp;
     rp.period = mp.period;
@@ -139,8 +154,25 @@ Status PublisherTuning::apply(const TuningConfig& config) {
   default_period_ = new_default;
   if (config.clear) {
     for (SentState& s : sent_) s = SentState{};
+    adaptive_.clear();  // the controller re-resolves from scratch next round
   }
   return Status::ok();
+}
+
+void PublisherTuning::set_adaptive_period(MetricId id, SimDuration period) {
+  if (id >= sent_.size()) return;
+  if (adaptive_.size() < sent_.size()) adaptive_.resize(sent_.size());
+  adaptive_[id] = period > SimDuration::zero() ? period : SimDuration::zero();
+}
+
+void PublisherTuning::clear_adaptive_periods() { adaptive_.clear(); }
+
+std::optional<SimDuration> PublisherTuning::adaptive_period(
+    MetricId id) const {
+  if (id >= adaptive_.size() || adaptive_[id] <= SimDuration::zero()) {
+    return std::nullopt;
+  }
+  return adaptive_[id];
 }
 
 bool PublisherTuning::passes_parameters(const MetricSample& sample,
@@ -149,17 +181,28 @@ bool PublisherTuning::passes_parameters(const MetricSample& sample,
   const SentState& state = sent_[sample.id];
 
   // Effective period, possibly gated on another metric's current value.
+  // Precedence: operator rule > adaptive (controller-set) > default.
   SimDuration period = default_period_;
+  if (sample.id < adaptive_.size() &&
+      adaptive_[sample.id] > SimDuration::zero()) {
+    period = adaptive_[sample.id];
+  }
   auto period_it = periods_.find(sample.id);
   if (period_it != periods_.end()) {
     const ResolvedPeriod& rp = period_it->second;
-    period = rp.period;
     if (rp.conditional) {
+      // The guard is re-evaluated against the live metric every poll, and it
+      // gates only the special period: while unmet the metric reverts to its
+      // base cadence rather than going silent, so the effective period
+      // tracks the guard metric ("every 2 s IF utilization above 80%",
+      // otherwise at the normal rate).
       const double cond_value = all[rp.cond_metric].value;
       const bool met = rp.cond_kind == ThresholdKind::kAbove
                            ? cond_value > rp.cond_value
                            : cond_value < rp.cond_value;
-      if (!met) return false;
+      if (met) period = rp.period;
+    } else {
+      period = rp.period;
     }
   }
   if (state.sent && now - state.last_time < period) return false;
@@ -263,6 +306,13 @@ std::string PublisherTuning::describe() const {
           << rp.cond_value;
     }
     out << "\n";
+  }
+  for (MetricId id = 0; id < adaptive_.size(); ++id) {
+    if (adaptive_[id] > SimDuration::zero() &&
+        periods_.find(id) == periods_.end()) {
+      out << "adaptive " << name_of(id) << " " << to_string(adaptive_[id])
+          << "\n";
+    }
   }
   for (const auto& [id, list] : thresholds_) {
     for (const ResolvedThreshold& t : list) {

@@ -314,6 +314,51 @@ TEST(BatchPublish, RestartedSubscriberReconvergesThroughKeyframes) {
   EXPECT_FALSE(converged_after_restart(1'000'000, 11.0 + 4.0 + 5.0));
 }
 
+TEST(BatchPublish, PeriodChangeForcesKeyframe) {
+  // A runtime period change invalidates delta-suppressed subscribers'
+  // decode baselines (their next expected update may now be a slow period
+  // away). Suppression is total and the keyframe schedule effectively
+  // disabled, so the only way fresh data can arrive after the retune is
+  // the forced keyframe.
+  sim::Engine engine;
+  ClusterConfig config;
+  config.node_count = 2;
+  config.batch.enabled = true;
+  config.batch.delta_epsilon = 1e30;       // regular frames carry nothing
+  config.batch.keyframe_every = 1'000'000;  // no scheduled keyframe either
+  Cluster cluster{engine, config};
+  cluster.start_dproc();
+
+  engine.run_until(at(4.0));
+  const net::NodeId n0 = cluster.nic(0).node();
+  const RemoteMetric* metric = cluster.dmon(1)->remote_metric(n0, "freemem");
+  ASSERT_NE(metric, nullptr);  // the phase-0 keyframe seeded the caches
+  const SimTime before_change = metric->received_at;
+  EXPECT_LT(before_change, at(2.5));
+
+  // A retune that does not touch periods must not force anything. (The
+  // threshold gates loadavg only; freemem keeps flowing into the batch,
+  // where the huge epsilon suppresses it.)
+  TuningConfig no_period;
+  no_period.thresholds.push_back(
+      Threshold{"loadavg", ThresholdKind::kAbove, 1e9, 0.0});
+  ASSERT_TRUE(cluster.dmon(0)->apply_tuning(no_period).is_ok());
+  engine.run_until(at(7.0));
+  metric = cluster.dmon(1)->remote_metric(n0, "freemem");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->received_at.ns(), before_change.ns());
+
+  // A period change must emit a keyframe on the next batch, mid-schedule.
+  TuningConfig retune;
+  retune.default_period = seconds(1.0);
+  ASSERT_TRUE(cluster.dmon(0)->apply_tuning(retune).is_ok());
+  engine.run_until(at(10.0));
+  metric = cluster.dmon(1)->remote_metric(n0, "freemem");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_GT(metric->received_at, at(7.0))
+      << "no keyframe followed the period change";
+}
+
 TEST(BatchPublish, DisabledConfigKeepsLegacyBehaviour) {
   // BatchConfig is fully off by default: the byte-identity of the default
   // wire format is pinned by the golden-trace test; here we pin the

@@ -62,10 +62,12 @@ TEST_F(TuningTest, PerMetricPeriod) {
 
 TEST_F(TuningTest, ConditionalPeriodGates) {
   // The paper's example: update CPU info every 2 s IF utilization > 80%.
+  // The guard selects between the special period and the default cadence;
+  // it must not silence the metric while unmet.
   TuningConfig config;
   MetricPeriod mp;
   mp.metric = "loadavg";
-  mp.period = seconds(2.0);
+  mp.period = seconds(3.0);
   mp.conditional = true;
   mp.cond_metric = "freemem";
   mp.cond_kind = ThresholdKind::kBelow;
@@ -73,12 +75,84 @@ TEST_F(TuningTest, ConditionalPeriodGates) {
   config.metric_periods.push_back(mp);
   ASSERT_TRUE(tuning.apply(config).is_ok());
 
-  // Condition false: loadavg never sent.
-  auto d = tuning.decide(samples(5, 500, 0, 0), at(0));
-  EXPECT_EQ(d.to_send.size(), 3u);
-  // Condition true: sent.
-  d = tuning.decide(samples(5, 50, 0, 0), at(2.0));
-  bool has_loadavg = false;
+  auto has_loadavg = [](const Decision& d) {
+    for (const auto& s : d.to_send) {
+      if (s.id == 0) return true;
+    }
+    return false;
+  };
+
+  // Condition false: loadavg follows the default 1 s period, not silence.
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(0))));
+  EXPECT_FALSE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(0.5))));
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(1.0))));
+  // Condition becomes true: the 3 s period applies from the last send.
+  EXPECT_FALSE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(2.0))));
+  EXPECT_FALSE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(3.0))));
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(4.0))));
+}
+
+TEST_F(TuningTest, ConditionalPeriodTracksGuardEachPoll) {
+  // Regression: the guard is evaluated against the live metric every poll.
+  // A guard that flips mid-stream must flip the effective period with it —
+  // the old behaviour resolved the gate into "drop the metric" and the
+  // period never tracked the guard.
+  TuningConfig config;
+  config.default_period = seconds(4.0);
+  MetricPeriod mp;
+  mp.metric = "loadavg";
+  mp.period = seconds(1.0);
+  mp.conditional = true;
+  mp.cond_metric = "freemem";
+  mp.cond_kind = ThresholdKind::kBelow;
+  mp.cond_value = 100.0;
+  config.metric_periods.push_back(mp);
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+
+  auto has_loadavg = [](const Decision& d) {
+    for (const auto& s : d.to_send) {
+      if (s.id == 0) return true;
+    }
+    return false;
+  };
+
+  // Guard met (freemem low): tight 1 s period.
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(0))));
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(1.0))));
+  // Guard flips off at t=2: the slow default period (4 s since the t=1
+  // send) takes over immediately.
+  EXPECT_FALSE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(2.0))));
+  EXPECT_FALSE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(4.0))));
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 500, 0, 0), at(5.0))));
+  // Guard flips back on at t=6: the tight period resumes.
+  EXPECT_TRUE(has_loadavg(tuning.decide(samples(5, 50, 0, 0), at(6.0))));
+}
+
+TEST_F(TuningTest, AdaptivePeriodOverridesDefaultNotRules) {
+  TuningConfig config;
+  config.metric_periods.push_back(MetricPeriod{"freemem", seconds(1.0)});
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  // Controller slows loadavg to 3 s and (ineffectively) freemem to 3 s.
+  tuning.set_adaptive_period(0, seconds(3.0));
+  tuning.set_adaptive_period(1, seconds(3.0));
+  EXPECT_EQ(tuning.adaptive_period(0)->sec(), 3.0);
+
+  (void)tuning.decide(samples(1, 2, 3, 4), at(0));
+  auto d = tuning.decide(samples(1, 2, 3, 4), at(1.0));
+  bool has_loadavg = false, has_freemem = false;
+  for (const auto& s : d.to_send) {
+    has_loadavg |= s.id == 0;
+    has_freemem |= s.id == 1;
+  }
+  // The operator's explicit freemem rule wins over the adaptive period;
+  // loadavg (default-period metric) is slowed by the controller.
+  EXPECT_FALSE(has_loadavg);
+  EXPECT_TRUE(has_freemem);
+  EXPECT_NE(tuning.describe().find("adaptive loadavg"), std::string::npos);
+
+  tuning.clear_adaptive_periods();
+  d = tuning.decide(samples(1, 2, 3, 4), at(2.0));
+  has_loadavg = false;
   for (const auto& s : d.to_send) has_loadavg |= s.id == 0;
   EXPECT_TRUE(has_loadavg);
 }
@@ -153,6 +227,49 @@ TEST_F(TuningTest, UnknownMetricRejectedAtomically) {
   EXPECT_FALSE(tuning.apply(config).is_ok());
   // The valid default_period in the same request must not have applied.
   EXPECT_EQ(tuning.default_period().sec(), 1.0);
+}
+
+TEST_F(TuningTest, NonPositivePeriodsRejected) {
+  // Decoded control events bypass parse_control_commands, so apply() and
+  // validate() must reject zero/negative durations themselves: a zero
+  // period publishes every poll forever, a negative one is always "due".
+  TuningConfig config;
+  config.default_period = SimDuration::zero();
+  Status status = tuning.apply(config);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("update period must be positive"),
+            std::string::npos);
+  EXPECT_EQ(tuning.default_period().sec(), 1.0);
+
+  TuningConfig metric;
+  metric.metric_periods.push_back(MetricPeriod{"loadavg", seconds(-2.0)});
+  status = tuning.apply(metric);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("update period must be positive"),
+            std::string::npos);
+  status = tuning.validate(metric);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("update period must be positive"),
+            std::string::npos);
+  // Everything still publishes at the untouched default.
+  EXPECT_EQ(tuning.decide(samples(1, 2, 3, 4), at(0)).to_send.size(), 4u);
+}
+
+TEST_F(TuningTest, NonPositiveModuleWindowRejectedByValidate) {
+  TuningConfig config;
+  config.module_periods.emplace_back("cpu", SimDuration::zero());
+  Status status = tuning.validate(config);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("module window must be positive"),
+            std::string::npos);
+  config.module_periods.clear();
+  config.module_periods.emplace_back("cpu", seconds(-5.0));
+  EXPECT_FALSE(tuning.validate(config).is_ok());
+  // A positive window for an unknown module still validates here — module
+  // sets are per-node, so existence is checked at the receiving d-mon.
+  config.module_periods.clear();
+  config.module_periods.emplace_back("no_such_module", seconds(5.0));
+  EXPECT_TRUE(tuning.validate(config).is_ok());
 }
 
 TEST_F(TuningTest, FilterReplacesParameterLogic) {
