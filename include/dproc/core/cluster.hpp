@@ -81,6 +81,18 @@ struct ClusterConfig {
   /// is zone-scoped (each node pre-declares only its zone mates; everyone
   /// else is learned lazily) instead of all-pairs.
   HierarchyConfig hierarchy{};
+  /// Flight recorder: per-host structured event rings for post-mortem
+  /// debugging. Off by default for the same byte-identity reason. Enabled,
+  /// every host's recorder is configured and every kernel service records
+  /// its state transitions; the fault injector records ground truth into
+  /// every host's ring.
+  telemetry::FlightConfig flight{};
+  /// Cluster health engine: per-metric history rings, a per-node health
+  /// score published as dproc_health_* metrics, and triggered incident
+  /// bundles. Off by default for the same byte-identity reason. Implies
+  /// self_monitor (the score is computed from telemetry counters). Copied
+  /// into DmonConfig::health for every d-mon the builder creates.
+  HealthConfig health{};
 };
 
 /// One fully wired cluster node.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dproc/core/adapt.hpp"
+#include "dproc/core/health.hpp"
 #include "dproc/core/hierarchy.hpp"
 #include "dproc/core/monitors.hpp"
 #include "dproc/core/tuning.hpp"
@@ -111,6 +112,10 @@ struct DmonConfig {
   AdaptConfig adapt{};
   /// Hierarchical aggregation overlay (off by default; see hierarchy.hpp).
   HierarchyConfig hierarchy{};
+  /// Health engine: history rings, health score, incident bundles (off by
+  /// default; see health.hpp). Requires host telemetry to be meaningful —
+  /// the cluster builder normalizes health.enabled => self_monitor.
+  HealthConfig health{};
   /// The cluster-wide zone layout, built once (build_hierarchy) and shared
   /// by every d-mon so they all derive identical election answers. Required
   /// when hierarchy.enabled; ignored otherwise.
@@ -280,6 +285,19 @@ class DMon {
     return adapter_.get();
   }
 
+  /// The health engine; nullptr unless DmonConfig::health.enabled.
+  [[nodiscard]] HealthEngine* health_engine() { return health_.get(); }
+  [[nodiscard]] const HealthEngine* health_engine() const {
+    return health_.get();
+  }
+
+  /// Health-score trust verdict on a peer: false when the peer's published
+  /// dproc_health_score (its own self-assessment, received over the
+  /// monitoring channel) sits below the configured trust threshold. True
+  /// with the health engine off, for undeclared peers, and before the
+  /// first score arrives — missing data is peer_state()'s job.
+  [[nodiscard]] bool peer_health_ok(net::NodeId node) const;
+
   // --- interest-scoped fan-out -------------------------------------------
 
   /// Broadcasts this node's module interest set on the control channel:
@@ -364,6 +382,9 @@ class DMon {
     bool dead = false;     // evicted from the monitoring channel
     bool slo_violated = false;     // any SLO violation observed yet
     SimTime last_slo_violation;    // most recent violation (watchdog)
+    /// Last state the flight recorder saw; transitions are recorded at
+    /// each poll's liveness scan (kPeerLive/kPeerStale/kPeerDead).
+    PeerState last_state = PeerState::kLive;
   };
 
   /// Per-zone aggregator duty: roll-up state, channel handles and
@@ -454,6 +475,10 @@ class DMon {
   /// adaptation window and, at interval boundaries, runs one controller
   /// round and applies the resulting adaptive periods.
   void run_adaptation(SimDuration kernel_before);
+  /// Per-poll liveness scan: records peer state transitions into the
+  /// flight recorder and, with the health engine on, feeds it the
+  /// staleness census for this round.
+  void scan_peer_health(SimTime now);
 
   host::Host& host_;
   net::Nic& nic_;
@@ -468,6 +493,12 @@ class DMon {
 
   std::unique_ptr<PublisherTuning> tuning_;
   std::map<net::NodeId, Peer> peers_;
+
+  // --- health engine (DmonConfig::health; see health.hpp) ----------------
+  std::unique_ptr<HealthEngine> health_;
+  /// Cached metric id of the peers' published health score (resolved on
+  /// first use; nullopt until DPROC_MON registers with health metrics).
+  mutable std::optional<MetricId> health_score_id_;
 
   // --- period adaptation (DmonConfig::adapt; see adapt.hpp) --------------
   std::unique_ptr<PeriodController> adapter_;

@@ -1,0 +1,98 @@
+// Incident bundles and the cross-node post-mortem pipeline.
+//
+// An IncidentBundle is the health engine's frozen snapshot at the moment a
+// watchdog rule tripped: the flight-ring tail, the metric history rings and
+// the score, stamped with the node's identity. Bundles render to a
+// line-oriented text format (render_bundles) that survives a round-trip
+// through parse_bundles — the same bytes /proc/dproc/incidents serves and
+// tools/incident_report consumes.
+//
+// The merge/align half turns per-node dumps into one cluster-wide story:
+// the simulator's single virtual clock means timestamps merged across
+// nodes ARE the causal order, so merge_timeline just sorts (deduplicating
+// the fault-injector ground truth, which every host records), and
+// align_faults walks the merged timeline matching each injected fault to
+// the first symptom any node observed — the "did monitoring explain the
+// outage?" verdict the chaos tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dproc/telemetry/flight.hpp"
+
+namespace dproc::core {
+
+struct IncidentBundle {
+  std::uint32_t node = 0;
+  std::string node_name;
+  std::uint64_t id = 0;         // per-node, monotone from 1
+  std::int64_t opened_ns = 0;   // virtual time the trigger tripped
+  std::string trigger;          // watchdog series that tripped
+  double score = 100.0;         // health score at open
+  std::uint64_t symptoms = 0;   // triggers absorbed while open (dedup)
+  /// Flight-ring tail at open, oldest first.
+  std::vector<telemetry::FlightEvent> events;
+  /// History rings at open: (series, windowed deltas oldest first).
+  std::vector<std::pair<std::string, std::vector<double>>> history;
+};
+
+/// Text dump of a bundle list — the /proc/dproc/incidents format:
+///   incident <id> node <n> <name> opened_ns <t> trigger <series>
+///       score <s> symptoms <k>
+///   history <series> <v0> <v1> ...
+///   flight <ts_ns> <severity> <subsystem> <code>:<name> <a0..a3> [trace=..]
+///   end
+[[nodiscard]] std::string render_bundles(
+    const std::vector<IncidentBundle>& bundles);
+
+/// Parses render_bundles output (possibly several nodes' dumps
+/// concatenated), appending to `out`. Tolerant of unknown lines between
+/// bundles; returns false only on a structurally broken bundle (header
+/// that does not parse, or a body line outside any bundle). Fuzzed.
+[[nodiscard]] bool parse_bundles(const std::string& text,
+                                 std::vector<IncidentBundle>& out);
+
+/// One merged-timeline entry: a flight event attributed to the node whose
+/// bundle carried it.
+struct TimelineEntry {
+  std::uint32_t node = 0;
+  telemetry::FlightEvent event;
+};
+
+/// Merges every bundle's events into one timeline ordered by virtual
+/// timestamp (ties: node, then code). Duplicates are collapsed: the same
+/// (node, ts, code, args) seen in overlapping ring snapshots once, and
+/// fault-injector ground truth (recorded on every host) once cluster-wide.
+[[nodiscard]] std::vector<TimelineEntry> merge_timeline(
+    const std::vector<IncidentBundle>& bundles);
+
+/// Verdict for one injected fault found in the merged timeline.
+struct FaultFinding {
+  telemetry::FlightEvent fault;  // the kFaultInjected ground truth
+  bool disruptive = false;       // heal/restore events need no symptom
+  bool observed = false;         // some node recorded a matching symptom
+  std::uint32_t symptom_node = 0;
+  telemetry::FlightEvent symptom;  // first matching symptom (if observed)
+};
+
+/// Walks the merged timeline matching each kFaultInjected event to the
+/// first subsequent symptom event that implicates it (crash -> peer
+/// stale/dead/evicted for that node; registry outage -> kRegistryOutage;
+/// leader kill -> election/lease-expiry; link faults -> degradation of the
+/// node recorded behind the link). Healing faults (restart, link up, loss
+/// stop, registry up) are marked non-disruptive and auto-observed.
+[[nodiscard]] std::vector<FaultFinding> align_faults(
+    const std::vector<TimelineEntry>& timeline);
+
+/// True when every disruptive injected fault has an observed symptom.
+[[nodiscard]] bool faults_recovered(const std::vector<FaultFinding>& findings);
+
+/// JSON report for tools/incident_report: the merged timeline plus the
+/// fault-alignment verdicts.
+[[nodiscard]] std::string timeline_json(
+    const std::vector<TimelineEntry>& timeline,
+    const std::vector<FaultFinding>& findings);
+
+}  // namespace dproc::core

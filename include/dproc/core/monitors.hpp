@@ -175,7 +175,10 @@ class BatteryMonitor : public MonitoringModule {
 /// telemetry registry; with telemetry disabled every value reads 0.
 class DprocMonitor : public MonitoringModule {
  public:
-  explicit DprocMonitor(host::Host& host);
+  /// `with_health` appends the two health-engine metrics (dproc_health_score,
+  /// dproc_health_incidents) so the published schema — and thus the wire
+  /// bytes — only change when the health engine is actually on.
+  explicit DprocMonitor(host::Host& host, bool with_health = false);
 
   [[nodiscard]] std::string name() const override { return "dproc"; }
   [[nodiscard]] std::vector<MetricDesc> metrics() const override;
@@ -183,6 +186,7 @@ class DprocMonitor : public MonitoringModule {
 
  private:
   host::Host& host_;
+  bool with_health_ = false;
   telemetry::Counter& submits_;
   telemetry::Counter& receives_;
   telemetry::Counter& heartbeats_;

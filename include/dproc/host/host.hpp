@@ -12,6 +12,7 @@
 #include "dproc/host/memory.hpp"
 #include "dproc/host/pmc.hpp"
 #include "dproc/sim/engine.hpp"
+#include "dproc/telemetry/flight.hpp"
 #include "dproc/telemetry/telemetry.hpp"
 #include "dproc/util/rng.hpp"
 
@@ -36,7 +37,8 @@ class Host {
         cpu_(engine, config.cpu),
         memory_(config.memory_bytes),
         disk_(engine, config.disk),
-        telemetry_(&engine) {
+        telemetry_(&engine),
+        flight_(&engine) {
     // Engine-level instrumentation: the dispatch count is pulled from the
     // engine at read time, so the hot event loop carries no telemetry code.
     telemetry_.gauge("sim", "events_dispatched").set_source([&engine] {
@@ -64,6 +66,13 @@ class Host {
     return telemetry_;
   }
 
+  /// This node's flight recorder (inert until configured and enabled by the
+  /// cluster layer; kernel services record state transitions into it).
+  [[nodiscard]] telemetry::FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] const telemetry::FlightRecorder& flight() const {
+    return flight_;
+  }
+
  private:
   sim::Engine& engine_;
   HostId id_;
@@ -74,6 +83,7 @@ class Host {
   Disk disk_;
   Pmc pmc_;
   telemetry::Registry telemetry_;
+  telemetry::FlightRecorder flight_;
 };
 
 }  // namespace dproc::host

@@ -48,6 +48,7 @@
 
 namespace dproc::telemetry {
 class Counter;
+class FlightRecorder;
 class Gauge;
 class Registry;
 }  // namespace dproc::telemetry
@@ -210,6 +211,11 @@ class RegistryServer {
   /// plain RegistryStats keep counting either way.
   void set_telemetry(telemetry::Registry* telemetry);
 
+  /// Attaches the hosting node's flight recorder; replica-set transitions
+  /// (elections, lease expiries, outages, sync catch-up) are recorded into
+  /// it. nullptr detaches. Inert when the recorder is disabled.
+  void set_flight(telemetry::FlightRecorder* flight) { flight_ = flight; }
+
   /// The datagram handler, exposed so robustness tests can feed malformed
   /// requests directly without standing up a second fabric endpoint.
   void handle_request(net::NodeId from, net::Port from_port,
@@ -286,6 +292,9 @@ class RegistryServer {
   /// instant (one lease past its return): it must hear the world first.
   SimTime not_before_{};
   bool was_leader_ = false;
+  /// Leader id this replica last observed; lets check_leadership() record a
+  /// lease expiry exactly once when the old leader's view goes stale.
+  std::uint32_t last_leader_view_ = 0;
   sim::EventHandle heartbeat_timer_;
   /// What this replica last heard from each peer replica.
   struct ReplicaView {
@@ -318,6 +327,7 @@ class RegistryServer {
   telemetry::Counter* tm_forwards_ = nullptr;
   telemetry::Counter* tm_failovers_ = nullptr;
   telemetry::Gauge* tm_role_ = nullptr;  // 1 while leading, else 0
+  telemetry::FlightRecorder* flight_ = nullptr;
 };
 
 /// Encodes a join request (used by kecho::Node; exposed for tests).

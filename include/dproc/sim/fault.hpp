@@ -93,6 +93,10 @@ struct FaultHooks {
   std::function<void(bool down)> registry_down;
   /// Resolves the current leader replica and crashes its host node.
   std::function<void()> registry_leader_kill;
+  /// Ground-truth recording: invoked after every fault is applied (before
+  /// the observer), so flight recorders can log what was *actually* injected
+  /// alongside the symptoms the services observe.
+  std::function<void(const FaultEvent&)> record;
 };
 
 class FaultInjector {

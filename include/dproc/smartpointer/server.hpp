@@ -81,6 +81,11 @@ class Server {
     /// Frames steered by the fallback because the feed, while updating,
     /// breached its staleness SLO budget (d-mon's watchdog flagged it).
     std::uint64_t slo_distrusts = 0;
+    /// Frames steered by the fallback because the client's self-published
+    /// health score (dproc_health_score) fell below the trust threshold —
+    /// the node itself says its monitoring path is degraded, often before
+    /// individual samples start missing their staleness SLO.
+    std::uint64_t health_distrusts = 0;
   };
 
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
@@ -109,6 +114,11 @@ class Server {
   /// policy consulted, closing the publish → decision causal chain. No-op
   /// unless tracing is enabled and a consulted value carried a trace id.
   void note_decision(const ClientState& client);
+
+  /// Flight-records a fallback decision (reason: 0 = stale/dead feed,
+  /// 1 = staleness-SLO breach, 2 = health-score distrust). Branch-only
+  /// when the recorder is off.
+  void note_trust_drop(net::NodeId node, std::uint64_t reason);
 
   host::Host& host_;
   net::Nic& nic_;

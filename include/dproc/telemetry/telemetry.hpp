@@ -22,9 +22,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +38,12 @@ class Engine;
 namespace dproc::telemetry {
 
 class Registry;
+
+/// Interned instrument handle: the index of an instrument inside its
+/// registry, resolved once at instrumentation-site construction. Enabled-
+/// mode record cost through a handle is an array index — no string hashing
+/// or map walk ever sits on a hot path.
+using InstrumentId = std::uint32_t;
 
 /// Monotonic event counter. Gated on the owning registry's enabled flag;
 /// an increment is a load, a branch, and an add — never an allocation.
@@ -164,11 +170,38 @@ class Registry {
   [[nodiscard]] bool trace_enabled() const { return trace_enabled_; }
 
   /// Get-or-create instruments; references stay valid for the registry's
-  /// lifetime (map nodes are stable), so hot paths hold them as pointers.
+  /// lifetime (instruments live in stable deque slabs), so hot paths hold
+  /// them as pointers resolved once at construction.
   Counter& counter(const std::string& subsystem, const std::string& name);
   Gauge& gauge(const std::string& subsystem, const std::string& name);
   LatencyRecorder& latency(const std::string& subsystem,
                            const std::string& name);
+
+  /// Interned-handle variants: resolve the "subsystem/name" string exactly
+  /// once (get-or-create), then record through an O(1) index. Sites that
+  /// cannot hold references (serialized configs, tools, watchdog rules
+  /// resolved from user input) pre-intern ids instead of re-hashing
+  /// strings per record.
+  [[nodiscard]] InstrumentId counter_id(const std::string& subsystem,
+                                        const std::string& name);
+  [[nodiscard]] InstrumentId gauge_id(const std::string& subsystem,
+                                      const std::string& name);
+  [[nodiscard]] InstrumentId latency_id(const std::string& subsystem,
+                                        const std::string& name);
+  [[nodiscard]] Counter& counter(InstrumentId id) { return counters_[id]; }
+  [[nodiscard]] Gauge& gauge(InstrumentId id) { return gauges_[id]; }
+  [[nodiscard]] LatencyRecorder& latency(InstrumentId id) {
+    return latencies_[id];
+  }
+  [[nodiscard]] const Counter& counter(InstrumentId id) const {
+    return counters_[id];
+  }
+  [[nodiscard]] const Gauge& gauge(InstrumentId id) const {
+    return gauges_[id];
+  }
+  [[nodiscard]] const LatencyRecorder& latency(InstrumentId id) const {
+    return latencies_[id];
+  }
 
   // --- trace-span ring ----------------------------------------------------
 
@@ -231,9 +264,15 @@ class Registry {
   bool enabled_ = false;
   bool trace_enabled_ = false;
 
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyRecorder>> latencies_;
+  // Instruments live in deque slabs (stable addresses, O(1) indexing);
+  // the name maps only resolve "subsystem/name" -> index at intern time
+  // and drive name-ordered snapshot iteration.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LatencyRecorder> latencies_;
+  std::map<std::string, InstrumentId> counter_ids_;
+  std::map<std::string, InstrumentId> gauge_ids_;
+  std::map<std::string, InstrumentId> latency_ids_;
 
   std::vector<Span> spans_;  // fixed-capacity ring
   std::size_t span_head_ = 0;

@@ -33,25 +33,54 @@ class StreamingStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Retains samples for exact quantiles; intended for bench-sized data sets.
-/// The lazy sort is a mutable cache, so read-only snapshot paths (telemetry,
-/// procfs renders) can query quantiles through a `const SampleSet&`.
+/// Quantile sketch backed by a fixed log-linear histogram (HdrHistogram
+/// style): each power-of-two octave is split into kSubBuckets linear
+/// sub-buckets, so record is O(1), memory is bounded (~2 KB, allocated on
+/// the first add), and two sets merge by adding bucket counts — the shape
+/// zone roll-ups need. min/max/sum are tracked exactly, so quantile(0),
+/// quantile(1) and mean() are exact; interior quantiles interpolate inside
+/// one sub-bucket (<= ~9% relative width, typically much closer). Values
+/// at or below zero land in the lowest bucket and are reported as min().
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
-  void reserve(std::size_t n) { samples_.reserve(n); }
-  void clear() { samples_.clear(); sorted_ = false; }
+  void add(double x);
+  /// Pre-allocates the bucket table so later add() calls never allocate.
+  void reserve(std::size_t n);
+  void clear();
+  /// Folds `other` into this set (bucket-count addition; exact min/max/sum
+  /// merge). The histogram geometry is a compile-time constant, so any two
+  /// SampleSets — including ones from different hosts — are mergeable.
+  void merge(const SampleSet& other);
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const;
-  /// Linear-interpolated quantile; q in [0, 1]. Returns 0 when empty.
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Interpolated quantile; q in [0, 1]. Returns 0 when empty; exact at
+  /// the extremes, sub-bucket interpolated in between.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double median() const { return quantile(0.5); }
-  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
 
  private:
-  mutable std::vector<double> samples_;  // sorted in place on first quantile
-  mutable bool sorted_ = false;
+  // 8 sub-buckets per octave over octaves [2^-25, 2^39): covers tens of
+  // nanoseconds-as-fractional-us up to ~5.5e11 with out-of-range values
+  // clamped to the edge buckets (min/max stay exact regardless).
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kMinExp = -25;
+  static constexpr int kMaxExp = 39;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+
+  [[nodiscard]] static std::size_t bucket_of(double v);
+  [[nodiscard]] static double bucket_lo(std::size_t b);
+  [[nodiscard]] static double bucket_hi(std::size_t b);
+
+  std::vector<std::uint32_t> counts_;  // kBuckets entries once allocated
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Exponentially weighted moving average, the smoothing the NET_MON module

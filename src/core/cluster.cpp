@@ -1,5 +1,6 @@
 #include "dproc/core/cluster.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace dproc::core {
@@ -9,6 +10,9 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
   if (config_.node_count == 0) {
     throw std::invalid_argument{"cluster needs at least one node"};
   }
+  // The health engine reads failure-signal counters and publishes its score
+  // through DPROC_MON, both of which need per-host telemetry.
+  if (config_.health.enabled) config_.self_monitor = true;
   fabric_ = std::make_unique<net::Fabric>(engine_);
   Rng master{config_.seed};
 
@@ -63,6 +67,10 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
         engine_, static_cast<host::HostId>(i), host_config, master.split());
     if (config_.self_monitor) node.host->telemetry().set_enabled(true);
     if (config_.trace.enabled) node.host->telemetry().set_trace_enabled(true);
+    if (config_.flight.enabled) {
+      node.host->flight().configure(config_.flight.capacity);
+      node.host->flight().set_enabled(true);
+    }
     node.nic = std::make_unique<net::Nic>(*fabric_, node_ids[i]);
     node.procfs = std::make_unique<procfs::ProcFs>();
   }
@@ -87,9 +95,13 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
       if (config_.self_monitor) {
         registry_replicas_[r]->set_telemetry(&nodes_[r].host->telemetry());
       }
+      if (config_.flight.enabled) {
+        registry_replicas_[r]->set_flight(&nodes_[r].host->flight());
+      }
     }
   } else {
     registry_ = std::make_unique<kecho::RegistryServer>(*nodes_[0].nic);
+    if (config_.flight.enabled) registry_->set_flight(&nodes_[0].host->flight());
   }
   if (config_.self_monitor) {
     if (registry_) registry_->set_telemetry(&nodes_[0].host->telemetry());
@@ -166,6 +178,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
       dmon_config.hierarchy = config_.hierarchy;
       dmon_config.hierarchy_layout = hierarchy_layout;
     }
+    if (config_.health.enabled) dmon_config.health = config_.health;
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
                                        *node.procfs, std::move(dmon_config));
     if (config_.module_factory) {
@@ -177,7 +190,8 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     // Appended last on every dproc node so the cluster-wide metric-id
     // convention holds for the self-monitoring metrics too.
     if (config_.self_monitor) {
-      node.dmon->register_module(std::make_unique<DprocMonitor>(*node.host));
+      node.dmon->register_module(std::make_unique<DprocMonitor>(
+          *node.host, config_.health.enabled));
     }
   }
 
@@ -286,6 +300,43 @@ sim::FaultHooks Cluster::fault_hooks() {
       registry_->set_online(!down);
     } else {
       for (auto& replica : registry_replicas_) replica->set_online(!down);
+    }
+  };
+  hooks.record = [this](const sim::FaultEvent& event) {
+    // Ground truth goes to EVERY host's recorder: the injector's view of
+    // what actually happened must survive any single node's crash, and the
+    // incident tool dedups the cluster-wide copies back into one event.
+    std::uint64_t mapped = UINT64_MAX;
+    switch (event.kind) {
+      case sim::FaultKind::kLinkDown:
+      case sim::FaultKind::kLinkUp:
+      case sim::FaultKind::kLinkLossStart:
+      case sim::FaultKind::kLinkLossStop:
+        // An access link implicates the node behind it; trunk links map to
+        // no single node and stay UINT64_MAX.
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+          if (ports_[i].first == event.target ||
+              ports_[i].second == event.target) {
+            mapped = i;
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    const auto severity = event.kind == sim::FaultKind::kNodeRestart ||
+                                  event.kind == sim::FaultKind::kLinkUp ||
+                                  event.kind == sim::FaultKind::kLinkLossStop ||
+                                  event.kind == sim::FaultKind::kRegistryUp
+                              ? telemetry::Severity::kInfo
+                              : telemetry::Severity::kError;
+    for (ClusterNode& node : nodes_) {
+      node.host->flight().record(
+          severity, telemetry::FlightSubsystem::kFault,
+          telemetry::FlightCode::kFaultInjected,
+          static_cast<std::uint64_t>(event.kind), event.target,
+          static_cast<std::uint64_t>(event.param * 1e6), mapped);
     }
   };
   hooks.registry_leader_kill = [this] {

@@ -315,6 +315,42 @@ DMon::DMon(host::Host& host, net::Nic& nic, kecho::Node& kecho,
         }
         return Status::ok();
       });
+  procfs_.register_file("/proc/dproc/flight", [this] {
+    const telemetry::FlightRecorder& flight = host_.flight();
+    std::ostringstream out;
+    out << "recorder " << (flight.enabled() ? "enabled" : "disabled")
+        << " capacity " << flight.capacity() << " retained " << flight.size()
+        << " dropped " << flight.dropped() << "\n"
+        << flight.render();
+    return out.str();
+  });
+  if (config_.health.enabled) {
+    health_ = std::make_unique<HealthEngine>(host_, &host_.flight(),
+                                             config_.health);
+    health_->set_node(nic_.node(), host_.name());
+    procfs_.register_file("/proc/dproc/health",
+                          [this] { return health_->render(); });
+    procfs_.register_file("/proc/dproc/incidents",
+                          [this] { return health_->render_incidents(); });
+    // The cluster-wide view: this node's score plus every declared peer's
+    // self-assessed score as received over the monitoring channel.
+    procfs_.register_file("/proc/cluster/health", [this] {
+      std::ostringstream out;
+      out << "local " << host_.name() << " score " << health_->score()
+          << " trusted " << (health_->trusted() ? 1 : 0) << "\n";
+      for (const auto& [node, peer] : peers_) {
+        out << "peer " << node << " " << peer.name << " score ";
+        const RemoteMetric* m = remote_metric(node, "dproc_health_score");
+        if (m == nullptr) {
+          out << "- trusted -\n";
+        } else {
+          out << m->value << " trusted " << (peer_health_ok(node) ? 1 : 0)
+              << "\n";
+        }
+      }
+      return out.str();
+    });
+  }
   kecho_.add_membership_listener(
       [this](kecho::MemberEventKind kind, net::NodeId node) {
         on_membership(kind, node);
@@ -476,6 +512,7 @@ void DMon::restart() {
     peer.dead = false;
     peer.slo_violated = false;
     peer.last_slo_violation = SimTime{};
+    peer.last_state = PeerState::kLive;
   }
   // A rebooted monitor has no roll-up, drill or membership memory either;
   // the keyframed zone feeds and drill refreshes reconverge it.
@@ -526,6 +563,59 @@ bool DMon::feed_within_slo(net::NodeId node) const {
 PeerState DMon::peer_state(net::NodeId node) const {
   auto health = peer_health(node);
   return health ? health->state : PeerState::kDead;
+}
+
+bool DMon::peer_health_ok(net::NodeId node) const {
+  if (!health_) return true;
+  if (!health_score_id_) {
+    const auto id = metric_id("dproc_health_score");
+    if (!id) return true;  // DPROC_MON not registered (yet)
+    health_score_id_ = id;
+  }
+  const RemoteMetric* m = remote_metric(node, *health_score_id_);
+  if (m == nullptr) return true;  // no score yet: absence is peer_state's job
+  return m->value >= config_.health.trust_threshold;
+}
+
+void DMon::scan_peer_health(SimTime now) {
+  telemetry::FlightRecorder& flight = host_.flight();
+  const bool flight_on = flight.enabled();
+  if (!flight_on && !health_) return;
+  HealthSnapshot census;
+  census.peers_total = peers_.size();
+  for (auto& [node, peer] : peers_) {
+    const PeerState state = state_of(peer);
+    if (state == PeerState::kStale) ++census.peers_stale;
+    if (state == PeerState::kDead) ++census.peers_dead;
+    if (flight_on && state != peer.last_state) {
+      const SimTime basis = peer.has_data ? peer.last_update : peer.declared_at;
+      const auto age_ms =
+          static_cast<std::uint64_t>((now - basis).ns() / 1'000'000);
+      switch (state) {
+        case PeerState::kLive:
+          flight.record(telemetry::Severity::kInfo,
+                        telemetry::FlightSubsystem::kDmon,
+                        telemetry::FlightCode::kPeerLive, node);
+          break;
+        case PeerState::kStale:
+          flight.record(telemetry::Severity::kWarn,
+                        telemetry::FlightSubsystem::kDmon,
+                        telemetry::FlightCode::kPeerStale, node, age_ms);
+          break;
+        case PeerState::kDead:
+          flight.record(telemetry::Severity::kError,
+                        telemetry::FlightSubsystem::kDmon,
+                        telemetry::FlightCode::kPeerDead, node, age_ms);
+          break;
+      }
+    }
+    peer.last_state = state;
+  }
+  if (health_) {
+    // The engine round is kernel work like any other per-poll bookkeeping.
+    charge(config_.overheads.procfs_update_cycles_per_event);
+    health_->on_poll(census, now);
+  }
 }
 
 void DMon::on_membership(kecho::MemberEventKind kind, net::NodeId node) {
@@ -700,6 +790,13 @@ void DMon::note_render(const kecho::Event& event,
   const SimDuration age = SimTime{now_ns} - SimTime{event.trace.publish_ns};
   if (age <= budget) return;
   tm_slo_violations_.add();
+  host_.flight().record(telemetry::Severity::kWarn,
+                        telemetry::FlightSubsystem::kDmon,
+                        telemetry::FlightCode::kSloViolation,
+                        event.trace.origin,
+                        static_cast<std::uint64_t>(age.ns() / 1'000'000),
+                        static_cast<std::uint64_t>(budget.ns() / 1'000'000), 0,
+                        event.trace.trace_id);
   if (peer != nullptr) {
     peer->slo_violated = true;
     peer->last_slo_violation = SimTime{now_ns};
@@ -1637,6 +1734,11 @@ PollRecord DMon::poll() {
   record.events_received = rx.events_delivered;
   record.receive_cost = rx.cpu_cost + handler_cost_;
 
+  // Liveness scan + health round: after the drain (so freshly delivered
+  // updates count) and before collection (so DPROC_MON publishes this
+  // poll's score, not the last one's). No-op with flight and health off.
+  scan_peer_health(host_.engine().now());
+
   // --- collection phase: poll each registered module's callback ---------
   charge(config_.overheads.collect_cycles_per_module *
          static_cast<double>(modules_.size()));
@@ -1658,6 +1760,10 @@ PollRecord DMon::poll() {
                        "this period";
       ++collect_errors_;
       tm_collect_errors_.add();
+      host_.flight().record(
+          telemetry::Severity::kWarn, telemetry::FlightSubsystem::kDmon,
+          telemetry::FlightCode::kCollectError,
+          static_cast<std::uint64_t>(&entry - modules_.data()));
       collected.resize(before + entry.metric_count);
       for (std::size_t i = 0; i < entry.metric_count; ++i) {
         const MetricId id = static_cast<MetricId>(entry.first_id + i);
@@ -1783,7 +1889,19 @@ void DMon::run_adaptation(SimDuration kernel_before) {
   adapt_poll_count_ = 0;
   adapt_window_cost_ = SimDuration::zero();
 
+  const std::uint64_t clamps_before = adapter_->budget_clamps();
   const bool changed = adapter_->adapt(overhead);
+  host_.flight().record(telemetry::Severity::kDebug,
+                        telemetry::FlightSubsystem::kAdapt,
+                        telemetry::FlightCode::kAdaptRound, adapter_->rounds(),
+                        changed ? 1 : 0);
+  if (adapter_->budget_clamps() > clamps_before) {
+    host_.flight().record(telemetry::Severity::kWarn,
+                          telemetry::FlightSubsystem::kAdapt,
+                          telemetry::FlightCode::kAdaptClamp,
+                          adapter_->budget_clamps() - clamps_before,
+                          static_cast<std::uint64_t>(overhead * 1e6));
+  }
   for (const PeriodController::Region& region : adapter_->regions()) {
     for (std::size_t i = 0; i < region.count; ++i) {
       tuning_->set_adaptive_period(static_cast<MetricId>(region.first + i),

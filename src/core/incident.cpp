@@ -1,0 +1,247 @@
+#include "dproc/core/incident.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "dproc/sim/fault.hpp"
+
+namespace dproc::core {
+
+namespace {
+
+using telemetry::FlightCode;
+using telemetry::FlightEvent;
+using telemetry::FlightSubsystem;
+
+/// Dedup key: fault-injector ground truth is recorded on every host, so it
+/// collapses cluster-wide; everything else per (node, event) — overlapping
+/// ring snapshots from the same node's successive bundles collapse too.
+std::string dedup_key(std::uint32_t node, const FlightEvent& e) {
+  std::ostringstream key;
+  if (e.subsystem == FlightSubsystem::kFault) {
+    key << "F";
+  } else {
+    key << "N" << node;
+  }
+  key << "|" << e.ts_ns << "|" << static_cast<unsigned>(e.code) << "|"
+      << e.args[0] << "|" << e.args[1] << "|" << e.args[2] << "|" << e.args[3]
+      << "|" << e.trace_id;
+  return key.str();
+}
+
+bool matches_symptom(const FlightEvent& fault, const FlightEvent& e) {
+  const auto kind = static_cast<sim::FaultKind>(fault.args[0]);
+  const std::uint64_t target = fault.args[1];
+  const std::uint64_t mapped = fault.args[3];  // node behind a link fault
+  const bool peer_degraded = e.code == FlightCode::kPeerStale ||
+                             e.code == FlightCode::kPeerDead ||
+                             e.code == FlightCode::kMemberEvict;
+  switch (kind) {
+    case sim::FaultKind::kNodeCrash:
+      return peer_degraded && e.args[0] == target;
+    case sim::FaultKind::kLinkDown:
+    case sim::FaultKind::kLinkLossStart: {
+      const bool degraded =
+          peer_degraded || e.code == FlightCode::kSloViolation;
+      if (!degraded) return false;
+      // An access-link fault implicates the node behind it; a trunk fault
+      // (no single node) accepts degradation of anyone.
+      return mapped == UINT64_MAX || e.args[0] == mapped;
+    }
+    case sim::FaultKind::kRegistryDown:
+      return e.code == FlightCode::kRegistryOutage;
+    case sim::FaultKind::kRegistryLeaderKill:
+      return e.code == FlightCode::kLeaderElected ||
+             e.code == FlightCode::kLeaseExpired || peer_degraded;
+    default:
+      return false;
+  }
+}
+
+bool is_disruptive(sim::FaultKind kind) {
+  switch (kind) {
+    case sim::FaultKind::kNodeCrash:
+    case sim::FaultKind::kLinkDown:
+    case sim::FaultKind::kLinkLossStart:
+    case sim::FaultKind::kRegistryDown:
+    case sim::FaultKind::kRegistryLeaderKill:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void append_event_json(std::ostringstream& out, std::uint32_t node,
+                       const FlightEvent& e) {
+  out << "{\"node\": " << node << ", \"ts_ns\": " << e.ts_ns
+      << ", \"severity\": \"" << telemetry::to_string(e.severity)
+      << "\", \"subsystem\": \"" << telemetry::to_string(e.subsystem)
+      << "\", \"code\": \"" << telemetry::to_string(e.code) << "\", \"args\": ["
+      << e.args[0] << ", " << e.args[1] << ", " << e.args[2] << ", "
+      << e.args[3] << "], \"trace_id\": " << e.trace_id << "}";
+}
+
+}  // namespace
+
+std::string render_bundles(const std::vector<IncidentBundle>& bundles) {
+  std::ostringstream out;
+  for (const IncidentBundle& bundle : bundles) {
+    out << "incident " << bundle.id << " node " << bundle.node << " "
+        << (bundle.node_name.empty() ? "-" : bundle.node_name) << " opened_ns "
+        << bundle.opened_ns << " trigger " << bundle.trigger << " score "
+        << bundle.score << " symptoms " << bundle.symptoms << "\n";
+    for (const auto& [series, values] : bundle.history) {
+      out << "history " << series;
+      for (const double v : values) out << " " << v;
+      out << "\n";
+    }
+    for (const FlightEvent& e : bundle.events) {
+      out << telemetry::render_event(e) << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+bool parse_bundles(const std::string& text, std::vector<IncidentBundle>& out) {
+  std::istringstream in(text);
+  std::string line;
+  bool open = false;
+  IncidentBundle bundle;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream words(line);
+    std::string tag;
+    words >> tag;
+    if (!open) {
+      if (tag != "incident") continue;  // tolerate prose between bundles
+      bundle = IncidentBundle{};
+      std::string kw_node, kw_opened, kw_trigger, kw_score, kw_symptoms;
+      if (!(words >> bundle.id >> kw_node >> bundle.node >> bundle.node_name >>
+            kw_opened >> bundle.opened_ns >> kw_trigger >> bundle.trigger >>
+            kw_score >> bundle.score >> kw_symptoms >> bundle.symptoms) ||
+          kw_node != "node" || kw_opened != "opened_ns" ||
+          kw_trigger != "trigger" || kw_score != "score" ||
+          kw_symptoms != "symptoms") {
+        return false;
+      }
+      if (bundle.node_name == "-") bundle.node_name.clear();
+      open = true;
+      continue;
+    }
+    if (tag == "end") {
+      out.push_back(std::move(bundle));
+      open = false;
+      continue;
+    }
+    if (tag == "history") {
+      std::string series;
+      if (!(words >> series)) return false;
+      std::vector<double> values;
+      double v = 0.0;
+      while (words >> v) values.push_back(v);
+      bundle.history.emplace_back(std::move(series), std::move(values));
+      continue;
+    }
+    if (tag == "flight") {
+      FlightEvent event;
+      if (!telemetry::parse_event(line, event)) return false;
+      bundle.events.push_back(event);
+      continue;
+    }
+    return false;  // unknown line inside a bundle
+  }
+  return !open;  // EOF inside a bundle is a truncated dump
+}
+
+std::vector<TimelineEntry> merge_timeline(
+    const std::vector<IncidentBundle>& bundles) {
+  std::vector<TimelineEntry> timeline;
+  std::set<std::string> seen;
+  for (const IncidentBundle& bundle : bundles) {
+    for (const FlightEvent& e : bundle.events) {
+      if (!seen.insert(dedup_key(bundle.node, e)).second) continue;
+      timeline.push_back(TimelineEntry{bundle.node, e});
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     if (a.event.ts_ns != b.event.ts_ns) {
+                       return a.event.ts_ns < b.event.ts_ns;
+                     }
+                     if (a.node != b.node) return a.node < b.node;
+                     return static_cast<unsigned>(a.event.code) <
+                            static_cast<unsigned>(b.event.code);
+                   });
+  return timeline;
+}
+
+std::vector<FaultFinding> align_faults(
+    const std::vector<TimelineEntry>& timeline) {
+  std::vector<FaultFinding> findings;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const FlightEvent& fault = timeline[i].event;
+    if (fault.code != FlightCode::kFaultInjected) continue;
+    FaultFinding finding;
+    finding.fault = fault;
+    finding.disruptive =
+        is_disruptive(static_cast<sim::FaultKind>(fault.args[0]));
+    if (!finding.disruptive) {
+      finding.observed = true;  // heals need no symptom
+      findings.push_back(std::move(finding));
+      continue;
+    }
+    for (std::size_t j = i + 1; j < timeline.size(); ++j) {
+      const TimelineEntry& entry = timeline[j];
+      if (entry.event.subsystem == FlightSubsystem::kFault) continue;
+      if (matches_symptom(fault, entry.event)) {
+        finding.observed = true;
+        finding.symptom_node = entry.node;
+        finding.symptom = entry.event;
+        break;
+      }
+    }
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+bool faults_recovered(const std::vector<FaultFinding>& findings) {
+  for (const FaultFinding& finding : findings) {
+    if (finding.disruptive && !finding.observed) return false;
+  }
+  return true;
+}
+
+std::string timeline_json(const std::vector<TimelineEntry>& timeline,
+                          const std::vector<FaultFinding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"recovered\": " << (faults_recovered(findings) ? "true" : "false")
+      << ",\n  \"faults\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const FaultFinding& f = findings[i];
+    out << "    {\"kind\": \""
+        << sim::to_string(static_cast<sim::FaultKind>(f.fault.args[0]))
+        << "\", \"at_ns\": " << f.fault.ts_ns
+        << ", \"target\": " << f.fault.args[1] << ", \"disruptive\": "
+        << (f.disruptive ? "true" : "false") << ", \"observed\": "
+        << (f.observed ? "true" : "false");
+    if (f.observed && f.disruptive) {
+      out << ", \"first_symptom\": ";
+      append_event_json(out, f.symptom_node, f.symptom);
+    }
+    out << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"events\": [\n";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    out << "    ";
+    append_event_json(out, timeline[i].node, timeline[i].event);
+    out << (i + 1 < timeline.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace dproc::core

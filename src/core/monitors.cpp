@@ -231,8 +231,9 @@ void BatteryMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
 
 // --- DPROC_MON -------------------------------------------------------------
 
-DprocMonitor::DprocMonitor(host::Host& host)
+DprocMonitor::DprocMonitor(host::Host& host, bool with_health)
     : host_(host),
+      with_health_(with_health),
       submits_(host.telemetry().counter("kecho", "submits")),
       receives_(host.telemetry().counter("kecho", "receives")),
       heartbeats_(host.telemetry().counter("kecho", "heartbeats")),
@@ -248,7 +249,8 @@ DprocMonitor::DprocMonitor(host::Host& host)
       poll_us_(host.telemetry().latency("dmon", "poll_us")) {}
 
 std::vector<MetricDesc> DprocMonitor::metrics() const {
-  return {{0, "dproc_submits", "dproc/submits"},
+  std::vector<MetricDesc> descs =
+         {{0, "dproc_submits", "dproc/submits"},
           {0, "dproc_receives", "dproc/receives"},
           {0, "dproc_submit_p50_us", "dproc/submit_p50_us"},
           {0, "dproc_submit_p99_us", "dproc/submit_p99_us"},
@@ -263,6 +265,11 @@ std::vector<MetricDesc> DprocMonitor::metrics() const {
           {0, "dproc_adapt_rounds", "dproc/adapt_rounds"},
           {0, "dproc_adapt_changes", "dproc/adapt_changes"},
           {0, "dproc_adapt_overhead_pct", "dproc/adapt_overhead_pct"}};
+  if (with_health_) {
+    descs.push_back({0, "dproc_health_score", "dproc/health_score"});
+    descs.push_back({0, "dproc_health_incidents", "dproc/health_incidents"});
+  }
+  return descs;
 }
 
 void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
@@ -281,6 +288,13 @@ void DprocMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
   out.push_back(sample(0, static_cast<double>(adapt_rounds_.value()), now));
   out.push_back(sample(0, static_cast<double>(adapt_changes_.value()), now));
   out.push_back(sample(0, adapt_overhead_.value() * 100.0, now));
+  if (with_health_) {
+    telemetry::Registry& tm = host_.telemetry();
+    out.push_back(sample(0, tm.gauge("health", "score").value(), now));
+    out.push_back(sample(
+        0, static_cast<double>(tm.counter("health", "incidents").value()),
+        now));
+  }
 }
 
 // --- SyntheticMonitor --------------------------------------------------------

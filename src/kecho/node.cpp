@@ -493,6 +493,26 @@ bool Node::member_of_any_channel(net::NodeId peer) const {
 }
 
 void Node::notify_membership(MemberEventKind kind, net::NodeId node) {
+  // Flight-record the node-level transition at its single chokepoint, so
+  // joins, graceful leaves and evictions all land in the post-mortem ring.
+  switch (kind) {
+    case MemberEventKind::kJoined:
+      host_.flight().record(telemetry::Severity::kInfo,
+                            telemetry::FlightSubsystem::kKecho,
+                            telemetry::FlightCode::kMemberJoin, node);
+      break;
+    case MemberEventKind::kLeft:
+      host_.flight().record(telemetry::Severity::kInfo,
+                            telemetry::FlightSubsystem::kKecho,
+                            telemetry::FlightCode::kMemberLeave, node);
+      break;
+    case MemberEventKind::kEvicted:
+      host_.flight().record(
+          telemetry::Severity::kWarn, telemetry::FlightSubsystem::kKecho,
+          telemetry::FlightCode::kMemberEvict, node,
+          static_cast<std::uint64_t>(liveness_.miss_threshold));
+      break;
+  }
   for (const MembershipListener& listener : membership_listeners_) {
     listener(kind, node);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dproc/net/wire.hpp"
+#include "dproc/telemetry/flight.hpp"
 #include "dproc/telemetry/telemetry.hpp"
 #include "dproc/util/logging.hpp"
 
@@ -148,6 +149,14 @@ SimTime RegistryServer::now() const { return nic_.fabric().engine().now(); }
 void RegistryServer::set_online(bool online) {
   if (online == online_) return;
   online_ = online;
+  if (flight_) {
+    flight_->record(online_ ? telemetry::Severity::kInfo
+                            : telemetry::Severity::kError,
+                    telemetry::FlightSubsystem::kRegistry,
+                    online_ ? telemetry::FlightCode::kRegistryOnline
+                            : telemetry::FlightCode::kRegistryOutage,
+                    replica_id_);
+  }
   if (!replicated_) return;
   if (!online_) {
     // The directory process died: parked writes die with it (the clients
@@ -311,6 +320,17 @@ void RegistryServer::heartbeat_tick() {
 }
 
 void RegistryServer::check_leadership() {
+  // Record the lease expiry of a leader this replica stops seeing as live:
+  // the first symptom of a dead leader, before any election completes.
+  const std::uint32_t leader = leader_id();
+  if (leader != last_leader_view_) {
+    if (flight_ && !replica_live(last_leader_view_)) {
+      flight_->record(telemetry::Severity::kWarn,
+                      telemetry::FlightSubsystem::kRegistry,
+                      telemetry::FlightCode::kLeaseExpired, last_leader_view_);
+    }
+    last_leader_view_ = leader;
+  }
   const bool lead = is_leader();
   if (lead && !was_leader_) {
     become_leader();
@@ -336,6 +356,11 @@ void RegistryServer::become_leader() {
   ++stats_.failovers;
   if (tm_failovers_) tm_failovers_->add();
   if (tm_role_) tm_role_->set(1.0);
+  if (flight_) {
+    flight_->record(telemetry::Severity::kWarn,
+                    telemetry::FlightSubsystem::kRegistry,
+                    telemetry::FlightCode::kLeaderElected, replica_id_, epoch_);
+  }
   DPROC_INFO() << "registry replica " << replica_id_
                << ": assuming leadership (epoch " << epoch_ << ", next id "
                << next_id_ << ", " << queued_writes_.size()
@@ -464,6 +489,12 @@ void RegistryServer::apply_sync(const net::RegistrySync& sync) {
   next_id_ = std::max(next_id_, sync.next_id);
   ++stats_.syncs_applied;
   if (tm_syncs_applied_) tm_syncs_applied_->add();
+  if (flight_) {
+    flight_->record(telemetry::Severity::kDebug,
+                    telemetry::FlightSubsystem::kRegistry,
+                    telemetry::FlightCode::kSyncApplied, replica_id_,
+                    sync.table_version);
+  }
   invalidate_cachers(record.name, record.version, nullptr);
 }
 

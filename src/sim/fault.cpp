@@ -112,6 +112,7 @@ void FaultInjector::apply(const FaultEvent& event) {
       if (hooks_.registry_leader_kill) hooks_.registry_leader_kill();
       break;
   }
+  if (hooks_.record) hooks_.record(event);
   applied_.push_back(event);
   if (observer_) observer_(event);
 }

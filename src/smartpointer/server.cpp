@@ -267,6 +267,12 @@ void Server::note_decision(const ClientState& client) {
       now_ns - freshest->received_at.ns()});
 }
 
+void Server::note_trust_drop(net::NodeId node, std::uint64_t reason) {
+  host_.flight().record(telemetry::Severity::kWarn,
+                        telemetry::FlightSubsystem::kSmartPointer,
+                        telemetry::FlightCode::kTrustDrop, node, reason);
+}
+
 void Server::tick() {
   const workload::MdFrame frame = source_.next_frame(host_.engine().now());
   ++frames_;
@@ -291,6 +297,18 @@ void Server::send_frame(ClientState& client, const workload::MdFrame& frame) {
         rep = config_.stale_fallback_rep;
         fraction = config_.stale_fallback_fraction;
         ++client.stale_fallbacks;
+        note_trust_drop(client.node, 0);
+        break;
+      }
+      if (dmon_ != nullptr && !dmon_->peer_health_ok(client.node)) {
+        // The client's own health engine scores its monitoring path below
+        // the trust threshold. The score aggregates drops, collect errors
+        // and churn, so it typically degrades before any individual sample
+        // misses its staleness SLO — distrust the feed early.
+        rep = config_.stale_fallback_rep;
+        fraction = config_.stale_fallback_fraction;
+        ++client.health_distrusts;
+        note_trust_drop(client.node, 2);
         break;
       }
       if (dmon_ != nullptr && !dmon_->feed_within_slo(client.node)) {
@@ -300,6 +318,7 @@ void Server::send_frame(ClientState& client, const workload::MdFrame& frame) {
         rep = config_.stale_fallback_rep;
         fraction = config_.stale_fallback_fraction;
         ++client.slo_distrusts;
+        note_trust_drop(client.node, 1);
         break;
       }
       auto [chosen_rep, chosen_fraction] = choose(client);

@@ -153,22 +153,42 @@ Registry::Registry(const sim::Engine* clock, std::size_t span_capacity,
 
 Counter& Registry::counter(const std::string& subsystem,
                            const std::string& name) {
-  auto& slot = counters_[full_name(subsystem, name)];
-  if (!slot) slot.reset(new Counter{&enabled_});
-  return *slot;
+  return counters_[counter_id(subsystem, name)];
 }
 
 Gauge& Registry::gauge(const std::string& subsystem, const std::string& name) {
-  auto& slot = gauges_[full_name(subsystem, name)];
-  if (!slot) slot.reset(new Gauge{&enabled_});
-  return *slot;
+  return gauges_[gauge_id(subsystem, name)];
 }
 
 LatencyRecorder& Registry::latency(const std::string& subsystem,
                                    const std::string& name) {
-  auto& slot = latencies_[full_name(subsystem, name)];
-  if (!slot) slot.reset(new LatencyRecorder{&enabled_});
-  return *slot;
+  return latencies_[latency_id(subsystem, name)];
+}
+
+InstrumentId Registry::counter_id(const std::string& subsystem,
+                                  const std::string& name) {
+  const auto [it, inserted] = counter_ids_.emplace(
+      full_name(subsystem, name),
+      static_cast<InstrumentId>(counters_.size()));
+  if (inserted) counters_.push_back(Counter{&enabled_});
+  return it->second;
+}
+
+InstrumentId Registry::gauge_id(const std::string& subsystem,
+                                const std::string& name) {
+  const auto [it, inserted] = gauge_ids_.emplace(
+      full_name(subsystem, name), static_cast<InstrumentId>(gauges_.size()));
+  if (inserted) gauges_.push_back(Gauge{&enabled_});
+  return it->second;
+}
+
+InstrumentId Registry::latency_id(const std::string& subsystem,
+                                  const std::string& name) {
+  const auto [it, inserted] = latency_ids_.emplace(
+      full_name(subsystem, name),
+      static_cast<InstrumentId>(latencies_.size()));
+  if (inserted) latencies_.push_back(LatencyRecorder{&enabled_});
+  return it->second;
 }
 
 void Registry::record_span(const char* category, const char* name,
@@ -222,37 +242,38 @@ std::int64_t Registry::now_ns() const {
 
 void Registry::for_each_counter(
     const std::function<void(const std::string&, const Counter&)>& fn) const {
-  for (const auto& [name, counter] : counters_) fn(name, *counter);
+  for (const auto& [name, id] : counter_ids_) fn(name, counters_[id]);
 }
 
 void Registry::for_each_gauge(
     const std::function<void(const std::string&, const Gauge&)>& fn) const {
-  for (const auto& [name, gauge] : gauges_) fn(name, *gauge);
+  for (const auto& [name, id] : gauge_ids_) fn(name, gauges_[id]);
 }
 
 void Registry::for_each_latency(
     const std::function<void(const std::string&, const LatencyRecorder&)>& fn)
     const {
-  for (const auto& [name, latency] : latencies_) fn(name, *latency);
+  for (const auto& [name, id] : latency_ids_) fn(name, latencies_[id]);
 }
 
 std::string Registry::render() const {
   std::ostringstream out;
   out << "telemetry " << (enabled_ ? "enabled" : "disabled") << "\n";
-  for (const auto& [name, counter] : counters_) {
-    out << "counter " << name << " " << counter->value() << "\n";
+  for (const auto& [name, id] : counter_ids_) {
+    out << "counter " << name << " " << counters_[id].value() << "\n";
   }
-  for (const auto& [name, gauge] : gauges_) {
-    out << "gauge " << name << " " << gauge->value() << "\n";
+  for (const auto& [name, id] : gauge_ids_) {
+    out << "gauge " << name << " " << gauges_[id].value() << "\n";
   }
-  for (const auto& [name, latency] : latencies_) {
-    out << "latency " << name << " count=" << latency->count();
-    if (latency->count() > 0) {
-      out << " mean_us=" << latency->mean_us()
-          << " p50_us=" << latency->quantile_us(0.5)
-          << " p95_us=" << latency->quantile_us(0.95)
-          << " p99_us=" << latency->quantile_us(0.99)
-          << " max_us=" << latency->quantile_us(1.0);
+  for (const auto& [name, id] : latency_ids_) {
+    const LatencyRecorder& latency = latencies_[id];
+    out << "latency " << name << " count=" << latency.count();
+    if (latency.count() > 0) {
+      out << " mean_us=" << latency.mean_us()
+          << " p50_us=" << latency.quantile_us(0.5)
+          << " p95_us=" << latency.quantile_us(0.95)
+          << " p99_us=" << latency.quantile_us(0.99)
+          << " max_us=" << latency.quantile_us(1.0);
     }
     out << "\n";
   }

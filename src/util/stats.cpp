@@ -28,24 +28,96 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+std::size_t SampleSet::bucket_of(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  // v = m * 2^exp with m in [0.5, 1) => v lives in octave [2^(exp-1), 2^exp).
+  const double m = std::frexp(v, &exp);
+  const int octave = exp - 1;
+  if (octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kBuckets - 1;
+  // Position inside the octave, split linearly into kSubBuckets parts.
+  const int sub = std::min(kSubBuckets - 1,
+                           static_cast<int>((m * 2.0 - 1.0) * kSubBuckets));
+  return static_cast<std::size_t>(octave - kMinExp) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double SampleSet::bucket_lo(std::size_t b) {
+  const int octave = static_cast<int>(b) / kSubBuckets + kMinExp;
+  const int sub = static_cast<int>(b) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double SampleSet::bucket_hi(std::size_t b) { return bucket_lo(b + 1); }
+
+void SampleSet::add(double x) {
+  if (counts_.empty()) counts_.assign(kBuckets, 0);
+  std::uint32_t& slot = counts_[bucket_of(x)];
+  if (slot != std::numeric_limits<std::uint32_t>::max()) ++slot;
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void SampleSet::reserve(std::size_t n) {
+  (void)n;  // bounded backend: one fixed table regardless of sample count
+  if (counts_.empty()) counts_.assign(kBuckets, 0);
+}
+
+void SampleSet::clear() {
+  if (!counts_.empty()) std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kBuckets, 0);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(counts_[b]) +
+                              (b < other.counts_.size() ? other.counts_[b] : 0);
+    counts_[b] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(sum, std::numeric_limits<std::uint32_t>::max()));
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double SampleSet::mean() const {
-  if (samples_.empty()) return 0.0;
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
-         static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double SampleSet::quantile(double q) const {
-  if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Same rank convention the exact backend used: position q*(n-1) in the
+  // sorted order, interpolated — here inside one sub-bucket.
+  const double rank = q * static_cast<double>(count_ - 1);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double c = static_cast<double>(counts_[b]);
+    if (c == 0.0) continue;
+    if (cumulative + c > rank) {
+      // The floor bucket also absorbs zero/negative/underflow values whose
+      // true magnitude the geometry cannot represent; report the exact min.
+      if (b == 0) return min_;
+      const double frac = (rank - cumulative) / c;
+      const double lo = bucket_lo(b);
+      const double hi = bucket_hi(b);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cumulative += c;
+  }
+  return max_;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)

@@ -5,6 +5,7 @@
 
 #include "dproc/core/cluster.hpp"
 #include "dproc/core/history.hpp"
+#include "dproc/core/incident.hpp"
 #include "dproc/core/tuning.hpp"
 #include "dproc/ecode/ecode.hpp"
 #include "dproc/kecho/node.hpp"
@@ -698,6 +699,100 @@ TEST(FuzzRegistry, ReplicatedServerSurvivesCorruptedReplicaTraffic) {
   EXPECT_GE(cluster.registry_leader()->channel_members("after-the-storm")
                 .size(),
             1u);
+}
+
+TEST(FuzzFlight, ParseEventNeverCrashesAndRoundTrips) {
+  // Field-wise mutation of a valid line: each position draws from a pool
+  // mixing valid and hostile values, so both accept and reject paths run.
+  Rng rng{0xF119};
+  static const char* kTags[] = {"flight", "incident", "fl", ""};
+  static const char* kTs[] = {"5", "-3", "99999999999999999999", "x", "5.5"};
+  static const char* kSev[] = {"warn", "info", "debug", "error", "fatal", "3"};
+  static const char* kSub[] = {"dmon", "kecho", "fault", "smartptr", "tcp"};
+  static const char* kCode[] = {"201:peer_stale", "1:member_join", "42",
+                                ":", "65536:huge", "-1:neg", "x:y"};
+  static const char* kArg[] = {"0", "3", "18446744073709551615", "-1", "z"};
+  static const char* kTail[] = {"", "", "trace=0xabc", "trace=", "trace=zz",
+                                "extra stuff"};
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = kTags[rng.uniform_int(0, std::size(kTags) - 1)];
+    line += ' ';
+    line += kTs[rng.uniform_int(0, std::size(kTs) - 1)];
+    line += ' ';
+    line += kSev[rng.uniform_int(0, std::size(kSev) - 1)];
+    line += ' ';
+    line += kSub[rng.uniform_int(0, std::size(kSub) - 1)];
+    line += ' ';
+    line += kCode[rng.uniform_int(0, std::size(kCode) - 1)];
+    const int args = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < args; ++i) {
+      line += ' ';
+      line += kArg[rng.uniform_int(0, std::size(kArg) - 1)];
+    }
+    line += ' ';
+    line += kTail[rng.uniform_int(0, std::size(kTail) - 1)];
+    telemetry::FlightEvent event;
+    if (telemetry::parse_event(line, event)) {
+      ++parsed;
+      // Anything accepted must survive a render/parse round trip intact.
+      telemetry::FlightEvent again;
+      ASSERT_TRUE(
+          telemetry::parse_event(telemetry::render_event(event), again));
+      EXPECT_EQ(telemetry::render_event(again),
+                telemetry::render_event(event));
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzFlight, ParseBundlesNeverCrashes) {
+  Rng rng{0xB0DL};
+  static const char* kLines[] = {
+      "incident 1 node 0 node0 opened_ns 5 trigger t score 80 symptoms 1",
+      "incident x node y",
+      "history kecho/evictions 1 0 2",
+      "history",
+      "flight 5 warn dmon 201:peer_stale 3 4200 0 0",
+      "flight garbage",
+      "end",
+      "",
+      "prose between bundles",
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string dump;
+    const int lines = static_cast<int>(rng.uniform_int(0, 10));
+    for (int i = 0; i < lines; ++i) {
+      dump += kLines[rng.uniform_int(0, std::size(kLines) - 1)];
+      dump += '\n';
+    }
+    std::vector<core::IncidentBundle> bundles;
+    const bool ok = core::parse_bundles(dump, bundles);
+    if (ok) {
+      // Whatever parsed must re-render and re-parse to the same bundles.
+      std::vector<core::IncidentBundle> again;
+      ASSERT_TRUE(core::parse_bundles(core::render_bundles(bundles), again));
+      EXPECT_EQ(again.size(), bundles.size());
+    }
+  }
+}
+
+TEST(FuzzFlight, ParseBundlesRandomBytesNeverCrash) {
+  Rng rng{0xB0FF};
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string dump;
+    const int length = static_cast<int>(rng.uniform_int(0, 400));
+    for (int i = 0; i < length; ++i) {
+      dump += static_cast<char>(rng.uniform_int(1, 127));
+    }
+    std::vector<core::IncidentBundle> bundles;
+    (void)core::parse_bundles(dump, bundles);
+    telemetry::FlightEvent event;
+    (void)telemetry::parse_event(dump, event);
+  }
 }
 
 TEST(FuzzTraceContext, RawDecodeNeverReadsPastBuffer) {

@@ -62,7 +62,7 @@ TEST(TelemetryGauge, SetGatedButPullSourceAlwaysLive) {
   EXPECT_EQ(gauge.value(), 43.0) << "sources are evaluated at read time";
 }
 
-TEST(TelemetryLatency, RecordsExactQuantiles) {
+TEST(TelemetryLatency, RecordsQuantiles) {
   Registry registry;
   auto& latency = registry.latency("dmon", "poll_us");
   latency.record_us(999.0);
@@ -72,12 +72,13 @@ TEST(TelemetryLatency, RecordsExactQuantiles) {
   for (int i = 1; i <= 100; ++i) latency.record_us(static_cast<double>(i));
   EXPECT_EQ(latency.count(), 100u);
   EXPECT_DOUBLE_EQ(latency.mean_us(), 50.5);
-  EXPECT_NEAR(latency.quantile_us(0.5), 50.5, 1e-9);
-  EXPECT_NEAR(latency.quantile_us(1.0), 100.0, 1e-9);
-  // Recording after a quantile read must re-sort (the mutable sort cache
-  // invalidates), not return stale order.
+  // Histogram-backed: extremes and mean exact, interior within one
+  // sub-bucket of the exact answer.
+  EXPECT_NEAR(latency.quantile_us(0.5), 50.5, 50.5 * 0.10);
+  EXPECT_DOUBLE_EQ(latency.quantile_us(1.0), 100.0);
+  // A later out-of-order record is visible immediately (no sort cache).
   latency.record_us(0.5);
-  EXPECT_NEAR(latency.quantile_us(0.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(latency.quantile_us(0.0), 0.5);
 }
 
 TEST(TelemetrySpans, RingWrapsAndCountsOverwrites) {

@@ -1,0 +1,184 @@
+// incident_report: merges per-node incident-bundle dumps into one causally
+// ordered cross-node timeline and checks the recorded symptoms against the
+// fault injector's ground truth.
+//
+// Two modes:
+//
+//  * Dump mode (default): reads /proc/dproc/incidents dumps from the files
+//    given on the command line (or stdin), parses the bundles, merges the
+//    flight events of every node on the shared virtual clock, and prints
+//    the timeline plus an injected-fault vs observed-symptom alignment.
+//    Because the simulator runs one global clock, sorting by timestamp IS
+//    the causal order — no clock reconciliation pass is needed.
+//
+//  * --demo: self-contained 8-node chaos run with the flight recorder and
+//    health engine enabled. Injects a node crash, an access-link partition,
+//    a registry outage, and a registry-leader kill, then post-mortems the
+//    run purely from the /proc/dproc/incidents dumps — the same path an
+//    operator would use. Exits nonzero when any disruptive fault cannot be
+//    explained from the recorded symptoms, which is what CI asserts.
+//
+// --json renders the merged timeline and findings as a JSON document.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dproc/core/cluster.hpp"
+#include "dproc/core/incident.hpp"
+#include "dproc/sim/fault.hpp"
+
+namespace {
+
+using dproc::core::FaultFinding;
+using dproc::core::IncidentBundle;
+using dproc::core::TimelineEntry;
+
+dproc::SimTime at(double sec) {
+  return dproc::SimTime::zero() + dproc::seconds(sec);
+}
+
+/// Runs the demo chaos scenario and returns every node's incident dump.
+std::vector<std::string> run_demo() {
+  dproc::sim::Engine engine;
+  dproc::core::ClusterConfig config;
+  config.node_count = 8;
+  config.liveness.enabled = true;
+  config.liveness.heartbeat_period = dproc::seconds(1.0);
+  config.liveness.miss_threshold = 5;
+  config.dmon.stale_after_periods = 3;
+  config.registry.enabled = true;
+  config.registry.replicas = 3;
+  config.flight.enabled = true;
+  config.health.enabled = true;
+
+  dproc::core::Cluster cluster(engine, config);
+  cluster.start_dproc();
+
+  dproc::sim::FaultPlan plan;
+  plan.crash_node(at(5.0), 6)
+      .restart_node(at(20.0), 6)
+      .partition_link(at(8.0), cluster.uplink(5))
+      .heal_link(at(14.0), cluster.uplink(5))
+      .registry_outage(at(10.0), at(16.0))
+      .kill_registry_leader(at(25.0));
+  cluster.inject(plan);
+  engine.run_until(at(45.0));
+
+  std::vector<std::string> dumps;
+  dumps.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto dump = cluster.procfs(i).read("/proc/dproc/incidents");
+    dumps.push_back(dump.is_ok() ? dump.value() : std::string{});
+  }
+  return dumps;
+}
+
+void print_report(const std::vector<TimelineEntry>& timeline,
+                  const std::vector<FaultFinding>& findings) {
+  std::cout << "timeline (" << timeline.size() << " events):\n";
+  for (const TimelineEntry& entry : timeline) {
+    const auto& e = entry.event;
+    std::cout << "  t=" << static_cast<double>(e.ts_ns) / 1e9 << "s node"
+              << entry.node << " " << dproc::telemetry::to_string(e.severity)
+              << " " << dproc::telemetry::to_string(e.subsystem) << " "
+              << dproc::telemetry::to_string(e.code) << " [" << e.args[0]
+              << " " << e.args[1] << " " << e.args[2] << " " << e.args[3]
+              << "]";
+    if (e.trace_id != 0) {
+      std::cout << " trace=0x" << std::hex << e.trace_id << std::dec;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nfault alignment (" << findings.size() << " injected):\n";
+  for (const FaultFinding& f : findings) {
+    std::cout << "  t=" << static_cast<double>(f.fault.ts_ns) / 1e9 << "s "
+              << dproc::sim::to_string(
+                     static_cast<dproc::sim::FaultKind>(f.fault.args[0]))
+              << " target=" << f.fault.args[1];
+    if (!f.disruptive) {
+      std::cout << " (heal)\n";
+      continue;
+    }
+    if (f.observed) {
+      std::cout << " -> first symptom t="
+                << static_cast<double>(f.symptom.ts_ns) / 1e9 << "s node"
+                << f.symptom_node << " "
+                << dproc::telemetry::to_string(f.symptom.code) << "\n";
+    } else {
+      std::cout << " -> NO SYMPTOM RECORDED\n";
+    }
+  }
+  std::cout << (dproc::core::faults_recovered(findings)
+                    ? "\nverdict: every disruptive fault explained\n"
+                    : "\nverdict: UNEXPLAINED faults remain\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = false;
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: incident_report [--json] [dump files...]\n"
+                   "       incident_report --demo [--json]\n"
+                   "Reads /proc/dproc/incidents dumps (stdin when no files)\n"
+                   "and prints a merged cross-node timeline with the\n"
+                   "injected-fault vs observed-symptom alignment.\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> dumps;
+  if (demo) {
+    dumps = run_demo();
+  } else if (files.empty()) {
+    std::ostringstream all;
+    all << std::cin.rdbuf();
+    dumps.push_back(all.str());
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "incident_report: cannot open " << path << "\n";
+        return 2;
+      }
+      std::ostringstream all;
+      all << in.rdbuf();
+      dumps.push_back(all.str());
+    }
+  }
+
+  std::vector<IncidentBundle> bundles;
+  for (const std::string& dump : dumps) {
+    if (!dproc::core::parse_bundles(dump, bundles)) {
+      std::cerr << "incident_report: malformed incident dump\n";
+      return 2;
+    }
+  }
+
+  const std::vector<TimelineEntry> timeline =
+      dproc::core::merge_timeline(bundles);
+  const std::vector<FaultFinding> findings =
+      dproc::core::align_faults(timeline);
+
+  if (json) {
+    std::cout << dproc::core::timeline_json(timeline, findings);
+  } else {
+    std::cout << "bundles: " << bundles.size() << " across " << dumps.size()
+              << " dump(s)\n";
+    print_report(timeline, findings);
+  }
+  const bool recovered = dproc::core::faults_recovered(findings);
+  return recovered ? 0 : 1;
+}
