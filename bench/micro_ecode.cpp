@@ -6,6 +6,7 @@
 // either.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 
 #include "alloc_counter.hpp"
@@ -248,6 +249,149 @@ dproc::bench::JsonBenchEntry measure_per_call(std::uint64_t iters) {
   return entry;
 }
 
+dproc::bench::JsonBenchEntry measure_fresh_pooled(std::uint64_t iters) {
+  // The fresh-call shape d-mon uses per channel: every evaluation acquires
+  // a lease from the per-channel pool (no caller-owned Vm or result) and
+  // releases it. Once the single slot has warmed up this must sit within
+  // 1.5x of the persistent-Vm steady state with zero heap traffic — the
+  // exit-code bar in main().
+  using Clock = std::chrono::steady_clock;
+  auto filter = Filter::compile(kFigure3Filter, paper_env()).value();
+  const auto input = paper_input();
+
+  dproc::ecode::VmPool pool;
+  for (int i = 0; i < 1000; ++i) {  // warm the pool's single lease slot
+    auto lease = filter.eval(pool, input);
+    benchmark::DoNotOptimize(lease);
+  }
+
+  const std::uint64_t allocs_before = dproc::bench::alloc_count();
+  const Clock::time_point start = Clock::now();
+  std::uint64_t insns = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    auto lease = filter.eval(pool, input);
+    insns += lease.value().result().instructions_executed;
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+  const std::uint64_t allocs = dproc::bench::alloc_count() - allocs_before;
+  benchmark::DoNotOptimize(insns);
+
+  dproc::bench::JsonBenchEntry entry;
+  entry.name = "filter_eval_fresh_pooled";
+  entry.iterations = iters;
+  entry.ns_per_event = ns / static_cast<double>(iters);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(iters);
+  return entry;
+}
+
+dproc::bench::JsonBenchEntry measure_dispatch(dproc::ecode::VmDispatch tier,
+                                              const char* name,
+                                              std::uint64_t iters) {
+  // Interpreter throughput over a heterogeneous filter corpus, evaluated
+  // round-robin the way a d-mon hosting many channels (each with its own
+  // filter) interleaves them. The varied opcode mix is what separates the
+  // tiers: the switch loop funnels every handler transition through one
+  // shared indirect branch whose history the interleaving scrambles, while
+  // the threaded tier's per-handler branches keep per-opcode-pair history.
+  // One corpus pass executes ~12k VM instructions; scale the outer count
+  // down accordingly.
+  using Clock = std::chrono::steady_clock;
+  // Control-flow-dense filters (counters, rate accumulators, hysteresis
+  // state machines): the handler work is cheap, so dispatch — the thing
+  // the tier changes — is what gets measured.
+  static const char* const kCorpus[] = {
+      // counted integer loop (the classic dispatch stressor)
+      "int s = 0; for (int i = 0; i < 1000; ++i) s += i; return s;",
+      // xorshift-style bit mixing
+      "int h = 12345;\n"
+      "for (int i = 0; i < 600; ++i) {\n"
+      "  h = h ^ (h << 13); h = h ^ (h >> 7); h = h + i;\n"
+      "}\n"
+      "return h % 65536;",
+      // branchy ternaries and modulo
+      "int a = 0; int b = 1;\n"
+      "for (int i = 1; i < 500; ++i) {\n"
+      "  a = (i % 3 == 0) ? a + b : a - 1;\n"
+      "  b = b + (a < 0 ? 1 : 2);\n"
+      "}\n"
+      "return a + b;",
+      // hysteresis state machine over a synthetic level
+      "int state = 0; int flips = 0; int level = 0;\n"
+      "for (int i = 0; i < 500; ++i) {\n"
+      "  level = (level * 13 + 7) % 100;\n"
+      "  if (state == 0) { if (level > 80) { state = 1; flips = flips + 1; } }\n"
+      "  else { if (level < 20) { state = 0; flips = flips + 1; } }\n"
+      "}\n"
+      "return flips * 2 + state;",
+      // sample traffic: the paper's threshold filter over an input frame
+      "int sent = 0;\n"
+      "for (int i = 0; i < 8; ++i) {\n"
+      "  if (input[i].value > input[i].last_value_sent * 1.05) {\n"
+      "    output[i] = input[i]; sent = sent + 1;\n"
+      "  }\n"
+      "}\n"
+      "return sent;",
+  };
+  std::vector<Filter> corpus;
+  for (const char* source : kCorpus) {
+    corpus.push_back(Filter::compile(source).value());
+  }
+  std::vector<Sample> input;
+  for (int i = 0; i < 8; ++i) {
+    Sample s;
+    s.id = i;
+    s.value = 100.0 + i;
+    s.last_value_sent = (i % 2 == 0) ? 90.0 : 100.0 + i;
+    input.push_back(s);
+  }
+  const std::uint64_t outer = std::max<std::uint64_t>(iters / 200, 8);
+
+  dproc::ecode::Vm vm;
+  vm.set_dispatch(tier);
+  dproc::ecode::FilterResult result;
+  for (const Filter& filter : corpus) {
+    (void)vm.run(filter.bytecode(), input, result);
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::uint64_t insns = 0;
+  for (std::uint64_t i = 0; i < outer; ++i) {
+    for (const Filter& filter : corpus) {
+      (void)vm.run(filter.bytecode(), input, result);
+      insns += result.instructions_executed;
+    }
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+
+  dproc::bench::JsonBenchEntry entry;
+  entry.name = name;
+  entry.iterations = outer;
+  entry.ns_per_event = ns / static_cast<double>(outer);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.extras.emplace_back("insns_per_s",
+                            static_cast<double>(insns) * 1e9 / ns);
+  return entry;
+}
+
+/// Best-of-N to keep the exit-code ratio bars stable at smoke scale.
+template <typename Fn>
+dproc::bench::JsonBenchEntry best_of(int n, Fn measure) {
+  dproc::bench::JsonBenchEntry best = measure();
+  for (int i = 1; i < n; ++i) {
+    dproc::bench::JsonBenchEntry candidate = measure();
+    if (candidate.ns_per_event < best.ns_per_event) best = candidate;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,8 +401,46 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   const std::uint64_t iters = dproc::bench::bench_iterations(2'000'000);
+  auto steady = best_of(3, [&] { return measure_steady_state(iters); });
+  auto pooled = best_of(3, [&] { return measure_pooled(iters); });
+  auto fresh = best_of(3, [&] { return measure_fresh_pooled(iters); });
+  auto tier_switch = best_of(3, [&] {
+    return measure_dispatch(dproc::ecode::VmDispatch::kSwitch,
+                            "filter_eval_switch", iters);
+  });
+  auto tier_threaded = best_of(3, [&] {
+    return measure_dispatch(dproc::ecode::VmDispatch::kThreaded,
+                            "filter_eval_threaded", iters);
+  });
+  const double speedup = tier_switch.ns_per_event / tier_threaded.ns_per_event;
+  tier_threaded.extras.emplace_back("speedup_vs_switch", speedup);
+  tier_threaded.extras.emplace_back(
+      "threaded_available",
+      dproc::ecode::Vm::threaded_available() ? 1.0 : 0.0);
+  const double fresh_ratio = fresh.ns_per_event / steady.ns_per_event;
+  fresh.extras.emplace_back("ratio_vs_steady", fresh_ratio);
+
   const bool ok = dproc::bench::write_bench_json(
-      "micro_ecode", {measure_steady_state(iters), measure_pooled(iters),
-                      measure_per_call(iters)});
-  return ok ? 0 : 1;
+      "micro_ecode", {steady, pooled, fresh, measure_per_call(iters),
+                      tier_switch, tier_threaded});
+  if (!ok) return 1;
+
+  // Exit-code bars: the pooled fresh-call path must stay within 1.5x of
+  // steady state and allocation-free once warm. (The threaded-vs-switch
+  // speedup is recorded in the JSON but not exit-enforced — it varies with
+  // host branch predictors more than with regressions in this repo.)
+  if (fresh_ratio > 1.5) {
+    std::fprintf(stderr,
+                 "PERF BAR FAILED: fresh_pooled %.1f ns vs steady %.1f ns "
+                 "(ratio %.2f > 1.5)\n",
+                 fresh.ns_per_event, steady.ns_per_event, fresh_ratio);
+    return 1;
+  }
+  if (fresh.allocs_per_event != 0.0) {
+    std::fprintf(stderr,
+                 "PERF BAR FAILED: fresh_pooled allocates (%.4f/event)\n",
+                 fresh.allocs_per_event);
+    return 1;
+  }
+  return 0;
 }

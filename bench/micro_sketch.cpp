@@ -1,0 +1,152 @@
+// Heavy-hitter sketch microbenchmark: the constant-space claim, measured.
+//
+// Sweeps the entity count (simulated process population) across two orders
+// of magnitude and records, per population: sketch update throughput, the
+// sketch state footprint, and top-8 recall against an exact count table.
+// The exit code enforces the module family's reason to exist:
+//
+//   - state_bytes identical at 100 and 10,000 entities (constant space);
+//   - top-8 recall >= 7/8 on the Zipf(1.2) stream at every population.
+//
+// Workloads are fully deterministic (seeded Zipf observer, splitmix64
+// hashing), so the bars cannot flake. Emits BENCH_micro_sketch.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dproc/core/monitors.hpp"
+#include "dproc/core/sketch.hpp"
+
+namespace {
+
+using dproc::core::TopKSketch;
+
+struct SweepPoint {
+  dproc::bench::JsonBenchEntry entry;
+  std::size_t state_bytes = 0;
+  double recall = 0.0;
+};
+
+SweepPoint measure_population(std::size_t entities, std::uint64_t draws) {
+  using Clock = std::chrono::steady_clock;
+
+  // One deterministic observation stream feeds both the sketch under test
+  // and the exact table the recall is judged against.
+  auto observe = dproc::core::make_zipf_observer(entities, 1.2, /*seed=*/17,
+                                                 /*draws_per_collect=*/4096);
+  std::vector<std::pair<std::int64_t, double>> obs;
+  std::map<std::int64_t, double> exact;
+  TopKSketch sketch;
+
+  std::uint64_t updates = 0;
+  double ns = 0.0;
+  while (updates < draws) {
+    obs.clear();
+    observe(obs, dproc::SimTime::zero());
+    for (const auto& [key, weight] : obs) exact[key] += weight;
+    const Clock::time_point start = Clock::now();
+    for (const auto& [key, weight] : obs) sketch.update(key, weight);
+    ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    updates += obs.size();
+  }
+  sketch.refresh_top(8);
+
+  // Exact top-8 (count desc, key asc) for the recall score.
+  std::vector<std::pair<std::int64_t, double>> sorted(exact.begin(),
+                                                      exact.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::size_t hits = 0;
+  for (std::size_t rank = 0; rank < 8; ++rank) {
+    const std::int64_t key = sketch.rank_key(rank);
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, sorted.size()); ++i) {
+      if (sorted[i].first == key) {
+        ++hits;
+        break;
+      }
+    }
+  }
+
+  SweepPoint point;
+  point.state_bytes = sketch.byte_size();
+  point.recall = static_cast<double>(hits) / 8.0;
+  point.entry.name = "topk_update_" + std::to_string(entities);
+  point.entry.iterations = updates;
+  point.entry.ns_per_event = ns / static_cast<double>(updates);
+  point.entry.ops_per_sec = 1e9 / point.entry.ns_per_event;
+  point.entry.extras.emplace_back("state_bytes",
+                                  static_cast<double>(point.state_bytes));
+  point.entry.extras.emplace_back("recall8", point.recall);
+  point.entry.extras.emplace_back("entities",
+                                  static_cast<double>(entities));
+  return point;
+}
+
+dproc::bench::JsonBenchEntry measure_cm_lookup(std::uint64_t iters) {
+  using Clock = std::chrono::steady_clock;
+  TopKSketch sketch;
+  for (std::int64_t key = 0; key < 1'000; ++key) {
+    sketch.update(key, static_cast<double>(1'000 - key));
+  }
+  double sink = 0.0;
+  const Clock::time_point start = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink += sketch.estimate(static_cast<std::int64_t>(i % 1'000));
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+  dproc::bench::JsonBenchEntry entry;
+  entry.name = "cm_lookup";
+  entry.iterations = iters;
+  entry.ns_per_event = ns / static_cast<double>(iters);
+  entry.ops_per_sec = 1e9 / entry.ns_per_event;
+  entry.extras.emplace_back("sink", sink > 0.0 ? 1.0 : 0.0);
+  return entry;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t draws = dproc::bench::bench_iterations(1'000'000);
+
+  std::vector<SweepPoint> sweep;
+  for (const std::size_t entities : {100ul, 1'000ul, 10'000ul}) {
+    sweep.push_back(measure_population(entities, draws));
+  }
+
+  std::vector<dproc::bench::JsonBenchEntry> entries;
+  for (const SweepPoint& point : sweep) entries.push_back(point.entry);
+  entries.push_back(measure_cm_lookup(std::max<std::uint64_t>(draws, 1'000)));
+  if (!dproc::bench::write_bench_json("micro_sketch", entries)) return 1;
+
+  // Exit-code bars (deterministic workload — these cannot flake).
+  bool failed = false;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].state_bytes != sweep[0].state_bytes) {
+      std::fprintf(stderr,
+                   "SKETCH BAR FAILED: state grows with population "
+                   "(%zu bytes at point 0 vs %zu at point %zu)\n",
+                   sweep[0].state_bytes, sweep[i].state_bytes, i);
+      failed = true;
+    }
+  }
+  for (const SweepPoint& point : sweep) {
+    if (point.recall < 7.0 / 8.0) {
+      std::fprintf(stderr,
+                   "SKETCH BAR FAILED: top-8 recall %.3f < 0.875 (%s)\n",
+                   point.recall, point.entry.name.c_str());
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

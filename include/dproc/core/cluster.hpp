@@ -93,6 +93,12 @@ struct ClusterConfig {
   /// self_monitor (the score is computed from telemetry counters). Copied
   /// into DmonConfig::health for every d-mon the builder creates.
   HealthConfig health{};
+  /// Sketch-backed TOP_K monitoring: appends a constant-space per-PID
+  /// heavy-hitter module on every dproc node and lets deployed filters use
+  /// the sketch builtins (topk/topkid/cmlookup/skmerge). Off by default
+  /// for the same byte-identity reason. Copied into DmonConfig::sketch for
+  /// every d-mon the builder creates.
+  SketchConfig sketch{};
 };
 
 /// One fully wired cluster node.

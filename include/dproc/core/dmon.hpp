@@ -93,6 +93,25 @@ struct BatchConfig {
   bool interest = false;
 };
 
+/// Sketch-backed top-k support (off by default: filters using the sketch
+/// builtins are rejected at compile time, no sketch state exists, and the
+/// golden trace is byte-identical). When enabled, d-mon accepts the sketch
+/// builtins in deployed filters and binds the first registered
+/// TopKMonitor's sketch as their host; later TopKMonitors become auxiliary
+/// sketches addressable via skmerge(i).
+struct SketchConfig {
+  bool enabled = false;
+  /// Ranks a TopKMonitor publishes and refreshes for topk()/topkid().
+  std::size_t k = 8;
+  /// Sizing of sketches built by the cluster builder's standard modules.
+  SketchParams params{};
+  /// Entity population of the builder's stock per-PID TOP_K module; the
+  /// constant-space experiment sweeps this while frame bytes stay flat.
+  std::size_t process_count = 1000;
+  /// Skew of the stock module's deterministic per-PID load distribution.
+  double zipf_s = 1.2;
+};
+
 struct DmonConfig {
   SimDuration poll_period = seconds(1.0);
   std::string monitor_channel = "dproc.monitor";
@@ -120,6 +139,8 @@ struct DmonConfig {
   /// by every d-mon so they all derive identical election answers. Required
   /// when hierarchy.enabled; ignored otherwise.
   std::shared_ptr<const HierarchyLayout> hierarchy_layout;
+  /// Sketch-backed top-k filter support (off by default; see SketchConfig).
+  SketchConfig sketch{};
 };
 
 /// Degradation state of one peer's monitoring feed, derived from update
@@ -289,6 +310,12 @@ class DMon {
   [[nodiscard]] HealthEngine* health_engine() { return health_.get(); }
   [[nodiscard]] const HealthEngine* health_engine() const {
     return health_.get();
+  }
+
+  /// The sketch host deployed filters read; nullptr until a TopKMonitor is
+  /// registered with DmonConfig::sketch.enabled.
+  [[nodiscard]] FilterSketchBridge* sketch_bridge() {
+    return sketch_bridge_.get();
   }
 
   /// Health-score trust verdict on a peer: false when the peer's published
@@ -493,6 +520,10 @@ class DMon {
 
   std::unique_ptr<PublisherTuning> tuning_;
   std::map<net::NodeId, Peer> peers_;
+
+  /// Bridge from the first TopKMonitor's sketch to the filter VM
+  /// (DmonConfig::sketch; additional TopKMonitors register as auxiliaries).
+  std::unique_ptr<FilterSketchBridge> sketch_bridge_;
 
   // --- health engine (DmonConfig::health; see health.hpp) ----------------
   std::unique_ptr<HealthEngine> health_;

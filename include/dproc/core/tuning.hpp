@@ -58,6 +58,12 @@ struct TuningConfig {
   /// Module-internal sampling periods ("window cpu 5"): the paper's
   /// application-specified CPU_MON run-queue averaging window (§2.1).
   std::vector<std::pair<std::string, SimDuration>> module_periods;
+  /// Filter instruction budget ("fuel <n>"): caps the VM fuel available to
+  /// the deployed filter per evaluation. Must be positive and no larger
+  /// than ecode::VmLimits::kMaxInstructionLimit — the control file is
+  /// user-writable, and an unbounded value would let a runaway filter
+  /// outlive the out-of-fuel guard.
+  std::optional<std::uint64_t> max_filter_instructions;
 };
 
 /// Parses the control-file command language:
@@ -66,6 +72,7 @@ struct TuningConfig {
 ///   threshold <metric> above <v> | below <v> | range <lo> <hi> | change <pct>%
 ///   differential <pct>%
 ///   window <module> <seconds>      (module-internal sampling period)
+///   fuel <n>                       (per-evaluation filter instruction cap)
 ///   filter <rest of the write is E-code source>
 ///   clear
 Result<TuningConfig> parse_control_commands(const std::string& text);
@@ -115,6 +122,32 @@ class PublisherTuning {
   }
   [[nodiscard]] SimDuration default_period() const { return default_period_; }
 
+  /// Accept the sketch builtins (topk/...) in filters compiled here. Set by
+  /// d-mon from its SketchConfig before any filter arrives; off by default
+  /// so a sketch-less publisher rejects such filters at compile time.
+  void enable_sketch_builtins(bool on) { sketch_builtins_ = on; }
+  [[nodiscard]] bool sketch_builtins() const { return sketch_builtins_; }
+
+  /// Binds the sketch state filter evaluations read (not owned; nullptr
+  /// detaches). Typically a FilterSketchBridge over a TopKMonitor's sketch.
+  void set_sketch_host(ecode::SketchHost* host) {
+    sketch_host_ = host;
+    vm_.set_sketch_host(host);
+  }
+
+  /// Effective VM limits (reflects any `fuel <n>` override).
+  [[nodiscard]] const ecode::VmLimits& vm_limits() const {
+    return vm_.limits();
+  }
+
+  /// Successful filter compilations performed by apply(). Re-installing an
+  /// unchanged source hits the compiled-program cache and does not move
+  /// this counter — d-mon uses the delta to charge compile cycles only for
+  /// real compilations.
+  [[nodiscard]] std::uint64_t filter_compiles() const {
+    return filter_compiles_;
+  }
+
   /// Adaptation-owned per-metric periods (core/adapt). They sit between the
   /// operator's rules and the default: an explicit `period <metric> ...`
   /// rule always wins, an adaptive period overrides only the default.
@@ -145,6 +178,12 @@ class PublisherTuning {
   };
 
   Result<MetricId> resolve(const std::string& name) const;
+  /// Compile environment for filter compilation: metric constants plus the
+  /// sketch-builtin gate.
+  [[nodiscard]] ecode::CompileEnv compile_env() const;
+  /// Reconstructs vm_ with the current fuel override, preserving the
+  /// dispatch tier default and the bound sketch host.
+  void rebuild_vm();
   [[nodiscard]] bool passes_parameters(const MetricSample& sample,
                                        const std::vector<MetricSample>& all,
                                        SimTime now) const;
@@ -159,6 +198,13 @@ class PublisherTuning {
   std::map<MetricId, std::vector<ResolvedThreshold>> thresholds_;
   std::optional<double> differential_pct_;
   std::optional<ecode::Filter> filter_;
+  /// Sketch-builtin gate active when filter_ was compiled (cache key part).
+  bool filter_sketch_env_ = false;
+  std::optional<std::uint64_t> fuel_override_;
+
+  bool sketch_builtins_ = false;
+  ecode::SketchHost* sketch_host_ = nullptr;
+  std::uint64_t filter_compiles_ = 0;
 
   // Reused across decide() calls so the per-poll filter path is
   // allocation-free in steady state.

@@ -42,6 +42,7 @@ enum class Op : std::uint8_t {
   kToBool,    // top = (top != 0) as int
   kPushZeroSample,  // push a zero-initialized sample (declaration default)
   kCallBuiltin,     // pop arg(arg2) args; push builtin(arg) result
+  kCallSketch,      // pop arg(arg2) args; push sketch-host fn(arg) result
 
   kJmp,         // pc = arg
   kJmpIfFalse,  // pop; if zero pc = arg
@@ -68,6 +69,11 @@ enum class Op : std::uint8_t {
   kCopyInputToOutput, // output[locals[arg]] = input[imm_i]
                       //   [load_local; push_int; load_input; store_output; pop]
 };
+
+/// Number of opcodes; the threaded interpreter's dispatch table is indexed
+/// by Op and must stay exactly this long (vm_dispatch.inc static_asserts).
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kCopyInputToOutput) + 1;
 
 /// Comparison encoding for the kCmp* superinstructions: arg2 & 7 selects
 /// the predicate (offset from kLt), kCmpImmFloatBit selects imm_f over

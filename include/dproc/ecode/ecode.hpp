@@ -56,6 +56,21 @@ class Filter {
     return lease.vm().run(bytecode_, input, result);
   }
 
+  /// Fresh-call convenience at steady-state cost: leases a warm slot from
+  /// `pool`, runs into the slot's pooled result arena, and hands back the
+  /// lease so the caller reads outputs without owning a FilterResult. Once
+  /// the slot has warmed up this performs zero heap allocations — the path
+  /// callers should use where they previously paid the cold `run(input)`.
+  [[nodiscard]] Result<VmPool::Lease> eval(VmPool& pool,
+                                           std::span<const Sample> input) const {
+    VmPool::Lease lease = pool.acquire();
+    if (Status status = lease.vm().run(bytecode_, input, lease.result());
+        !status) {
+      return status;
+    }
+    return lease;
+  }
+
   [[nodiscard]] const Bytecode& bytecode() const { return bytecode_; }
   [[nodiscard]] const std::string& source() const { return source_; }
 

@@ -20,17 +20,28 @@ namespace dproc::ecode {
 /// Compile-time bindings supplied by the embedder.
 struct CompileEnv {
   std::map<std::string, std::int64_t> constants;
+  /// Accept the sketch builtins (topk/topkid/cmlookup/skmerge). Off by
+  /// default: a filter using them is rejected at compile time unless the
+  /// embedder has sketch state to bind (Vm::set_sketch_host), so the error
+  /// surfaces in the control file instead of at evaluation time.
+  bool sketch_builtins = false;
 };
 
 /// Builtin math functions callable from filters.
 struct BuiltinFn {
   const char* name;
   int arity;
+  /// Reads embedder sketch state (compiles to kCallSketch, never folded).
+  bool sketch = false;
 };
 
 /// Index into this table is the id stored in Expr::builtin.
 [[nodiscard]] const std::vector<BuiltinFn>& builtin_functions();
 [[nodiscard]] int find_builtin(const std::string& name);
+
+/// First sketch entry in builtin_functions(); kCallSketch's arg is the
+/// builtin id minus this base.
+inline constexpr int kSketchBuiltinBase = 6;
 
 class Sema {
  public:

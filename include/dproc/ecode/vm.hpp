@@ -3,8 +3,9 @@
 // A fueled stack machine: every instruction consumes one unit of fuel, so a
 // filter containing an endless loop cannot wedge the publishing kernel — a
 // guarantee the paper's native-code generator would have needed too. Runtime
-// errors (division by zero, out-of-range input index, fuel exhaustion)
-// surface as Status and cause d-mon to fall back to unfiltered publication.
+// errors (division by zero, out-of-range input index, a sample operand in a
+// numeric context, fuel exhaustion) surface as Status and cause d-mon to
+// fall back to unfiltered publication.
 //
 // The VM is built for steady-state speed: the operand stack, the locals
 // frame and the output slots are reusable per-Vm scratch arenas, so a d-mon
@@ -18,8 +19,17 @@
 // instructions_executed identical to unoptimized execution) but the limit
 // is only *checked* at control-flow edges — straight-line code cannot loop,
 // so checking at jumps and returns bounds execution all the same.
+//
+// Dispatch tiers: the interpreter body lives once in vm_dispatch.inc and is
+// compiled twice — as the portable switch loop (the reference interpreter)
+// and, when the build has DPROC_VM_THREADED and a compiler with GNU
+// labels-as-values, as a computed-goto threaded loop whose per-handler
+// indirect branches predict far better than the switch's single one. Both
+// tiers execute identical semantics (the differential fuzz harness pins
+// outputs, status and fuel); set_dispatch() selects at run time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,6 +55,12 @@ struct Sample {
 };
 
 struct VmLimits {
+  /// Hard ceiling on max_instructions. The fuel counter is only checked at
+  /// control-flow edges, so a limit near 2^64 would make out_of_fuel()
+  /// effectively unreachable; the Vm constructor clamps to this bound and
+  /// the control-file path (`fuel <n>`) rejects larger requests outright.
+  static constexpr std::uint64_t kMaxInstructionLimit = 1'000'000'000;
+
   std::uint64_t max_instructions = 1'000'000;
   std::int64_t max_output_index = 255;
 };
@@ -56,9 +72,38 @@ struct FilterResult {
   std::uint64_t instructions_executed = 0;
 };
 
+/// Embedder-provided sketch state the kCallSketch builtins operate on: a
+/// primary heavy-hitter sketch (rank-indexed top-k plus count-min lookups)
+/// and zero or more auxiliary sketches that can be merged into it. The
+/// concrete implementation lives in core/sketch (FilterSketchBridge); the
+/// VM sees only this interface so the ecode layer stays core-free.
+class SketchHost {
+ public:
+  virtual ~SketchHost() = default;
+
+  /// Estimated count of the rank-th heaviest key (0 = heaviest); 0.0 when
+  /// fewer than rank+1 keys are tracked.
+  [[nodiscard]] virtual double topk_count(std::int64_t rank) const = 0;
+  /// Key of the rank-th heaviest entry; -1.0 when absent.
+  [[nodiscard]] virtual double topk_key(std::int64_t rank) const = 0;
+  /// Count-min estimate for an arbitrary key (never under the true count).
+  [[nodiscard]] virtual double cm_estimate(std::int64_t key) const = 0;
+  /// Merges auxiliary sketch `index` into the primary; returns the number
+  /// of heavy-hitter entries folded in, or -1.0 when `index` is unknown.
+  virtual double merge_aux(std::int64_t index) = 0;
+};
+
+/// Run-time interpreter selection. kAuto picks the threaded tier when the
+/// build carries it and falls back to the switch loop otherwise; kSwitch
+/// forces the reference interpreter (differential testing, debugging).
+enum class VmDispatch : std::uint8_t { kAuto, kSwitch, kThreaded };
+
 class Vm {
  public:
-  explicit Vm(VmLimits limits = {}) : limits_(limits) {}
+  explicit Vm(VmLimits limits = {}) : limits_(limits) {
+    limits_.max_instructions =
+        std::min(limits_.max_instructions, VmLimits::kMaxInstructionLimit);
+  }
 
   /// Executes `code` against the input samples into a fresh result.
   Result<FilterResult> run(const Bytecode& code, std::span<const Sample> input);
@@ -68,6 +113,23 @@ class Vm {
   /// After one warm-up run of the same program this allocates nothing.
   Status run(const Bytecode& code, std::span<const Sample> input,
              FilterResult& result);
+
+  /// True when this build carries the computed-goto interpreter.
+  [[nodiscard]] static bool threaded_available();
+
+  /// Selects the dispatch tier for subsequent run() calls. Requesting
+  /// kThreaded in a build without it silently runs the switch loop — the
+  /// two tiers are semantically identical by contract.
+  void set_dispatch(VmDispatch dispatch) { dispatch_ = dispatch; }
+  [[nodiscard]] VmDispatch dispatch() const { return dispatch_; }
+
+  /// Binds the sketch state the kCallSketch builtins read; nullptr (the
+  /// default) makes any sketch builtin a runtime error. Not owned.
+  void set_sketch_host(SketchHost* host) { sketch_ = host; }
+  [[nodiscard]] SketchHost* sketch_host() const { return sketch_; }
+
+  /// Effective limits (after the constructor's max_instructions clamp).
+  [[nodiscard]] const VmLimits& limits() const { return limits_; }
 
  private:
   /// Compact tagged runtime value: an int, a double, or a sample. The
@@ -87,10 +149,18 @@ class Vm {
     };
   };
 
+  /// The interpreter body (vm_dispatch.inc), compiled per dispatch tier.
+  Status run_switch(const Bytecode& code, std::span<const Sample> input,
+                    FilterResult& result);
+  Status run_threaded(const Bytecode& code, std::span<const Sample> input,
+                      FilterResult& result);
+
   /// Grows the dense output arrays to cover `idx` (cold path).
   void ensure_output_slot(std::size_t idx);
 
   VmLimits limits_;
+  VmDispatch dispatch_ = VmDispatch::kAuto;
+  SketchHost* sketch_ = nullptr;
 
   // Scratch arenas, reused across runs.
   std::vector<Value> stack_;
@@ -105,44 +175,55 @@ class Vm {
 /// evaluation, paying fresh scratch-arena growth on every call (~4x the
 /// steady-state latency, ~14 allocations per run); a Vm leased from the
 /// pool keeps the arenas its earlier runs sized, so pooled evaluation
-/// allocates nothing once every lease slot has warmed up. Leases are RAII:
-/// the Vm returns to the freelist when the handle dies, and concurrent
-/// leases (nested filter evaluation) simply grow the pool.
+/// allocates nothing once every lease slot has warmed up. Each pool slot
+/// also carries a warm FilterResult, so the fresh-call convenience path
+/// (Filter::eval) runs at steady-state cost without a caller-owned result.
+/// Leases are RAII: the slot returns to the freelist when the handle dies,
+/// and concurrent leases (nested filter evaluation) simply grow the pool.
 class VmPool {
  public:
   explicit VmPool(VmLimits limits = {}) : limits_(limits) {}
   VmPool(const VmPool&) = delete;
   VmPool& operator=(const VmPool&) = delete;
 
+  /// One warm Vm + FilterResult pair owned by the pool.
+  struct Slot {
+    std::unique_ptr<Vm> vm;
+    std::unique_ptr<FilterResult> result;
+  };
+
   class Lease {
    public:
     Lease(Lease&& other) noexcept
-        : pool_(other.pool_), vm_(std::move(other.vm_)) {
+        : pool_(other.pool_), slot_(std::move(other.slot_)) {
       other.pool_ = nullptr;
     }
     Lease& operator=(Lease&&) = delete;
     ~Lease() {
-      if (pool_ != nullptr) pool_->release(std::move(vm_));
+      if (pool_ != nullptr) pool_->release(std::move(slot_));
     }
-    [[nodiscard]] Vm& vm() { return *vm_; }
+    [[nodiscard]] Vm& vm() { return *slot_.vm; }
+    /// The slot's pooled result arena (Filter::eval runs into this).
+    [[nodiscard]] FilterResult& result() { return *slot_.result; }
+    [[nodiscard]] const FilterResult& result() const { return *slot_.result; }
 
    private:
     friend class VmPool;
-    Lease(VmPool* pool, std::unique_ptr<Vm> vm)
-        : pool_(pool), vm_(std::move(vm)) {}
+    Lease(VmPool* pool, Slot slot) : pool_(pool), slot_(std::move(slot)) {}
     VmPool* pool_;
-    std::unique_ptr<Vm> vm_;
+    Slot slot_;
   };
 
-  /// Leases a warm Vm (or creates one on first use / under nesting).
+  /// Leases a warm slot (or creates one on first use / under nesting).
   [[nodiscard]] Lease acquire() {
     if (free_.empty()) {
       ++created_;
-      return Lease{this, std::make_unique<Vm>(limits_)};
+      return Lease{this, Slot{std::make_unique<Vm>(limits_),
+                              std::make_unique<FilterResult>()}};
     }
-    std::unique_ptr<Vm> vm = std::move(free_.back());
+    Slot slot = std::move(free_.back());
     free_.pop_back();
-    return Lease{this, std::move(vm)};
+    return Lease{this, std::move(slot)};
   }
 
   /// Vms ever constructed by this pool (1 in the steady state of one
@@ -151,10 +232,10 @@ class VmPool {
   [[nodiscard]] std::size_t idle() const { return free_.size(); }
 
  private:
-  void release(std::unique_ptr<Vm> vm) { free_.push_back(std::move(vm)); }
+  void release(Slot slot) { free_.push_back(std::move(slot)); }
 
   VmLimits limits_;
-  std::vector<std::unique_ptr<Vm>> free_;
+  std::vector<Slot> free_;
   std::size_t created_ = 0;
 };
 

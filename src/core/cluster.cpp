@@ -179,6 +179,7 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
       dmon_config.hierarchy_layout = hierarchy_layout;
     }
     if (config_.health.enabled) dmon_config.health = config_.health;
+    if (config_.sketch.enabled) dmon_config.sketch = config_.sketch;
     node.dmon = std::make_unique<DMon>(*node.host, *node.nic, *node.kecho,
                                        *node.procfs, std::move(dmon_config));
     if (config_.module_factory) {
@@ -186,6 +187,15 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig config)
     } else {
       register_standard_modules(*node.dmon, *node.host, *node.nic,
                                 config_.link.bandwidth_bps);
+    }
+    // TOP_K rides after the standard/custom set on every dproc node, so
+    // its metric ids are uniform cluster-wide; its sketch also becomes the
+    // node's filter sketch host (first TopKMonitor registered).
+    if (config_.sketch.enabled) {
+      auto topk = make_topk_process_monitor(
+          config_.sketch.k, config_.sketch.process_count, config_.sketch.zipf_s,
+          config_.seed ^ (0x70cbULL + i), config_.sketch.params);
+      node.dmon->register_module(std::move(topk));
     }
     // Appended last on every dproc node so the cluster-wide metric-id
     // convention holds for the self-monitoring metrics too.

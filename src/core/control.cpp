@@ -175,6 +175,26 @@ Result<TuningConfig> parse_control_commands(const std::string& text) {
             "differential: percentage must be >= 0");
       }
       config.differential_pct = pct.value();
+    } else if (command == "fuel") {
+      std::string value;
+      if (!(words >> value)) {
+        return Status::invalid_argument("fuel: usage 'fuel <instructions>'");
+      }
+      auto n = parse_number(value, "fuel");
+      if (!n) return n.status();
+      // Bounds are re-checked at apply() (wire events bypass the parser);
+      // rejecting here surfaces the error to the control-file writer.
+      if (n.value() < 1) {
+        return Status::invalid_argument(
+            "fuel: filter instruction limit must be positive");
+      }
+      if (n.value() >
+          static_cast<double>(ecode::VmLimits::kMaxInstructionLimit)) {
+        return Status::invalid_argument(
+            "fuel: filter instruction limit exceeds hard ceiling (" +
+            std::to_string(ecode::VmLimits::kMaxInstructionLimit) + ")");
+      }
+      config.max_filter_instructions = static_cast<std::uint64_t>(n.value());
     } else if (command == "filter") {
       // Everything after the `filter` keyword — same line and all following
       // lines — is E-code source.
@@ -238,6 +258,10 @@ std::vector<std::uint8_t> encode_tuning(const TuningConfig& config) {
     w.str(module);
     w.i64(period.ns());
   }
+
+  // Appended fields go at the end (wire-compat convention).
+  w.u8(config.max_filter_instructions ? 1 : 0);
+  if (config.max_filter_instructions) w.u64(*config.max_filter_instructions);
   return w.take();
 }
 
@@ -280,6 +304,7 @@ Result<TuningConfig> decode_tuning(std::span<const std::uint8_t> bytes) {
     const SimDuration period{r.i64()};
     config.module_periods.emplace_back(std::move(module), period);
   }
+  if (r.u8() != 0) config.max_filter_instructions = r.u64();
   if (!r.ok()) {
     return Status::invalid_argument("malformed tuning payload");
   }

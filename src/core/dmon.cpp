@@ -367,6 +367,8 @@ void DMon::charge(double cycles) {
 
 void DMon::rebuild_tuning() {
   tuning_ = std::make_unique<PublisherTuning>(config_.poll_period, metric_ids_);
+  tuning_->enable_sketch_builtins(config_.sketch.enabled);
+  tuning_->set_sketch_host(sketch_bridge_.get());
 }
 
 void DMon::register_module(std::unique_ptr<MonitoringModule> module) {
@@ -386,6 +388,17 @@ void DMon::register_module(std::unique_ptr<MonitoringModule> module) {
     procfs_.register_file("/proc/net/connections", [net_monitor] {
       return net_monitor->render_connections();
     });
+  }
+  // With sketch support on, the first TOP_K module's sketch becomes the
+  // host deployed filters read; later ones are skmerge() auxiliaries.
+  if (config_.sketch.enabled) {
+    if (auto* topk = dynamic_cast<TopKMonitor*>(entry.module.get())) {
+      if (sketch_bridge_ == nullptr) {
+        sketch_bridge_ = std::make_unique<FilterSketchBridge>(topk->sketch());
+      } else {
+        sketch_bridge_->add_aux(topk->sketch());
+      }
+    }
   }
   modules_.push_back(std::move(entry));
   const ModuleEntry& added = modules_.back();
@@ -460,7 +473,7 @@ void DMon::add_peer(net::NodeId node, const std::string& name) {
       "/proc/cluster/" + name + "/control",
       [name] {
         return "# write control commands for node " + name +
-               ": period/threshold/differential/filter/clear\n";
+               ": period/threshold/differential/fuel/filter/clear\n";
       },
       [this, node](const std::string& text) {
         auto config = parse_control_commands(text);
@@ -684,11 +697,6 @@ const RemoteMetric* DMon::remote_metric(net::NodeId node,
 
 Status DMon::apply_tuning(const TuningConfig& config) {
   charge(config_.overheads.control_apply_cycles);
-  if (config.filter_source && !config.filter_source->empty()) {
-    charge(config_.overheads.filter_compile_cycles_per_byte *
-           static_cast<double>(config.filter_source->size()));
-    tm_filter_compiles_.add();
-  }
   // Module-internal sampling windows (e.g. CPU_MON's run-queue averaging
   // period): resolve and validate every target before touching any module,
   // so a request that half-fails leaves no window already rewritten — the
@@ -716,7 +724,15 @@ Status DMon::apply_tuning(const TuningConfig& config) {
     }
     window_updates.emplace_back(target, period);
   }
+  const std::uint64_t compiles_before = tuning_->filter_compiles();
   Status status = tuning_->apply(config);
+  // Compile cycles are charged only when the tuning actually compiled —
+  // re-installing an unchanged source hits the compiled-program cache.
+  if (tuning_->filter_compiles() > compiles_before && config.filter_source) {
+    charge(config_.overheads.filter_compile_cycles_per_byte *
+           static_cast<double>(config.filter_source->size()));
+    tm_filter_compiles_.add();
+  }
   last_control_error_ = status.is_ok() ? std::string{} : status.to_string();
   if (!status) return status;
   for (const auto& [module, period] : window_updates) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <memory>
 #include <sstream>
 
 namespace dproc::core {
@@ -319,6 +321,90 @@ void SyntheticMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
   for (std::size_t i = 0; i < metric_count_; ++i) {
     out.push_back(sample(0, value_fn_ ? value_fn_(i, now) : 0.0, now));
   }
+}
+
+// --- TopKMonitor -------------------------------------------------------------
+
+TopKMonitor::TopKMonitor(std::string name, std::size_t k, ObserveFn observe,
+                         SketchParams params)
+    : name_(std::move(name)),
+      k_(k == 0 ? 1 : k),
+      observe_(std::move(observe)),
+      sketch_(params) {}
+
+std::vector<MetricDesc> TopKMonitor::metrics() const {
+  std::vector<MetricDesc> descs;
+  descs.reserve(2 * k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::string rank = std::to_string(i);
+    descs.push_back({0, name_ + "_top" + rank + "_key",
+                     name_ + "/top" + rank + "/key"});
+    descs.push_back({0, name_ + "_top" + rank + "_val",
+                     name_ + "/top" + rank + "/val"});
+  }
+  return descs;
+}
+
+void TopKMonitor::collect(std::vector<MetricSample>& out, SimTime now) {
+  obs_.clear();
+  if (observe_) observe_(obs_, now);
+  for (const auto& [key, weight] : obs_) sketch_.update(key, weight);
+  sketch_.refresh_top(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    out.push_back(sample(0, static_cast<double>(sketch_.rank_key(i)), now));
+    out.push_back(sample(0, sketch_.rank_count(i), now));
+  }
+}
+
+TopKMonitor::ObserveFn make_zipf_observer(std::size_t entity_count, double s,
+                                          std::uint64_t seed,
+                                          std::size_t draws_per_collect) {
+  if (entity_count == 0) entity_count = 1;
+  // Precompute the Zipf CDF once; draws binary-search it. Keys are
+  // 1..entity_count (PID/flow-id style, key 0 avoided by convention).
+  auto cdf = std::make_shared<std::vector<double>>();
+  cdf->reserve(entity_count);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= entity_count; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), s);
+    cdf->push_back(total);
+  }
+  for (double& c : *cdf) c /= total;
+
+  auto state = std::make_shared<std::uint64_t>(seed == 0 ? 0x9e3779b9ULL : seed);
+  return [cdf, state, draws_per_collect](
+             std::vector<std::pair<std::int64_t, double>>& out, SimTime) {
+    for (std::size_t i = 0; i < draws_per_collect; ++i) {
+      // xorshift64*: deterministic, decent uniformity, no <random> state.
+      std::uint64_t x = *state;
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      *state = x;
+      const double u =
+          static_cast<double>((x * 0x2545f4914f6cdd1dULL) >> 11) /
+          static_cast<double>(1ULL << 53);
+      const auto it = std::lower_bound(cdf->begin(), cdf->end(), u);
+      const auto rank = static_cast<std::int64_t>(it - cdf->begin());
+      out.emplace_back(rank + 1, 1.0);
+    }
+  };
+}
+
+std::unique_ptr<TopKMonitor> make_topk_process_monitor(
+    std::size_t k, std::size_t process_count, double zipf_s,
+    std::uint64_t seed, SketchParams params) {
+  return std::make_unique<TopKMonitor>(
+      "topk_pid", k, make_zipf_observer(process_count, zipf_s, seed), params);
+}
+
+std::unique_ptr<TopKMonitor> make_topk_flow_monitor(std::size_t k,
+                                                    std::size_t flow_count,
+                                                    double zipf_s,
+                                                    std::uint64_t seed,
+                                                    SketchParams params) {
+  return std::make_unique<TopKMonitor>(
+      "topk_flow", k, make_zipf_observer(flow_count, zipf_s, seed), params);
 }
 
 }  // namespace dproc::core

@@ -1,0 +1,188 @@
+#include "dproc/core/sketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dproc::core {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed, deterministic across platforms. Each
+/// (seed, stage/row) pair yields an independent hash function.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_key(std::int64_t key, std::uint64_t seed,
+                       std::uint32_t lane) {
+  return mix64(static_cast<std::uint64_t>(key) ^ mix64(seed + lane));
+}
+
+}  // namespace
+
+// --- CountMinSketch --------------------------------------------------------
+
+CountMinSketch::CountMinSketch(std::uint32_t rows, std::uint32_t cols,
+                               std::uint64_t seed)
+    : rows_(rows == 0 ? 1 : rows),
+      cols_(cols == 0 ? 1 : cols),
+      seed_(seed),
+      counters_(static_cast<std::size_t>(rows_) * cols_, 0.0) {}
+
+std::size_t CountMinSketch::cell(std::uint32_t row, std::int64_t key) const {
+  return static_cast<std::size_t>(row) * cols_ +
+         hash_key(key, seed_, row) % cols_;
+}
+
+void CountMinSketch::add(std::int64_t key, double weight) {
+  for (std::uint32_t r = 0; r < rows_; ++r) counters_[cell(r, key)] += weight;
+}
+
+double CountMinSketch::estimate(std::int64_t key) const {
+  double best = counters_[cell(0, key)];
+  for (std::uint32_t r = 1; r < rows_; ++r) {
+    best = std::min(best, counters_[cell(r, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  assert(other.rows_ == rows_ && other.cols_ == cols_ && other.seed_ == seed_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+}
+
+// --- HashPipe --------------------------------------------------------------
+
+HashPipe::HashPipe(const SketchParams& params)
+    : params_(params),
+      slots_(static_cast<std::size_t>(std::max(1u, params.stages)) *
+             std::max(1u, params.stage_slots)),
+      evicted_(params.cm_rows, params.cm_cols, params.seed ^ 0xe516ed) {
+  params_.stages = std::max(1u, params_.stages);
+  params_.stage_slots = std::max(1u, params_.stage_slots);
+}
+
+std::size_t HashPipe::slot_index(std::uint32_t stage, std::int64_t key) const {
+  return static_cast<std::size_t>(stage) * params_.stage_slots +
+         hash_key(key, params_.seed, stage) % params_.stage_slots;
+}
+
+void HashPipe::update(std::int64_t key, double weight) {
+  if (key < 0 || weight <= 0.0) return;
+
+  // Stage 0: always insert. If the slot holds a different key, the old
+  // entry is displaced and carried down the pipeline.
+  Entry carry{key, weight};
+  {
+    Entry& slot = slots_[slot_index(0, key)];
+    if (slot.key == key) {
+      slot.count += weight;
+      return;
+    }
+    std::swap(slot, carry);
+    if (carry.key < 0) return;  // displaced an empty slot: done
+  }
+
+  // Stages 1..d-1: keep the heavier of (slot, carry), carry the lighter.
+  for (std::uint32_t stage = 1; stage < params_.stages; ++stage) {
+    Entry& slot = slots_[slot_index(stage, carry.key)];
+    if (slot.key == carry.key) {
+      slot.count += carry.count;
+      return;
+    }
+    if (slot.key < 0) {
+      slot = carry;
+      return;
+    }
+    if (slot.count < carry.count) std::swap(slot, carry);
+  }
+
+  // Fell off the pipeline: remember the evicted mass so estimate() can
+  // still answer for this key.
+  evicted_.add(carry.key, carry.count);
+}
+
+std::size_t HashPipe::top(std::size_t k, std::vector<Entry>& out) const {
+  out.clear();
+  if (k == 0) return 0;
+  // The table is small (stages x stage_slots); a partial selection over it
+  // per refresh is cheaper than maintaining a heap on the update path.
+  for (const Entry& e : slots_) {
+    if (e.key < 0) continue;
+    const auto ranks_before = [&](const Entry& o) {
+      return e.count > o.count || (e.count == o.count && e.key < o.key);
+    };
+    std::size_t pos = 0;
+    while (pos < out.size() && !ranks_before(out[pos])) ++pos;
+    if (pos == out.size()) {
+      if (out.size() < k) out.push_back(e);
+      continue;
+    }
+    if (out.size() < k) out.push_back(out.back());
+    std::move_backward(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                       out.end() - 1, out.end());
+    out[pos] = e;
+  }
+  return out.size();
+}
+
+double HashPipe::estimate(std::int64_t key) const {
+  if (key < 0) return 0.0;
+  double resident = 0.0;
+  for (std::uint32_t stage = 0; stage < params_.stages; ++stage) {
+    const Entry& slot = slots_[slot_index(stage, key)];
+    if (slot.key == key) resident += slot.count;
+  }
+  return resident + evicted_.estimate(key);
+}
+
+std::size_t HashPipe::merge(const HashPipe& other) {
+  assert(other.params_.stages == params_.stages &&
+         other.params_.stage_slots == params_.stage_slots);
+  std::size_t folded = 0;
+  for (const Entry& e : other.slots_) {
+    if (e.key < 0) continue;
+    update(e.key, e.count);
+    ++folded;
+  }
+  evicted_.merge(other.evicted_);
+  return folded;
+}
+
+void HashPipe::clear() {
+  std::fill(slots_.begin(), slots_.end(), Entry{});
+  evicted_.clear();
+}
+
+// --- TopKSketch ------------------------------------------------------------
+
+TopKSketch::TopKSketch(const SketchParams& params) : pipe_(params) {}
+
+void TopKSketch::refresh_top(std::size_t k) {
+  top_.reserve(k);
+  pipe_.top(k, top_);
+}
+
+double TopKSketch::rank_count(std::size_t rank) const {
+  return rank < top_.size() ? top_[rank].count : 0.0;
+}
+
+std::int64_t TopKSketch::rank_key(std::size_t rank) const {
+  return rank < top_.size() ? top_[rank].key : -1;
+}
+
+void TopKSketch::clear() {
+  pipe_.clear();
+  top_.clear();
+}
+
+}  // namespace dproc::core

@@ -17,6 +17,41 @@ PublisherTuning::PublisherTuning(SimDuration default_period,
   sent_.resize(metric_ids_.empty() ? 0 : max_id + 1);
 }
 
+ecode::CompileEnv PublisherTuning::compile_env() const {
+  ecode::CompileEnv env;
+  for (const auto& [key, id] : metric_ids_) {
+    env.constants[to_filter_constant(key)] = static_cast<std::int64_t>(id);
+  }
+  env.sketch_builtins = sketch_builtins_;
+  return env;
+}
+
+void PublisherTuning::rebuild_vm() {
+  ecode::VmLimits limits;
+  if (fuel_override_) limits.max_instructions = *fuel_override_;
+  vm_ = ecode::Vm{limits};
+  vm_.set_sketch_host(sketch_host_);
+}
+
+namespace {
+
+/// Shared by validate() and apply(): the control file is user-writable, so
+/// a fuel request outside (0, kMaxInstructionLimit] is rejected with the
+/// reason rather than silently clamped.
+Status check_fuel(std::uint64_t fuel) {
+  if (fuel == 0) {
+    return Status::invalid_argument("filter instruction limit must be positive");
+  }
+  if (fuel > ecode::VmLimits::kMaxInstructionLimit) {
+    return Status::invalid_argument(
+        "filter instruction limit exceeds hard ceiling (" +
+        std::to_string(ecode::VmLimits::kMaxInstructionLimit) + ")");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
 Result<MetricId> PublisherTuning::resolve(const std::string& name) const {
   auto it = metric_ids_.find(name);
   if (it == metric_ids_.end()) {
@@ -55,12 +90,14 @@ Status PublisherTuning::validate(const TuningConfig& config) const {
   if (config.differential_pct && *config.differential_pct < 0) {
     return Status::invalid_argument("differential percentage must be >= 0");
   }
-  if (config.filter_source && !config.filter_source->empty()) {
-    ecode::CompileEnv env;
-    for (const auto& [key, id] : metric_ids_) {
-      env.constants[to_filter_constant(key)] = static_cast<std::int64_t>(id);
+  if (config.max_filter_instructions) {
+    if (Status fuel = check_fuel(*config.max_filter_instructions); !fuel) {
+      return fuel;
     }
-    auto compiled = ecode::Filter::compile(*config.filter_source, env);
+  }
+  if (config.filter_source && !config.filter_source->empty()) {
+    auto compiled =
+        ecode::Filter::compile(*config.filter_source, compile_env());
     if (!compiled) return compiled.status();
   }
   return Status::ok();
@@ -76,6 +113,9 @@ Status PublisherTuning::apply(const TuningConfig& config) {
   std::optional<ecode::Filter> new_filter =
       config.clear ? std::nullopt : std::move(filter_);
   SimDuration new_default = config.clear ? base_period_ : default_period_;
+  std::optional<std::uint64_t> new_fuel =
+      config.clear ? std::nullopt : fuel_override_;
+  bool new_filter_sketch_env = filter_sketch_env_;
 
   // Restore filter_ if we bail out early.
   auto restore = [&] { filter_ = std::move(new_filter); };
@@ -130,20 +170,32 @@ Status PublisherTuning::apply(const TuningConfig& config) {
     }
     new_differential = *config.differential_pct;
   }
+  if (config.max_filter_instructions) {
+    if (Status fuel = check_fuel(*config.max_filter_instructions); !fuel) {
+      restore();
+      return fuel;
+    }
+    new_fuel = *config.max_filter_instructions;
+  }
   if (config.filter_source) {
     if (config.filter_source->empty()) {
       new_filter.reset();
+    } else if (new_filter && new_filter->source() == *config.filter_source &&
+               filter_sketch_env_ == sketch_builtins_) {
+      // Compiled-program cache: identical source under an identical compile
+      // environment yields identical bytecode, so re-installs (periodic
+      // idempotent control writes are common) skip the compiler entirely.
+      // filter_compiles_ does not move, so d-mon charges no compile cycles.
     } else {
-      ecode::CompileEnv env;
-      for (const auto& [key, id] : metric_ids_) {
-        env.constants[to_filter_constant(key)] = static_cast<std::int64_t>(id);
-      }
-      auto compiled = ecode::Filter::compile(*config.filter_source, env);
+      auto compiled =
+          ecode::Filter::compile(*config.filter_source, compile_env());
       if (!compiled) {
         restore();
         return compiled.status();
       }
       new_filter = std::move(compiled).value();
+      new_filter_sketch_env = sketch_builtins_;
+      ++filter_compiles_;
     }
   }
 
@@ -151,7 +203,12 @@ Status PublisherTuning::apply(const TuningConfig& config) {
   thresholds_ = std::move(new_thresholds);
   differential_pct_ = new_differential;
   filter_ = std::move(new_filter);
+  filter_sketch_env_ = new_filter_sketch_env;
   default_period_ = new_default;
+  if (new_fuel != fuel_override_) {
+    fuel_override_ = new_fuel;
+    rebuild_vm();
+  }
   if (config.clear) {
     for (SentState& s : sent_) s = SentState{};
     adaptive_.clear();  // the controller re-resolves from scratch next round
@@ -327,6 +384,7 @@ std::string PublisherTuning::describe() const {
     }
   }
   if (differential_pct_) out << "differential " << *differential_pct_ << "%\n";
+  if (fuel_override_) out << "fuel " << *fuel_override_ << "\n";
   if (filter_) out << "filter installed (" << filter_->source().size()
                    << " bytes)\n";
   return out.str();

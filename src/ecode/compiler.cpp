@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dproc/ecode/sema.hpp"
+
 namespace dproc::ecode {
 
 Bytecode Compiler::compile(const Program& program) {
@@ -357,8 +359,13 @@ void Compiler::compile_expr(const Expr& expr) {
       return;
     case Expr::Kind::kCall:
       for (const auto& arg : expr.args) compile_expr(*arg);
-      emit(Op::kCallBuiltin, expr.builtin,
-           static_cast<std::int32_t>(expr.args.size()));
+      if (expr.builtin >= kSketchBuiltinBase) {
+        emit(Op::kCallSketch, expr.builtin - kSketchBuiltinBase,
+             static_cast<std::int32_t>(expr.args.size()));
+      } else {
+        emit(Op::kCallBuiltin, expr.builtin,
+             static_cast<std::int32_t>(expr.args.size()));
+      }
       return;
   }
 }

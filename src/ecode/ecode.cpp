@@ -33,6 +33,7 @@ const char* to_string(Op op) {
     case Op::kPushFloat: return "push_float";
     case Op::kPushZeroSample: return "push_zero_sample";
     case Op::kCallBuiltin: return "call_builtin";
+    case Op::kCallSketch: return "call_sketch";
     case Op::kLoadLocal: return "load_local";
     case Op::kStoreLocal: return "store_local";
     case Op::kDup: return "dup";
@@ -114,6 +115,7 @@ std::string Bytecode::disassemble() const {
         break;
       case Op::kLocalFieldSet:
       case Op::kCallBuiltin:
+      case Op::kCallSketch:
       case Op::kCmpJmpIfFalse:
       case Op::kCmpJmpIfTrue:
         out << " " << insn.arg << " " << insn.arg2;

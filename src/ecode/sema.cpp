@@ -3,9 +3,15 @@
 namespace dproc::ecode {
 
 const std::vector<BuiltinFn>& builtin_functions() {
+  // Sketch entries start at kSketchBuiltinBase; keep the math block in
+  // front of them (fold.cpp folds by index, compiler subtracts the base).
   static const std::vector<BuiltinFn> kBuiltins{
       {"abs", 1}, {"min", 2}, {"max", 2},
       {"floor", 1}, {"ceil", 1}, {"sqrt", 1},
+      {"topk", 1, true},      // estimated count of the rank-th heaviest key
+      {"topkid", 1, true},    // key of the rank-th heaviest entry
+      {"cmlookup", 1, true},  // count-min estimate for an arbitrary key
+      {"skmerge", 1, true},   // fold auxiliary sketch [i] into the primary
   };
   return kBuiltins;
 }
@@ -213,6 +219,13 @@ Type Sema::check_call(Expr& expr) {
     return expr.type;
   }
   const BuiltinFn& fn = builtin_functions()[static_cast<std::size_t>(expr.builtin)];
+  if (fn.sketch && !env_.sketch_builtins) {
+    error(expr.loc, "'" + expr.name +
+                        "' requires sketch support, which this publisher "
+                        "does not enable");
+    expr.type = Type::kUnknown;
+    return expr.type;
+  }
   if (static_cast<int>(expr.args.size()) != fn.arity) {
     error(expr.loc, "'" + expr.name + "' takes " + std::to_string(fn.arity) +
                         " argument(s), got " + std::to_string(expr.args.size()));

@@ -330,6 +330,123 @@ TEST(Vm, LocalsShadowBuiltinNamesAsVariables) {
   EXPECT_DOUBLE_EQ(ret("int min = 4; return min + 1;"), 5.0);
 }
 
+// --- sample-operand coercion errors ------------------------------------------
+//
+// Sema statically rejects samples in numeric contexts, so these paths are
+// only reachable from hand-assembled (or corrupted) bytecode — which is
+// exactly what a kernel accepting programs over the wire must survive. The
+// old behavior silently coerced the sample to 0/false; it must now be a
+// clean kInvalidArgument naming the pc.
+
+/// input[0] pushed as a whole sample, then fed to `op`.
+Bytecode sample_into(Op op) {
+  Bytecode code;
+  code.insns.push_back(Insn{.op = Op::kLoadInputImm, .arg = 0});
+  code.insns.push_back(Insn{.op = Op::kPushInt, .imm_i = 1});
+  code.insns.push_back(Insn{.op = op});
+  code.insns.push_back(Insn{.op = Op::kHalt});
+  return code;
+}
+
+TEST(Vm, SampleOperandInArithmeticIsInvalidArgument) {
+  for (const Op op : {Op::kAdd, Op::kSub, Op::kMul, Op::kDiv, Op::kMod,
+                      Op::kBitAnd, Op::kShl, Op::kLt, Op::kEq}) {
+    Vm vm;
+    FilterResult result;
+    std::vector<Sample> input{{7, 1.5, 0.5, 0}};
+    const Status status = vm.run(sample_into(op), input, result);
+    ASSERT_FALSE(status) << "op " << static_cast<int>(op);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("sample operand in numeric context"),
+              std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("pc="), std::string::npos)
+        << status.message();  // names the faulting pc
+  }
+}
+
+TEST(Vm, SampleOperandInUnaryAndReturnIsInvalidArgument) {
+  for (const Op op : {Op::kNeg, Op::kNot, Op::kBitNot, Op::kToInt,
+                      Op::kToDouble, Op::kToBool, Op::kReturn}) {
+    Bytecode code;
+    code.insns.push_back(Insn{.op = Op::kLoadInputImm, .imm_i = 0});
+    code.insns.push_back(Insn{.op = op});
+    code.insns.push_back(Insn{.op = Op::kHalt});
+    Vm vm;
+    FilterResult result;
+    std::vector<Sample> input{{7, 1.5, 0.5, 0}};
+    const Status status = vm.run(code, input, result);
+    ASSERT_FALSE(status) << "op " << static_cast<int>(op);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("sample operand"), std::string::npos);
+  }
+}
+
+TEST(Vm, SampleOperandAsJumpConditionIsInvalidArgument) {
+  Bytecode code;
+  code.insns.push_back(Insn{.op = Op::kLoadInputImm, .imm_i = 0});
+  code.insns.push_back(Insn{.op = Op::kJmpIfFalse, .arg = 3});
+  code.insns.push_back(Insn{.op = Op::kHalt});
+  code.insns.push_back(Insn{.op = Op::kHalt});
+  Vm vm;
+  FilterResult result;
+  std::vector<Sample> input{{7, 1.5, 0.5, 0}};
+  const Status status = vm.run(code, input, result);
+  ASSERT_FALSE(status);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// --- dispatch tiers and limits ----------------------------------------------
+
+TEST(Vm, ConstructorClampsInstructionLimitToHardCeiling) {
+  // The fuel counter is only checked at control-flow edges; a limit near
+  // 2^64 would make exhaustion unreachable. The constructor clamps.
+  Vm vm{VmLimits{.max_instructions = ~0ull}};
+  EXPECT_EQ(vm.limits().max_instructions, VmLimits::kMaxInstructionLimit);
+  Vm sane{VmLimits{.max_instructions = 500}};
+  EXPECT_EQ(sane.limits().max_instructions, 500u);
+}
+
+TEST(Vm, DispatchTiersGiveIdenticalResults) {
+  auto filter = Filter::compile(
+      "int s = 0; for (int i = 0; i < 100; ++i) s += i * i; return s;");
+  ASSERT_TRUE(filter.is_ok());
+  Vm vm_switch;
+  vm_switch.set_dispatch(VmDispatch::kSwitch);
+  FilterResult via_switch;
+  ASSERT_TRUE(vm_switch.run(filter.value().bytecode(), {}, via_switch));
+  if (Vm::threaded_available()) {
+    Vm vm_threaded;
+    vm_threaded.set_dispatch(VmDispatch::kThreaded);
+    EXPECT_EQ(vm_threaded.dispatch(), VmDispatch::kThreaded);
+    FilterResult via_threaded;
+    ASSERT_TRUE(vm_threaded.run(filter.value().bytecode(), {}, via_threaded));
+    EXPECT_EQ(via_switch.return_value, via_threaded.return_value);
+    EXPECT_EQ(via_switch.instructions_executed,
+              via_threaded.instructions_executed);
+  }
+}
+
+TEST(Vm, PooledEvalMatchesDirectRun) {
+  auto filter = Filter::compile("output[0] = input[0]; return 9;");
+  ASSERT_TRUE(filter.is_ok());
+  VmPool pool;
+  std::vector<Sample> input{{3, 2.5, 1.0, 77}};
+  {
+    auto lease = filter.value().eval(pool, input);
+    ASSERT_TRUE(lease.is_ok()) << lease.status().to_string();
+    EXPECT_DOUBLE_EQ(lease.value().result().return_value.value_or(0), 9.0);
+    ASSERT_EQ(lease.value().result().outputs.size(), 1u);
+    EXPECT_EQ(lease.value().result().outputs[0].second, input[0]);
+    EXPECT_EQ(pool.created(), 1u);
+  }
+  {
+    auto again = filter.value().eval(pool, input);
+    ASSERT_TRUE(again.is_ok());
+  }
+  EXPECT_EQ(pool.created(), 1u);  // the slot was recycled, not regrown
+}
+
 TEST(Vm, DisassemblyNonEmpty) {
   auto filter = Filter::compile("int i = 0; i = i + 1;");
   ASSERT_TRUE(filter.is_ok());

@@ -3,7 +3,11 @@
 // a Status — never crash, hang, or accept silently corrupted state.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <sstream>
+
 #include "dproc/core/cluster.hpp"
+#include "dproc/core/sketch.hpp"
 #include "dproc/core/history.hpp"
 #include "dproc/core/incident.hpp"
 #include "dproc/core/tuning.hpp"
@@ -792,6 +796,184 @@ TEST(FuzzFlight, ParseBundlesRandomBytesNeverCrash) {
     (void)core::parse_bundles(dump, bundles);
     telemetry::FlightEvent event;
     (void)telemetry::parse_event(dump, event);
+  }
+}
+
+// --- differential VM dispatch fuzz ------------------------------------------
+//
+// The threaded and switch interpreters are one handler body compiled twice
+// (vm_dispatch.inc); any divergence is a bug in the dispatch plumbing. Every
+// generated program runs through both tiers and must agree byte-for-byte on
+// status (code and message), outputs, return value, and fuel — including the
+// error paths (division by zero, fuel exhaustion).
+
+void expect_tiers_agree(const ecode::Bytecode& code,
+                        std::span<const ecode::Sample> input,
+                        ecode::VmLimits limits, ecode::SketchHost* host_switch,
+                        ecode::SketchHost* host_threaded,
+                        const std::string& source) {
+  ecode::Vm vm_switch{limits};
+  ecode::Vm vm_threaded{limits};
+  vm_switch.set_dispatch(ecode::VmDispatch::kSwitch);
+  vm_threaded.set_dispatch(ecode::VmDispatch::kThreaded);
+  vm_switch.set_sketch_host(host_switch);
+  vm_threaded.set_sketch_host(host_threaded);
+  ecode::FilterResult a;
+  ecode::FilterResult b;
+  const Status sa = vm_switch.run(code, input, a);
+  const Status sb = vm_threaded.run(code, input, b);
+  ASSERT_EQ(sa.code(), sb.code()) << source << "\nswitch: " << sa.to_string()
+                                  << "\nthreaded: " << sb.to_string();
+  EXPECT_EQ(sa.message(), sb.message()) << source;
+  if (sa && sb) {
+    EXPECT_EQ(a.outputs, b.outputs) << source;
+    ASSERT_EQ(a.return_value.has_value(), b.return_value.has_value()) << source;
+    if (a.return_value) {
+      EXPECT_DOUBLE_EQ(*a.return_value, *b.return_value) << source;
+    }
+    EXPECT_EQ(a.instructions_executed, b.instructions_executed) << source;
+  }
+}
+
+std::string random_vm_program(Rng& rng, std::size_t input_count) {
+  std::ostringstream source;
+  source << "int a = " << rng.uniform_int(-50, 50) << ";\n"
+         << "double b = " << rng.uniform_int(0, 9) << ".5;\n"
+         << "int out = 0;\n";
+  const int stmts = static_cast<int>(rng.uniform_int(1, 12));
+  for (int stmt = 0; stmt < stmts; ++stmt) {
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+        source << "a = a + " << rng.uniform_int(-9, 9) << " * "
+               << rng.uniform_int(1, 9) << ";\n";
+        break;
+      case 1:
+        source << "b = b * 1.25 + input["
+               << rng.uniform_int(0, static_cast<std::int64_t>(input_count) - 1)
+               << "].value;\n";
+        break;
+      case 2:
+        source << "a = a " << (rng.bernoulli(0.5) ? "<<" : ">>") << " "
+               << rng.uniform_int(0, 63) << ";\n";
+        break;
+      case 3:
+        // Sometimes divides by zero: the error path must also agree.
+        source << "a = " << rng.uniform_int(-99, 99) << " / (a % "
+               << rng.uniform_int(2, 5) << ");\n";
+        break;
+      case 4:
+        source << "for (int i = 0; i < " << rng.uniform_int(0, 40)
+               << "; ++i) a = a + i;\n";
+        break;
+      case 5:
+        source << "if (b > " << rng.uniform_int(0, 20)
+               << ") { a = a + 1; } else { b = b - 0.5; }\n";
+        break;
+      case 6:
+        source << "output[out] = input["
+               << rng.uniform_int(0, static_cast<std::int64_t>(input_count) - 1)
+               << "]; out = out + 1;\n";
+        break;
+      case 7:
+        source << "b = b + max(abs(a), min(b, "
+               << rng.uniform_int(0, 9) << ".0)) + sqrt(abs(b));\n";
+        break;
+      case 8:
+        source << "a = a " << (rng.bernoulli(0.5) ? "&" : "|") << " "
+               << rng.uniform_int(0, 255) << ";\n";
+        break;
+      case 9:
+        source << "a = (b != 0.0) ? a ^ " << rng.uniform_int(0, 127)
+               << " : ~a;\n";
+        break;
+    }
+  }
+  if (rng.bernoulli(0.8)) source << "return a + b;\n";
+  return source.str();
+}
+
+TEST(FuzzVmDispatch, ThreadedAndSwitchTiersAgreeOnRandomPrograms) {
+  if (!ecode::Vm::threaded_available()) {
+    GTEST_SKIP() << "build has no threaded dispatch tier";
+  }
+  Rng rng{0xD1FF};
+  std::vector<ecode::Sample> input;
+  for (int i = 0; i < 4; ++i) {
+    input.push_back(ecode::Sample{i, rng.uniform(-100.0, 100.0),
+                                  rng.uniform(0.0, 50.0), 1'000 * (i + 1)});
+  }
+  int error_paths = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string source = random_vm_program(rng, input.size());
+    auto filter = ecode::Filter::compile(source);
+    ASSERT_TRUE(filter.is_ok()) << filter.status().to_string() << "\n"
+                                << source;
+    // Tight limits on some trials force the fuel-exhaustion path through
+    // both tiers; count errors to prove both paths actually run.
+    ecode::VmLimits limits;
+    if (trial % 5 == 0) limits.max_instructions = 40;
+    ecode::Vm probe{limits};
+    probe.set_dispatch(ecode::VmDispatch::kSwitch);
+    ecode::FilterResult scratch;
+    if (!probe.run(filter.value().bytecode(), input, scratch)) ++error_paths;
+    expect_tiers_agree(filter.value().bytecode(), input, limits, nullptr,
+                       nullptr, source);
+  }
+  EXPECT_GT(error_paths, 0);  // the harness exercises the error paths too
+}
+
+TEST(FuzzVmDispatch, TiersAgreeOnSketchBuiltins) {
+  if (!ecode::Vm::threaded_available()) {
+    GTEST_SKIP() << "build has no threaded dispatch tier";
+  }
+  // Two structurally identical sketch stacks, one per tier, so skmerge's
+  // mutation cannot leak between the runs under comparison.
+  auto build_stack = [](core::TopKSketch& primary, core::TopKSketch& aux) {
+    Rng feed{0x5EED};
+    for (int i = 0; i < 4'000; ++i) {
+      primary.update(feed.uniform_int(0, 300), 1.0);
+      aux.update(feed.uniform_int(0, 300), 2.0);
+    }
+    primary.refresh_top(8);
+  };
+  Rng rng{0x5ED1};
+  for (int trial = 0; trial < 100; ++trial) {
+    core::TopKSketch primary_a, aux_a, primary_b, aux_b;
+    build_stack(primary_a, aux_a);
+    build_stack(primary_b, aux_b);
+    core::FilterSketchBridge host_a{primary_a};
+    host_a.add_aux(aux_a);
+    core::FilterSketchBridge host_b{primary_b};
+    host_b.add_aux(aux_b);
+
+    std::ostringstream source;
+    source << "double acc = 0.0;\n";
+    const int stmts = static_cast<int>(rng.uniform_int(1, 6));
+    for (int stmt = 0; stmt < stmts; ++stmt) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          source << "acc = acc + topk(" << rng.uniform_int(0, 9) << ");\n";
+          break;
+        case 1:
+          source << "acc = acc + topkid(" << rng.uniform_int(0, 9) << ");\n";
+          break;
+        case 2:
+          source << "acc = acc + cmlookup(" << rng.uniform_int(0, 400)
+                 << ");\n";
+          break;
+        case 3:
+          source << "acc = acc + skmerge(" << rng.uniform_int(0, 2) << ");\n";
+          break;
+      }
+    }
+    source << "return acc;\n";
+    ecode::CompileEnv env;
+    env.sketch_builtins = true;
+    auto filter = ecode::Filter::compile(source.str(), env);
+    ASSERT_TRUE(filter.is_ok()) << filter.status().to_string() << "\n"
+                                << source.str();
+    expect_tiers_agree(filter.value().bytecode(), {}, ecode::VmLimits{},
+                       &host_a, &host_b, source.str());
   }
 }
 

@@ -104,6 +104,66 @@ TEST(PerfRegressionTest, PooledRunAllocatesNothingOnceWarm) {
   EXPECT_EQ(result.outputs.size(), 4u);
 }
 
+TEST(PerfRegressionTest, TouchedListGrowsWithOutputArenaNotMidRun) {
+  // ensure_output_slot() grows every output arena together: out_samples_,
+  // out_written_ AND the touched-list (the historical gap — out_touched_
+  // was left to grow push_back by push_back on the next many-slot run).
+  // After one run that touched only the highest slot, a run that touches
+  // every slot below it must not allocate.
+  CompileEnv env;
+  auto high = Filter::compile(
+      "int a = 0; a = a + 1; a = a * 2; a = a - 1; a = a ^ 3;"
+      "for (int i = 0; i < 80; ++i) a = a + i;"
+      "output[63].value = 1.0;",
+      env);
+  auto many = Filter::compile(
+      "for (int i = 0; i < 64; ++i) output[i].value = 1.0;", env);
+  ASSERT_TRUE(high.is_ok());
+  ASSERT_TRUE(many.is_ok());
+  // The pin only holds if `high` dominates the per-program arenas too.
+  ASSERT_GE(high.value().bytecode().insns.size(),
+            many.value().bytecode().insns.size());
+
+  FilterResult result;
+  {
+    Vm warm;  // sizes result.outputs' capacity for 64 entries
+    ASSERT_TRUE(warm.run(many.value().bytecode(), {}, result).is_ok());
+  }
+  Vm vm;
+  ASSERT_TRUE(vm.run(high.value().bytecode(), {}, result).is_ok());
+
+  const std::uint64_t before = dproc::bench::alloc_count();
+  ASSERT_TRUE(vm.run(many.value().bytecode(), {}, result).is_ok());
+  EXPECT_EQ(dproc::bench::alloc_count() - before, 0u)
+      << "touching 64 pre-grown slots must not reallocate the touched list";
+  EXPECT_EQ(result.outputs.size(), 64u);
+}
+
+TEST(PerfRegressionTest, LeasedEvalAllocatesNothingOnceWarm) {
+  // The lease-returning pooled path (Filter::eval) is the fresh-VM-per-call
+  // shape d-mon uses per channel; once the single pool slot has warmed up it
+  // must match the persistent-Vm zero-alloc guarantee.
+  const Filter filter = compile_figure3();
+  const std::vector<Sample> input = figure3_input();
+
+  VmPool pool;
+  for (int i = 0; i < 16; ++i) {
+    auto lease = filter.eval(pool, input);
+    ASSERT_TRUE(lease.is_ok()) << lease.status().to_string();
+  }
+  ASSERT_EQ(pool.created(), 1u);
+
+  const std::uint64_t before = dproc::bench::alloc_count();
+  for (int i = 0; i < 10'000; ++i) {
+    auto lease = filter.eval(pool, input);
+    ASSERT_TRUE(lease.is_ok());
+  }
+  EXPECT_EQ(dproc::bench::alloc_count() - before, 0u)
+      << "steady-state leased evaluation must not touch the heap";
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
 TEST(PerfRegressionTest, VmIsReentrant) {
   const Filter filter = compile_figure3();
   const std::vector<Sample> input = figure3_input();

@@ -1,0 +1,282 @@
+// Accuracy and invariants of the core/sketch heavy-hitter library, the
+// TOP_K monitoring modules built on it, and the filter sketch bridge. The
+// load-bearing properties: count-min never undercounts, top-k recall on a
+// skewed (Zipf) stream stays high, and the state footprint is constant in
+// the entity count — the resource-aware bound the module family exists for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dproc/core/monitors.hpp"
+#include "dproc/core/sketch.hpp"
+#include "dproc/ecode/ecode.hpp"
+#include "dproc/util/rng.hpp"
+
+namespace dproc::core {
+namespace {
+
+/// Exact per-key counts for comparison against the sketch.
+using Exact = std::map<std::int64_t, double>;
+
+std::vector<std::int64_t> exact_top(const Exact& counts, std::size_t k) {
+  std::vector<std::pair<std::int64_t, double>> sorted(counts.begin(),
+                                                      counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::int64_t> keys;
+  for (std::size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    keys.push_back(sorted[i].first);
+  }
+  return keys;
+}
+
+/// Feeds `draws` Zipf(s) observations over `entities` keys into both the
+/// sketch and an exact table, using the same deterministic observer the
+/// TOP_K monitors use.
+Exact feed_zipf(TopKSketch& sketch, std::size_t entities, double s,
+                std::uint64_t seed, std::size_t draws) {
+  auto observe = make_zipf_observer(entities, s, seed, draws);
+  std::vector<std::pair<std::int64_t, double>> obs;
+  observe(obs, SimTime::zero());
+  Exact exact;
+  for (const auto& [key, weight] : obs) {
+    sketch.update(key, weight);
+    exact[key] += weight;
+  }
+  return exact;
+}
+
+TEST(CountMinSketch, NeverUndercounts) {
+  Rng rng{0xC0DE};
+  CountMinSketch cm{2, 256, 0x5EED};
+  Exact exact;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::int64_t key = rng.uniform_int(0, 5'000);
+    const double weight = rng.uniform(0.1, 3.0);
+    cm.add(key, weight);
+    exact[key] += weight;
+  }
+  for (const auto& [key, count] : exact) {
+    EXPECT_GE(cm.estimate(key), count - 1e-9) << "key " << key;
+  }
+  // Keys never added estimate >= 0 (possibly > 0 from collisions).
+  EXPECT_GE(cm.estimate(999'999), 0.0);
+}
+
+TEST(CountMinSketch, MergeSumsCellWise) {
+  CountMinSketch a{2, 128, 7};
+  CountMinSketch b{2, 128, 7};
+  a.add(1, 5.0);
+  b.add(1, 3.0);
+  b.add(42, 2.0);
+  a.merge(b);
+  EXPECT_GE(a.estimate(1), 8.0 - 1e-9);
+  EXPECT_GE(a.estimate(42), 2.0 - 1e-9);
+}
+
+TEST(HashPipe, HeavyKeysSettleLightKeysChurn) {
+  // One dominant key among uniform noise must survive in the table with a
+  // near-true count.
+  SketchParams params;
+  HashPipe pipe{params};
+  Rng rng{0x4EA7};
+  for (int i = 0; i < 10'000; ++i) {
+    pipe.update(7, 1.0);
+    pipe.update(rng.uniform_int(100, 2'000), 1.0);
+  }
+  std::vector<HashPipe::Entry> top;
+  ASSERT_GE(pipe.top(1, top), 1u);
+  EXPECT_EQ(top[0].key, 7);
+  EXPECT_GE(top[0].count, 10'000.0 * 0.9);
+  // Estimates never undercount resident + evicted mass for the heavy key.
+  EXPECT_GE(pipe.estimate(7), 10'000.0 * 0.9);
+}
+
+TEST(HashPipe, TopOrderingIsDeterministicWithTieBreak) {
+  SketchParams params;
+  params.stages = 2;
+  params.stage_slots = 8;
+  HashPipe pipe{params};
+  pipe.update(30, 5.0);
+  pipe.update(10, 5.0);
+  pipe.update(20, 9.0);
+  std::vector<HashPipe::Entry> top;
+  ASSERT_EQ(pipe.top(3, top), 3u);
+  EXPECT_EQ(top[0].key, 20);  // heaviest first
+  EXPECT_EQ(top[1].key, 10);  // ties broken by ascending key
+  EXPECT_EQ(top[2].key, 30);
+}
+
+TEST(HashPipe, NegativeKeysAndNonPositiveWeightsAreIgnored) {
+  HashPipe pipe{SketchParams{}};
+  pipe.update(-1, 100.0);
+  pipe.update(5, 0.0);
+  pipe.update(5, -3.0);
+  std::vector<HashPipe::Entry> top;
+  EXPECT_EQ(pipe.top(4, top), 0u);
+  EXPECT_EQ(pipe.estimate(-1), 0.0);
+}
+
+TEST(TopKSketch, ZipfRecallAtLeastSevenOfEight) {
+  // The acceptance bar: on a Zipf(1.2) stream the sketch's top-8 must
+  // recover >= 7 of the true top-8 — across entity counts and seeds.
+  for (const std::size_t entities : {100ul, 1'000ul, 10'000ul}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      TopKSketch sketch;
+      const Exact exact =
+          feed_zipf(sketch, entities, 1.2, seed, /*draws=*/8'192);
+      sketch.refresh_top(8);
+      const auto truth = exact_top(exact, 8);
+      std::size_t hits = 0;
+      for (std::size_t rank = 0; rank < 8; ++rank) {
+        const std::int64_t key = sketch.rank_key(rank);
+        if (std::find(truth.begin(), truth.end(), key) != truth.end()) ++hits;
+      }
+      EXPECT_GE(hits, 7u) << "entities=" << entities << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TopKSketch, RankAccessorsOutOfRangeAreBenign) {
+  TopKSketch sketch;
+  sketch.update(3, 2.0);
+  sketch.refresh_top(4);
+  EXPECT_EQ(sketch.rank_key(0), 3);
+  EXPECT_EQ(sketch.rank_key(50), -1);
+  EXPECT_EQ(sketch.rank_count(50), 0.0);
+}
+
+TEST(TopKSketch, ByteSizeIsConstantInEntityCount) {
+  // The whole point: state does not grow with the population it watches.
+  std::vector<std::size_t> sizes;
+  for (const std::size_t entities : {100ul, 1'000ul, 10'000ul}) {
+    TopKSketch sketch;
+    feed_zipf(sketch, entities, 1.2, /*seed=*/9, /*draws=*/4'096);
+    sketch.refresh_top(8);
+    sizes.push_back(sketch.byte_size());
+  }
+  EXPECT_EQ(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[1], sizes[2]);
+  EXPECT_LT(sizes[0], 32u * 1024u);  // defaults stay small
+}
+
+TEST(TopKSketch, MergeFoldsAuxiliaryMass) {
+  TopKSketch a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.update(11, 1.0);
+    b.update(22, 1.0);
+  }
+  EXPECT_GT(a.merge(b), 0u);
+  a.refresh_top(2);
+  EXPECT_GE(a.estimate(22), 500.0 * 0.9);
+  const std::int64_t k0 = a.rank_key(0);
+  const std::int64_t k1 = a.rank_key(1);
+  EXPECT_TRUE((k0 == 11 && k1 == 22) || (k0 == 22 && k1 == 11));
+}
+
+TEST(TopKMonitor, PublishesExactlyTwoKMetricsAndFlatState) {
+  for (const std::size_t processes : {100ul, 10'000ul}) {
+    auto monitor = make_topk_process_monitor(8, processes);
+    const auto descs = monitor->metrics();
+    ASSERT_EQ(descs.size(), 16u);
+    EXPECT_EQ(descs[0].key, "topk_pid_top0_key");
+    EXPECT_EQ(descs[1].key, "topk_pid_top0_val");
+    std::vector<MetricSample> out;
+    monitor->collect(out, SimTime::zero());
+    EXPECT_EQ(out.size(), 16u);  // frame width independent of population
+  }
+  // And the sketch footprint matches across population sizes.
+  auto small = make_topk_process_monitor(8, 100);
+  auto large = make_topk_process_monitor(8, 10'000);
+  std::vector<MetricSample> out;
+  small->collect(out, SimTime::zero());
+  large->collect(out, SimTime::zero());
+  EXPECT_EQ(small->state_bytes(), large->state_bytes());
+}
+
+TEST(TopKMonitor, ZipfHeaviestRankIsRankOne) {
+  // Zipf rank 1 is the heaviest key by construction; after a few periods
+  // the monitor's top slot must report it.
+  auto monitor = make_topk_process_monitor(4, 1'000);
+  std::vector<MetricSample> out;
+  for (int period = 0; period < 16; ++period) {
+    out.clear();
+    monitor->collect(out, SimTime::zero());
+  }
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0].value, 1.0);       // top0_key == Zipf rank 1
+  EXPECT_GT(out[1].value, 0.0);       // top0_val carries its mass
+}
+
+TEST(FilterSketchBridge, EndToEndThroughCompiledFilter) {
+  // A deployed filter reads live sketch state through the builtins: the
+  // top-1 key it computes must match the sketch's own answer, and skmerge
+  // must fold the auxiliary sketch in.
+  TopKSketch primary, aux;
+  for (int i = 0; i < 2'000; ++i) {
+    primary.update(42, 1.0);
+    primary.update(i % 97, 0.25);
+    aux.update(77, 3.0);
+  }
+  primary.refresh_top(4);
+  FilterSketchBridge host{primary};
+  host.add_aux(aux);
+
+  ecode::CompileEnv env;
+  env.sketch_builtins = true;
+  auto filter = ecode::Filter::compile(
+      "double folded = skmerge(0);\n"
+      "if (folded < 0.0) return -1.0;\n"
+      "return topkid(0) * 1000000.0 + topk(0) + cmlookup(42);",
+      env);
+  ASSERT_TRUE(filter.is_ok()) << filter.status().to_string();
+
+  ecode::Vm vm;
+  vm.set_sketch_host(&host);
+  ecode::FilterResult result;
+  ASSERT_TRUE(vm.run(filter.value().bytecode(), {}, result));
+  ASSERT_TRUE(result.return_value.has_value());
+  // topkid(0) is key 42 (heaviest), so the packed value sits in [42e6, 43e6).
+  EXPECT_GE(*result.return_value, 42e6);
+  EXPECT_LT(*result.return_value, 43e6);
+  // The merge made the auxiliary's heavy key visible to cm lookups.
+  EXPECT_GE(primary.estimate(77), 3.0 * 2'000 * 0.9);
+}
+
+TEST(FilterSketchBridge, SkMergeUnknownIndexReturnsNegative) {
+  TopKSketch primary;
+  FilterSketchBridge host{primary};
+  EXPECT_EQ(host.merge_aux(0), -1.0);
+  EXPECT_EQ(host.merge_aux(-1), -1.0);
+}
+
+TEST(SketchBuiltins, RejectedWithoutEnvOptIn) {
+  // The gate is at compile (control-file) time: a publisher without sketch
+  // state refuses the program instead of faulting at run time.
+  auto filter = ecode::Filter::compile("return topk(0);");
+  ASSERT_FALSE(filter.is_ok());
+  EXPECT_NE(filter.status().message().find("sketch support"),
+            std::string::npos)
+      << filter.status().message();
+}
+
+TEST(SketchBuiltins, RuntimeWithoutHostFailsCleanly) {
+  ecode::CompileEnv env;
+  env.sketch_builtins = true;
+  auto filter = ecode::Filter::compile("return topk(0);", env);
+  ASSERT_TRUE(filter.is_ok()) << filter.status().to_string();
+  ecode::Vm vm;  // no sketch host bound
+  ecode::FilterResult result;
+  const Status status = vm.run(filter.value().bytecode(), {}, result);
+  ASSERT_FALSE(status);
+  EXPECT_NE(status.message().find("no sketch state"), std::string::npos)
+      << status.message();
+}
+
+}  // namespace
+}  // namespace dproc::core

@@ -354,6 +354,99 @@ TEST_F(TuningTest, DescribeMentionsSettings) {
   EXPECT_NE(description.find("threshold loadavg above 2"), std::string::npos);
 }
 
+// --- fuel knob and compile cache ---------------------------------------------
+
+TEST_F(TuningTest, FuelOverrideReachesVmLimits) {
+  TuningConfig config;
+  config.max_filter_instructions = 50'000;
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  EXPECT_EQ(tuning.vm_limits().max_instructions, 50'000u);
+  EXPECT_NE(tuning.describe().find("fuel 50000"), std::string::npos);
+  // `clear` drops back to the default limit.
+  TuningConfig clear;
+  clear.clear = true;
+  ASSERT_TRUE(tuning.apply(clear).is_ok());
+  EXPECT_EQ(tuning.vm_limits().max_instructions,
+            ecode::VmLimits{}.max_instructions);
+}
+
+TEST_F(TuningTest, FuelBoundsRejectedWithDescriptiveErrors) {
+  // Zero would disable filtering; past the hard ceiling the fuel check at
+  // control-flow edges could never fire. Both must fail loudly — these are
+  // user-writable control-file values.
+  TuningConfig zero;
+  zero.max_filter_instructions = 0;
+  const Status zero_status = tuning.apply(zero);
+  ASSERT_FALSE(zero_status);
+  EXPECT_NE(zero_status.message().find("filter instruction limit must be "
+                                       "positive"),
+            std::string::npos);
+
+  TuningConfig huge;
+  huge.max_filter_instructions = ecode::VmLimits::kMaxInstructionLimit + 1;
+  const Status huge_status = tuning.apply(huge);
+  ASSERT_FALSE(huge_status);
+  EXPECT_NE(huge_status.message().find("exceeds hard ceiling"),
+            std::string::npos);
+  // Rejection is atomic: the previous (default) limit still stands.
+  EXPECT_EQ(tuning.vm_limits().max_instructions,
+            ecode::VmLimits{}.max_instructions);
+
+  // validate() flags the same bounds without touching state.
+  EXPECT_FALSE(tuning.validate(zero).is_ok());
+  EXPECT_FALSE(tuning.validate(huge).is_ok());
+}
+
+TEST_F(TuningTest, FuelLimitActuallyBoundsFilterExecution) {
+  TuningConfig config;
+  config.max_filter_instructions = 64;
+  config.filter_source = "for (int i = 0; i < 100000; ++i) { }";
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  // The filter runs out of fuel, so publication fails open: all 4 samples
+  // pass through unfiltered.
+  auto decision = tuning.decide(samples(1, 2, 3, 4), at(0));
+  EXPECT_EQ(decision.to_send.size(), 4u);
+}
+
+TEST_F(TuningTest, IdenticalFilterReinstallSkipsRecompile) {
+  TuningConfig config;
+  config.filter_source = "output[0] = input[0];";
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  EXPECT_EQ(tuning.filter_compiles(), 1u);
+  // Same source again — e.g. a control file rewritten with an unchanged
+  // filter block — must hit the program cache.
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  EXPECT_EQ(tuning.filter_compiles(), 1u);
+  // A different program is a real compile.
+  TuningConfig other;
+  other.filter_source = "output[1] = input[1];";
+  ASSERT_TRUE(tuning.apply(other).is_ok());
+  EXPECT_EQ(tuning.filter_compiles(), 2u);
+}
+
+TEST_F(TuningTest, SketchEnvChangeInvalidatesProgramCache) {
+  TuningConfig config;
+  config.filter_source = "output[0] = input[0];";
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  EXPECT_EQ(tuning.filter_compiles(), 1u);
+  // Flipping the sketch environment changes what the source may mean, so
+  // the cache must not serve the stale program.
+  tuning.enable_sketch_builtins(true);
+  ASSERT_TRUE(tuning.apply(config).is_ok());
+  EXPECT_EQ(tuning.filter_compiles(), 2u);
+}
+
+TEST_F(TuningTest, SketchBuiltinsRejectedUnlessEnabled) {
+  TuningConfig config;
+  config.filter_source = "return topk(0);";
+  const Status status = tuning.apply(config);
+  ASSERT_FALSE(status);
+  EXPECT_NE(status.message().find("sketch support"), std::string::npos);
+  tuning.enable_sketch_builtins(true);
+  EXPECT_TRUE(tuning.apply(config).is_ok());
+}
+
 // --- control command parsing ------------------------------------------------
 
 TEST(ControlParse, Period) {
@@ -419,6 +512,29 @@ TEST(ControlParse, WindowCommand) {
   EXPECT_EQ(config.value().module_periods[0].second.sec(), 5.0);
   EXPECT_FALSE(parse_control_commands("window cpu").is_ok());
   EXPECT_FALSE(parse_control_commands("window cpu -1").is_ok());
+}
+
+TEST(ControlParse, FuelCommand) {
+  auto config = parse_control_commands("fuel 50000");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value().max_filter_instructions, 50'000u);
+
+  EXPECT_FALSE(parse_control_commands("fuel").is_ok());
+  EXPECT_FALSE(parse_control_commands("fuel abc").is_ok());
+
+  auto zero = parse_control_commands("fuel 0");
+  ASSERT_FALSE(zero.is_ok());
+  EXPECT_NE(zero.status().message().find("must be positive"),
+            std::string::npos);
+  EXPECT_FALSE(parse_control_commands("fuel -5").is_ok());
+
+  // A user-writable control file cannot push the limit past the hard
+  // ceiling, which would make out_of_fuel() unreachable.
+  auto huge = parse_control_commands("fuel 1000000001");
+  ASSERT_FALSE(huge.is_ok());
+  EXPECT_NE(huge.status().message().find("exceeds hard ceiling"),
+            std::string::npos);
+  EXPECT_TRUE(parse_control_commands("fuel 1000000000").is_ok());
 }
 
 TEST(ControlParse, Clear) {
@@ -495,6 +611,18 @@ TEST(ControlCodec, EmptyConfigRoundTrips) {
   EXPECT_FALSE(decoded.value().clear);
   EXPECT_FALSE(decoded.value().default_period.has_value());
   EXPECT_FALSE(decoded.value().filter_source.has_value());
+}
+
+TEST(ControlCodec, FuelRoundTrips) {
+  TuningConfig config;
+  config.max_filter_instructions = 123'456;
+  auto decoded = decode_tuning(encode_tuning(config));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().max_filter_instructions, 123'456u);
+  // Absent stays absent (the presence byte carries the distinction).
+  auto empty = decode_tuning(encode_tuning(TuningConfig{}));
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_FALSE(empty.value().max_filter_instructions.has_value());
 }
 
 TEST(ControlCodec, TruncatedPayloadRejected) {
